@@ -1,0 +1,81 @@
+"""Ablation — placement heuristics: First-Fit vs Best/Worst-Fit vs the
+offline repacker (the paper's future-work idea of reallocating existing
+databases, Section 4.2 / Section 7).
+"""
+
+import pytest
+
+from repro.harness import format_table
+from repro.sim.rng import SeededRNG, ZipfGenerator
+from repro.sla import (DatabaseLoad, MachineBin, ResourceVector, best_fit,
+                       first_fit, optimal_machine_count, repack, worst_fit)
+from repro.sla.profiler import estimate_requirements
+
+from common import report
+
+CAPACITY = ResourceVector(cpu=2.0, memory_mb=1200.0, disk_io_mbps=60.0,
+                          disk_mb=20000.0)
+
+
+def make_loads(skew: float, n: int, seed: int):
+    rng = SeededRNG(seed).fork(f"ablation-{skew}")
+    size_zipf = ZipfGenerator(64, skew, rng.fork("size"))
+    tps_zipf = ZipfGenerator(64, skew, rng.fork("tps"))
+    loads = []
+    for i in range(n):
+        size = size_zipf.sample_in_range(200.0, 1000.0)
+        tps = tps_zipf.sample_in_range(0.1, 10.0)
+        requirement = estimate_requirements(size, tps,
+                                            working_set_fraction=0.55)
+        loads.append(DatabaseLoad(f"db{i}", requirement))
+    return loads
+
+
+def bin_factory():
+    counter = [0]
+
+    def new_bin():
+        counter[0] += 1
+        return MachineBin(f"m{counter[0]}", CAPACITY)
+
+    return new_bin
+
+
+def run_ablation():
+    strategies = {
+        "first-fit (paper)": lambda loads: first_fit(
+            loads, bins=[], new_bin=bin_factory()).machines_used,
+        "best-fit": lambda loads: best_fit(
+            loads, bins=[], new_bin=bin_factory()).machines_used,
+        "worst-fit": lambda loads: worst_fit(
+            loads, bins=[], new_bin=bin_factory()).machines_used,
+        "repack (FFD, future work)": lambda loads: repack(
+            loads, new_bin=bin_factory()).machines_used,
+        "optimal": lambda loads: optimal_machine_count(loads, CAPACITY),
+    }
+    rows = []
+    data = {}
+    for skew in (0.4, 1.2, 2.0):
+        loads = make_loads(skew, 20, seed=3)
+        row = [skew]
+        for name, strategy in strategies.items():
+            count = strategy(loads)
+            row.append(count)
+            data[(skew, name)] = count
+        rows.append(row)
+    text = format_table(["skew"] + list(strategies), rows)
+    return text, data
+
+
+@pytest.mark.benchmark(group="ablation-placement")
+def test_ablation_placement_heuristics(benchmark, capsys):
+    text, data = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report("ablation_placement", text, capsys)
+    for skew in (0.4, 1.2, 2.0):
+        optimal = data[(skew, "optimal")]
+        for name in ("first-fit (paper)", "best-fit", "worst-fit",
+                     "repack (FFD, future work)"):
+            assert data[(skew, name)] >= optimal
+        # The offline repacker is at least as good as online first-fit.
+        assert data[(skew, "repack (FFD, future work)")] <= \
+            data[(skew, "first-fit (paper)")]

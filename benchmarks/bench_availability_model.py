@@ -1,0 +1,90 @@
+"""Validation — the Section 4.1 availability model against measurement.
+
+The paper bounds the fraction of proactively rejected transactions by::
+
+    (failure_rate + reallocation_rate) * (recovery_time / T) * write_mix
+
+This benchmark runs a sustained-failure soak (Poisson machine failures,
+database-granularity recovery so the rejection window is the whole copy)
+and compares the measured rejected fraction against the formula's
+prediction built from the same run's observed failure count and copy
+durations. A reproduction of the *model*, not just the mechanism.
+"""
+
+import pytest
+
+from repro.cluster import (ClusterConfig, ClusterController,
+                           CopyGranularity, ReadOption, RecoveryManager,
+                           WritePolicy)
+from repro.harness import format_table
+from repro.harness.faults import FailureInjector
+from repro.sim import Simulator
+from repro.sla.model import AvailabilityInputs, rejected_fraction_bound
+from repro.sla.monitor import observed_availability_inputs
+from repro.workloads.microbench import KeyValueWorkload
+
+DURATION_S = 300.0
+MTBF_S = 40.0
+
+
+def run_soak():
+    sim = Simulator()
+    config = ClusterConfig(read_option=ReadOption.OPTION_1,
+                           write_policy=WritePolicy.CONSERVATIVE)
+    config.machine.copy_bytes_factor = 20_000.0  # ~10 s copies
+    controller = ClusterController(sim, config)
+    controller.add_machines(6)
+    workload = KeyValueWorkload(controller, db_name="app", keys=40, seed=2)
+    workload.install(replicas=2)
+    recovery = RecoveryManager(controller,
+                               granularity=CopyGranularity.DATABASE,
+                               threads=2, retry_delay_s=1.0)
+    recovery.start()
+    injector = FailureInjector(controller, mtbf_s=MTBF_S, seed=9,
+                               min_live_machines=3)
+    injector.start()
+    for cid in range(4):
+        proc = sim.process(workload.client(
+            cid, transactions=100_000, reads_per_txn=1, writes_per_txn=1,
+            think_time_s=0.25))
+        proc.defused = True
+    sim.run(until=DURATION_S)
+    injector.stop()
+
+    counters = controller.metrics.db("app")
+    measured_fraction = counters.rejected_fraction()
+    failures_hitting_db = sum(
+        1 for event in injector.events if "app" in event.databases_affected)
+    inputs = observed_availability_inputs(
+        "app", recovery.records, failures_observed=failures_hitting_db,
+        window_s=DURATION_S, write_mix=1.0, period_s=DURATION_S)
+    predicted = rejected_fraction_bound(inputs, DURATION_S)
+    return {
+        "measured": measured_fraction,
+        "predicted": predicted,
+        "failures": failures_hitting_db,
+        "recovery_time_s": inputs.recovery_time_s,
+        "committed": counters.committed,
+        "rejected": counters.rejected,
+    }
+
+
+@pytest.mark.benchmark(group="availability-model")
+def test_availability_model_validates(benchmark, capsys):
+    from common import report
+    data = benchmark.pedantic(run_soak, rounds=1, iterations=1)
+    text = format_table(
+        ["metric", "value"],
+        [["failures hitting the database", data["failures"]],
+         ["mean recovery (copy) time (s)", data["recovery_time_s"]],
+         ["committed transactions", data["committed"]],
+         ["rejected transactions", data["rejected"]],
+         ["measured rejected fraction", data["measured"]],
+         ["Section 4.1 predicted fraction", data["predicted"]]])
+    report("availability_model", text, capsys)
+    assert data["failures"] >= 1
+    assert data["rejected"] >= 1, "db-level copies must reject writes"
+    # The model and the measurement agree to well within an order of
+    # magnitude (the formula is an expectation, the run is one sample).
+    ratio = data["measured"] / data["predicted"]
+    assert 0.2 <= ratio <= 5.0, f"model mismatch: ratio {ratio}"

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the MiniSQL engine itself (wall-clock, not simulated).
+
+These measure the Python engine's raw statement rates — useful when
+tuning experiment scales, and a regression guard for the executor and
+index paths that every simulated experiment leans on.
+"""
+
+import pytest
+
+from repro.engine import Engine
+
+
+def make_engine(rows: int = 2000):
+    engine = Engine("micro")
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, "
+                        "v INTEGER, s VARCHAR(20))")
+    engine.execute_sync(txn, "db", "CREATE INDEX t_v ON t (v)")
+    for k in range(rows):
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?, ?)",
+                            (k, k % 50, f"s{k:06d}"))
+    engine.commit(txn)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_engine()
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_point_select(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db", "SELECT v FROM t WHERE k = ?", (777,))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.rows == [(777 % 50,)]
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_secondary_index_select(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db", "SELECT COUNT(*) FROM t WHERE v = ?", (7,))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.scalar() == 40
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_range_scan(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db",
+            "SELECT k FROM t WHERE k >= ? AND k < ? ORDER BY k",
+            (100, 200))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.rowcount == 100
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_update_commit_cycle(benchmark):
+    engine = make_engine(500)
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        txn = engine.begin()
+        engine.execute_sync(txn, "db",
+                            "UPDATE t SET v = ? WHERE k = ?",
+                            (counter[0] % 100, counter[0] % 500))
+        engine.commit(txn)
+
+    benchmark(op)
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_aggregate_group_by(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db",
+            "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v LIMIT 10")
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert len(result.rows) == 10

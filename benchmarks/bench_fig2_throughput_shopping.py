@@ -1,0 +1,25 @@
+"""Figure 2 — throughput with synchronous replication, shopping mix."""
+
+import pytest
+
+from common import report
+from throughput_common import peak, run_throughput_figure
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_throughput_shopping(benchmark, capsys):
+    text, series = benchmark.pedantic(
+        lambda: run_throughput_figure("shopping"), rounds=1, iterations=1)
+    report("fig2_throughput_shopping", text, capsys)
+    no_repl = peak(series, "no-replication")
+    opt1 = peak(series, "option-1")
+    opt2 = peak(series, "option-2")
+    opt3 = peak(series, "option-3")
+    # Paper: Option 1 best of the replicated options...
+    assert opt1 > opt2
+    assert opt1 > opt3
+    # ...within 5-25 % of no-replication (allow a wider band: we are a
+    # simulator, the paper is a rack).
+    assert 0.70 * no_repl <= opt1 <= no_repl
+    # Options 2/3 pay the cache-locality penalty.
+    assert opt3 <= opt2 * 1.10

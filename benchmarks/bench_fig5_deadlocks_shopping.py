@@ -1,0 +1,14 @@
+"""Figure 5 — deadlock rate vs database size, shopping mix."""
+
+import pytest
+
+from common import report
+from deadlock_common import assert_deadlock_shape, run_deadlock_figure
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_deadlocks_shopping(benchmark, capsys):
+    text, data = benchmark.pedantic(
+        lambda: run_deadlock_figure("shopping"), rounds=1, iterations=1)
+    report("fig5_deadlocks_shopping", text, capsys)
+    assert_deadlock_shape(data, write_heavy=False)

@@ -1,0 +1,18 @@
+"""Figure 6 — deadlock rate vs database size, browsing mix.
+
+Browsing is ~95 % reads, so the absolute deadlock rate sits near zero at
+every size — the paper's browsing plot is the flattest of the three.
+"""
+
+import pytest
+
+from common import report
+from deadlock_common import assert_deadlock_shape, run_deadlock_figure
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_deadlocks_browsing(benchmark, capsys):
+    text, data = benchmark.pedantic(
+        lambda: run_deadlock_figure("browsing"), rounds=1, iterations=1)
+    report("fig6_deadlocks_browsing", text, capsys)
+    assert_deadlock_shape(data, write_heavy=False)

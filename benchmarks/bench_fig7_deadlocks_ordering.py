@@ -1,0 +1,18 @@
+"""Figure 7 — deadlock rate vs database size, ordering mix.
+
+Ordering is the write-heaviest mix (~50 % writes): highest deadlock
+rates, falling as the database grows.
+"""
+
+import pytest
+
+from common import report
+from deadlock_common import assert_deadlock_shape, run_deadlock_figure
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_deadlocks_ordering(benchmark, capsys):
+    text, data = benchmark.pedantic(
+        lambda: run_deadlock_figure("ordering"), rounds=1, iterations=1)
+    report("fig7_deadlocks_ordering", text, capsys)
+    assert_deadlock_shape(data, write_heavy=True)

@@ -1,0 +1,36 @@
+"""Shared plumbing for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's Section
+5. The simulated cluster cannot match the authors' absolute numbers (it
+is a simulator, not a 10-machine FreeBSD rack), so each benchmark asserts
+the *shape* the paper reports — who wins, roughly by how much, and which
+way each curve bends — and prints the regenerated rows/series.
+
+Results are also appended to ``benchmarks/results/<name>.txt`` so the
+numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str, capsys=None) -> None:
+    """Print a benchmark's regenerated table and persist it to disk."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(banner)
+    else:
+        print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+
+
+def within(value: float, lo: float, hi: float) -> bool:
+    return lo <= value <= hi

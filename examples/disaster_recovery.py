@@ -1,0 +1,96 @@
+"""Disaster recovery across colos (Section 2's asynchronous replication).
+
+A database lives in a primary colo with 2 synchronous replicas and ships
+committed writes asynchronously to a standby colo. The script measures
+replication lag under load, then destroys the primary colo and shows
+clients failing over to the standby — with at most the in-flight suffix
+of transactions lost, never a torn transaction.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+from repro.cluster.controller import TransactionAborted
+from repro.platform import DataPlatform, DatabaseSpec
+from repro.sla import Sla
+
+DDL = [
+    "CREATE TABLE accounts ("
+    "  acct_id INTEGER PRIMARY KEY,"
+    "  owner VARCHAR(20),"
+    "  balance FLOAT)",
+]
+
+DISASTER_AT_S = 6.0
+
+
+def main():
+    platform = DataPlatform(wan_latency_s=0.08)
+    platform.add_colo("primary-dc", free_machines=6, location=0.0)
+    platform.add_colo("standby-dc", free_machines=6, location=50.0)
+
+    platform.create_database(DatabaseSpec(
+        name="bank",
+        ddl=list(DDL),
+        sla=Sla(min_throughput_tps=5.0, max_rejected_fraction=0.001),
+        expected_size_mb=20.0,
+        write_mix=0.8,
+    ))
+    platform.bulk_load("bank", "accounts",
+                       [(i, f"user{i}", 100.0) for i in range(20)])
+    sim = platform.sim
+    committed_transfers = []
+
+    def transfer_client():
+        conn = platform.connect("bank")
+        i = 0
+        while sim.now < DISASTER_AT_S:
+            src, dst = i % 20, (i + 7) % 20
+            try:
+                yield conn.execute(
+                    "UPDATE accounts SET balance = balance - 10 "
+                    "WHERE acct_id = ?", (src,))
+                yield conn.execute(
+                    "UPDATE accounts SET balance = balance + 10 "
+                    "WHERE acct_id = ?", (dst,))
+                yield conn.commit()
+                committed_transfers.append((sim.now, src, dst))
+            except TransactionAborted:
+                pass
+            i += 1
+            yield sim.timeout(0.2)
+
+    proc = sim.process(transfer_client())
+    proc.defused = True
+    sim.run(until=DISASTER_AT_S)
+
+    lag = platform.system.replication_lag("bank")
+    print(f"t={sim.now:.1f}s: {len(committed_transfers)} transfers "
+          f"committed at the primary; standby lag = {lag} txns")
+
+    primary, standby = platform.system.placements["bank"]
+    print(f"\nDISASTER: colo {primary!r} is lost. Failing over to "
+          f"{standby!r}...")
+    platform.system.fail_colo(primary)
+
+    def post_disaster_client():
+        conn = platform.connect("bank")
+        result = yield conn.execute(
+            "SELECT COUNT(*), SUM(balance) FROM accounts")
+        yield conn.commit()
+        return result.rows[0]
+
+    proc = sim.process(post_disaster_client())
+    sim.run()
+    count, total = proc.value
+    print(f"\nstandby serves reads: {count} accounts, total balance "
+          f"{total:.0f}")
+    expected_total = 20 * 100.0
+    print(f"balance conservation: {'OK' if abs(total - expected_total) < 1e-6 else 'VIOLATED'}"
+          f" (every transfer applied atomically or not at all)")
+    print(f"transactions lost to the disaster: <= {lag} "
+          f"(the unshipped suffix — the paper's weaker cross-colo "
+          f"guarantee)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Reproduce the paper's Table 1 anomaly, end to end.
+
+Section 3.1's surprise: an *aggressive* cluster controller (acknowledge a
+write after the first replica) combined with read Option 2 or 3 breaks
+one-copy serializability — because real engines release read locks at
+2PC PREPARE. This script runs the paper's exact T1/T2 example under all
+six configurations and prints each execution's global serialization
+graph verdict, then shows the anomaly disappearing when the PREPARE
+optimization is turned off.
+
+Run:  python examples/serializability_anomaly.py
+"""
+
+from repro.analysis import check_one_copy_serializable
+from repro.analysis.history import format_history
+from repro.cluster import (ClusterConfig, ClusterController, ReadOption,
+                           WritePolicy)
+from repro.cluster.controller import TransactionAborted
+from repro.harness import format_table
+from repro.sim import Simulator
+
+
+def run_pair(option, policy, release_at_prepare=True):
+    """T1: r(x) w(y); T2: r(y) w(x), started simultaneously."""
+    sim = Simulator()
+    config = ClusterConfig(read_option=option, write_policy=policy,
+                           record_history=True, lock_wait_timeout_s=1.0)
+    config.machine.engine.release_read_locks_at_prepare = release_at_prepare
+    controller = ClusterController(sim, config)
+    controller.add_machines(2)
+    controller.create_database(
+        "app", ["CREATE TABLE kv (k VARCHAR(4) PRIMARY KEY, v INTEGER)"],
+        replicas=2)
+    controller.bulk_load("app", "kv", [("x", 0), ("y", 0)])
+    outcomes = []
+
+    def txn(name, read_key, write_key):
+        conn = controller.connect("app")
+        try:
+            yield conn.execute("SELECT v FROM kv WHERE k = ?", (read_key,))
+            yield conn.execute("UPDATE kv SET v = 1 WHERE k = ?",
+                               (write_key,))
+            yield conn.commit()
+            outcomes.append(f"{name} committed")
+        except TransactionAborted:
+            outcomes.append(f"{name} aborted")
+
+    sim.process(txn("T1", "x", "y"))
+    sim.process(txn("T2", "y", "x"))
+    sim.run()
+    ok, cycle = check_one_copy_serializable(controller.history)
+    return ok, cycle, outcomes, controller.history
+
+
+def main():
+    print("The paper's example: T1 = r(x) w(y); T2 = r(y) w(x)")
+    print("on a database with 2 synchronous replicas.\n")
+
+    rows = []
+    for option in (ReadOption.OPTION_1, ReadOption.OPTION_2,
+                   ReadOption.OPTION_3):
+        row = [option.name.replace("_", " ").title()]
+        for policy in (WritePolicy.CONSERVATIVE, WritePolicy.AGGRESSIVE):
+            ok, cycle, outcomes, _history = run_pair(option, policy)
+            verdict = "Serializable" if ok else "NOT SERIALIZABLE"
+            row.append(f"{verdict} ({', '.join(outcomes)})")
+        rows.append(row)
+    print(format_table(["", "Conservative", "Aggressive"], rows))
+
+    print("\nWhy? With the common 2PC optimization, engines release READ")
+    print("locks at PREPARE. Under Option 2/3, T1 and T2 read on")
+    print("different replicas; the aggressive controller lets each")
+    print("transaction race ahead after one replica acks its write, so")
+    print("each machine serializes the pair in the opposite order:")
+    ok, cycle, _, history = run_pair(ReadOption.OPTION_2,
+                                     WritePolicy.AGGRESSIVE)
+    print(f"  global serialization graph cycle: {cycle}")
+    print("  the recorded per-machine histories (the paper's notation):")
+    for line in format_history(history).splitlines():
+        print(f"    {line}")
+
+    print("\nDisable the release-read-locks-at-PREPARE optimization and")
+    print("the same configuration becomes serializable again:")
+    ok, cycle, outcomes, _history = run_pair(ReadOption.OPTION_2,
+                                             WritePolicy.AGGRESSIVE,
+                                             release_at_prepare=False)
+    print(f"  serializable={ok}, outcomes={outcomes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — a reproduction of "A Scalable Data Platform for a Large
+Number of Small Applications" (CIDR 2009).
+
+Public entry points:
+
+* :class:`repro.platform.DataPlatform` — the paper's two-call API
+  (create a database with an SLA; connect and run SQL);
+* :class:`repro.cluster.ClusterController` — the cluster tier on its
+  own, for experiments that do not need colos;
+* :class:`repro.engine.Engine` — the single-node MiniSQL engine;
+* :mod:`repro.harness` — drivers that regenerate the paper's evaluation.
+
+See README.md for a tour and DESIGN.md for the architecture and the
+paper-experiment index.
+"""
+
+__version__ = "0.1.0"

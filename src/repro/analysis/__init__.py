@@ -1,0 +1,25 @@
+"""Correctness checking and measurement tools.
+
+* :mod:`repro.analysis.history` — per-site operation histories recorded by
+  engine instances.
+* :mod:`repro.analysis.serialization_graph` — the paper's formal tool: the
+  global serialization graph over committed transactions, whose acyclicity
+  is equivalent to one-copy serializability under read-one-write-all
+  (Bernstein/Hadzilacos/Goodman, as cited in Section 3.1).
+* :mod:`repro.analysis.metrics` — throughput/abort/rejection counters and
+  time-windowed series used by the benchmark harness.
+"""
+
+from repro.analysis.history import GlobalHistory, SiteHistory
+from repro.analysis.metrics import MetricsCollector, TimeSeries
+from repro.analysis.serialization_graph import (SerializationGraph,
+                                                check_one_copy_serializable)
+
+__all__ = [
+    "GlobalHistory",
+    "MetricsCollector",
+    "SerializationGraph",
+    "SiteHistory",
+    "TimeSeries",
+    "check_one_copy_serializable",
+]

@@ -1,0 +1,138 @@
+"""Operation histories, recorded per site (machine).
+
+An engine instance calls into a :class:`SiteHistory` as it executes:
+each read/write is logged *in execution order*, which under strict 2PL is
+also conflict order. A :class:`GlobalHistory` aggregates the sites of one
+cluster so the serialization-graph checker can look for cross-site cycles
+— exactly the construction in the paper's Theorems 1 and 2.
+
+Objects are logical identifiers ``(database, table, primary-key)`` so the
+same row is recognized across replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+Obj = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One logged operation."""
+
+    seq: int
+    txn_id: int
+    kind: str  # "r" | "w"
+    obj: Obj
+
+
+class SiteHistory:
+    """Execution history of one machine."""
+
+    def __init__(self, site: str):
+        self.site = site
+        self.ops: List[Op] = []
+        self.committed: Set[int] = set()
+        self.aborted: Set[int] = set()
+        self.prepared: List[int] = []
+        self._seq = 0
+
+    def record_read(self, txn_id: int, obj: Obj) -> None:
+        self._seq += 1
+        self.ops.append(Op(self._seq, txn_id, "r", obj))
+
+    def record_write(self, txn_id: int, obj: Obj) -> None:
+        self._seq += 1
+        self.ops.append(Op(self._seq, txn_id, "w", obj))
+
+    def record_prepare(self, txn_id: int) -> None:
+        self.prepared.append(txn_id)
+
+    def record_commit(self, txn_id: int) -> None:
+        self.committed.add(txn_id)
+
+    def record_abort(self, txn_id: int) -> None:
+        self.aborted.add(txn_id)
+
+    def conflict_edges(self,
+                       restrict_to: Optional[Set[int]] = None
+                       ) -> Set[Tuple[int, int]]:
+        """Edges (Ti, Tj): conflicting ops with Ti's op scheduled first.
+
+        Only transactions in ``restrict_to`` (default: this site's
+        committed set) contribute — aborted transactions' operations are
+        not part of the committed history.
+        """
+        allowed = self.committed if restrict_to is None else restrict_to
+        edges: Set[Tuple[int, int]] = set()
+        by_obj: Dict[Obj, List[Op]] = {}
+        for op in self.ops:
+            if op.txn_id in allowed:
+                by_obj.setdefault(op.obj, []).append(op)
+        for ops in by_obj.values():
+            for i, earlier in enumerate(ops):
+                for later in ops[i + 1:]:
+                    if earlier.txn_id == later.txn_id:
+                        continue
+                    if earlier.kind == "w" or later.kind == "w":
+                        edges.add((earlier.txn_id, later.txn_id))
+        return edges
+
+
+class GlobalHistory:
+    """The union of all site histories in one cluster."""
+
+    def __init__(self):
+        self.sites: Dict[str, SiteHistory] = {}
+
+    def site(self, name: str) -> SiteHistory:
+        if name not in self.sites:
+            self.sites[name] = SiteHistory(name)
+        return self.sites[name]
+
+    def committed_everywhere(self) -> Set[int]:
+        """Transactions the coordinator committed (committed on >= 1 site).
+
+        With read-one-write-all a transaction's commit is recorded on each
+        replica it wrote; a read-only transaction commits on the site that
+        served it. Union over sites is the coordinator's committed set.
+        """
+        out: Set[int] = set()
+        for site in self.sites.values():
+            out |= site.committed
+        return out
+
+    def global_edges(self) -> Set[Tuple[int, int]]:
+        committed = self.committed_everywhere()
+        edges: Set[Tuple[int, int]] = set()
+        for site in self.sites.values():
+            edges |= site.conflict_edges(restrict_to=committed)
+        return edges
+
+
+def format_history(history: GlobalHistory,
+                   max_ops_per_site: int = 200) -> str:
+    """Render a global history the way the paper writes them.
+
+    One line per site, operations in execution order:
+    ``m1: r1(x), w1(y), w2(x), c2, c1`` — invaluable when staring at a
+    serialization-graph cycle.
+    """
+    lines = []
+    for name in sorted(history.sites):
+        site = history.sites[name]
+        parts = []
+        for op in site.ops[:max_ops_per_site]:
+            obj = op.obj[-1]
+            if isinstance(obj, tuple) and len(obj) == 1:
+                obj = obj[0]
+            parts.append(f"{op.kind}{op.txn_id}({obj})")
+        for txn_id in sorted(site.committed):
+            parts.append(f"c{txn_id}")
+        for txn_id in sorted(site.aborted):
+            parts.append(f"a{txn_id}")
+        suffix = " ..." if len(site.ops) > max_ops_per_site else ""
+        lines.append(f"{name}: {', '.join(parts)}{suffix}")
+    return "\n".join(lines)

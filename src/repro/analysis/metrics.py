@@ -1,0 +1,121 @@
+"""Throughput, rejection, and deadlock accounting.
+
+The paper reports: transactions per second (Figures 2-4, 9, Table 2),
+deadlock rate (Figures 5-7), and the number of proactively rejected
+transactions (Figure 8 and the availability SLA of Section 4.1).
+:class:`MetricsCollector` accumulates these per database plus a
+:class:`TimeSeries` view for the "during recovery" plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class DbCounters:
+    """Per-database transaction outcome counters."""
+
+    committed: int = 0
+    deadlocks: int = 0
+    rejected: int = 0          # proactive rejections (Algorithm 1 / failures)
+    other_aborts: int = 0
+    response_time_total: float = 0.0
+
+    @property
+    def total_finished(self) -> int:
+        return (self.committed + self.deadlocks + self.rejected
+                + self.other_aborts)
+
+    @property
+    def mean_response_time(self) -> float:
+        return (self.response_time_total / self.committed
+                if self.committed else 0.0)
+
+    def rejected_fraction(self) -> float:
+        """Fraction of proactively rejected transactions (the SLA metric)."""
+        total = self.total_finished
+        return self.rejected / total if total else 0.0
+
+
+class TimeSeries:
+    """Events bucketed into fixed windows of simulated time."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        self.window = window
+        self._buckets: Dict[int, float] = {}
+
+    def add(self, when: float, amount: float = 1.0) -> None:
+        self._buckets[int(when // self.window)] = (
+            self._buckets.get(int(when // self.window), 0.0) + amount
+        )
+
+    def series(self, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """(window start time, total) pairs, gaps filled with zero."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        if until is not None:
+            last = max(last, int(until // self.window))
+        return [
+            (bucket * self.window, self._buckets.get(bucket, 0.0))
+            for bucket in range(0, last + 1)
+        ]
+
+    def rate_series(self, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Like :meth:`series` but values divided by the window length."""
+        return [(t, v / self.window) for t, v in self.series(until)]
+
+
+class MetricsCollector:
+    """Cluster-wide metrics: per-database counters plus time series."""
+
+    def __init__(self, window: float = 10.0):
+        self.per_db: Dict[str, DbCounters] = {}
+        self.commits_over_time = TimeSeries(window)
+        self.rejections_over_time = TimeSeries(window)
+        self.deadlocks_over_time = TimeSeries(window)
+
+    def db(self, name: str) -> DbCounters:
+        if name not in self.per_db:
+            self.per_db[name] = DbCounters()
+        return self.per_db[name]
+
+    def record_commit(self, db: str, when: float,
+                      response_time: float = 0.0) -> None:
+        counters = self.db(db)
+        counters.committed += 1
+        counters.response_time_total += response_time
+        self.commits_over_time.add(when)
+
+    def record_deadlock(self, db: str, when: float) -> None:
+        self.db(db).deadlocks += 1
+        self.deadlocks_over_time.add(when)
+
+    def record_rejection(self, db: str, when: float) -> None:
+        self.db(db).rejected += 1
+        self.rejections_over_time.add(when)
+
+    def record_other_abort(self, db: str) -> None:
+        self.db(db).other_aborts += 1
+
+    # -- aggregates -----------------------------------------------------------
+
+    def total_committed(self) -> int:
+        return sum(c.committed for c in self.per_db.values())
+
+    def total_rejected(self) -> int:
+        return sum(c.rejected for c in self.per_db.values())
+
+    def total_deadlocks(self) -> int:
+        return sum(c.deadlocks for c in self.per_db.values())
+
+    def throughput(self, elapsed: float) -> float:
+        """Committed transactions per second over ``elapsed`` sim-seconds."""
+        return self.total_committed() / elapsed if elapsed > 0 else 0.0
+
+    def deadlock_rate(self, elapsed: float) -> float:
+        return self.total_deadlocks() / elapsed if elapsed > 0 else 0.0

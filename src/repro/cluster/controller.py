@@ -1,0 +1,559 @@
+"""The cluster controller (Sections 2, 3.1, 3.2).
+
+The controller owns every client connection, the database→machine replica
+map, and the two-phase-commit coordinator. Data flow for one statement:
+
+* **read** — routed to one live replica according to the configured
+  :class:`ReadOption`; retried on another replica if the machine fails
+  mid-operation (connections survive machine failures).
+* **write** — gated by Algorithm 1 when the database is being re-replicated
+  (reject writes to the table currently being copied; include the copy
+  target for tables already copied), then fanned out to every live
+  replica. The configured :class:`WritePolicy` decides whether the client
+  resumes after the first replica acknowledges (*aggressive*) or after all
+  do (*conservative*).
+* **commit** — read-only transactions just release locks; transactions
+  with writes run 2PC across every machine that executed a write, with
+  the decision mirrored to the process-pair backup before COMMIT messages
+  go out.
+
+Failure handling: a failed machine is removed from the replica map, every
+in-flight operation on it errors, affected transactions continue on the
+surviving replicas, and the recovery manager re-replicates the lost
+databases in the background.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.history import GlobalHistory
+from repro.analysis.metrics import MetricsCollector
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Machine
+from repro.cluster.replica_map import ReplicaMap
+from repro.cluster.routing import ReadOption, ReadRouter, WritePolicy
+from repro.engine.schema import DatabaseSchema
+from repro.engine.sqlparse import nodes as n
+from repro.engine.sqlparse.parser import parse
+from repro.errors import (DeadlockError, LockTimeoutError, MachineFailedError,
+                          NoReplicaError, PlatformError,
+                          ProactiveRejectionError, TransactionError)
+from repro.sim import Process, Simulator
+
+
+class TransactionAborted(PlatformError):
+    """Raised to the client when its transaction had to be rolled back."""
+
+    def __init__(self, reason: str, cause: Optional[BaseException] = None):
+        super().__init__(reason)
+        self.cause = cause
+
+
+@dataclass
+class _TxnState:
+    """Controller-side state of one open transaction."""
+
+    txn_id: int
+    db: str
+    started_at: float
+    touched: Set[str] = field(default_factory=set)       # machines with locks
+    write_participants: Set[str] = field(default_factory=set)
+    wrote: bool = False
+    poisoned: Optional[BaseException] = None             # deferred failure
+    finished: bool = False
+    # Write statements in issue order, for async cross-colo shipping.
+    write_log: List[Tuple[str, Tuple[Any, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class CopyState:
+    """Algorithm 1 bookkeeping for one database being re-replicated."""
+
+    db: str
+    target: str
+    copying_table: Optional[str] = None
+    copied_tables: Set[str] = field(default_factory=set)
+    # Database-granularity copy: every table counts as "being copied".
+    copying_all: bool = False
+
+
+class Connection:
+    """A client database connection, as handed out by ``connect()``.
+
+    All methods return sim :class:`Process` objects; a client process
+    ``yield``s them. The connection is a single session: one transaction
+    open at a time, statements issued sequentially.
+    """
+
+    def __init__(self, controller: "ClusterController", db: str):
+        self.controller = controller
+        self.db = db
+        self.txn: Optional[_TxnState] = None
+        self.closed = False
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Process:
+        """Run one SQL statement inside the connection's transaction."""
+        return self.controller.sim.process(
+            self.controller._execute(self, sql, tuple(params)),
+            name=f"conn:{self.db}:exec")
+
+    def commit(self) -> Process:
+        return self.controller.sim.process(
+            self.controller._commit(self), name=f"conn:{self.db}:commit")
+
+    def rollback(self) -> Process:
+        return self.controller.sim.process(
+            self.controller._rollback(self), name=f"conn:{self.db}:rollback")
+
+    def close(self) -> None:
+        if self.txn is not None and not self.txn.finished:
+            self.controller._abort_everywhere(self, self.txn)
+        self.closed = True
+
+
+class ClusterController:
+    """Fault-tolerant coordinator of one machine cluster."""
+
+    def __init__(self, sim: Simulator, config: Optional[ClusterConfig] = None,
+                 name: str = "cluster"):
+        self.sim = sim
+        self.config = config or ClusterConfig()
+        self.name = name
+        self.machines: Dict[str, Machine] = {}
+        self.replica_map = ReplicaMap()
+        self.router = ReadRouter(self.config.read_option)
+        self.metrics = MetricsCollector()
+        self.history: Optional[GlobalHistory] = (
+            GlobalHistory() if self.config.record_history else None)
+        self.copy_states: Dict[str, CopyState] = {}
+        self.recovery = None          # attached by RecoveryManager
+        self.backup = None            # attached by ProcessPair
+        self._txn_ids = itertools.count(1)
+        self._stmt_cache: Dict[str, Tuple[str, Optional[str]]] = {}
+        self.schemas: Dict[str, DatabaseSchema] = {}
+        self.ddl: Dict[str, List[str]] = {}
+        # Called with (db, txn_id, write_log) after each successful commit
+        # of a writing transaction; the platform layer uses this to ship
+        # writes asynchronously to the disaster-recovery colo.
+        self.commit_hooks: List = []
+        # Called with no arguments when recovery cannot find a target
+        # machine; should return a fresh Machine (from the colo free
+        # pool) or None.
+        self.free_machine_hook = None
+
+    # -- cluster membership ----------------------------------------------------
+
+    def add_machine(self, name: Optional[str] = None) -> Machine:
+        name = name or f"{self.name}-m{len(self.machines) + 1}"
+        if name in self.machines:
+            raise ValueError(f"machine {name!r} already in cluster")
+        site_history = self.history.site(name) if self.history else None
+        machine = Machine(self.sim, name, self.config.machine,
+                          history=site_history)
+        self.machines[name] = machine
+        return machine
+
+    def add_machines(self, count: int) -> List[Machine]:
+        return [self.add_machine() for _ in range(count)]
+
+    def live_machines(self) -> List[Machine]:
+        return [m for m in self.machines.values() if m.alive]
+
+    def live_replicas(self, db: str) -> List[str]:
+        return [name for name in self.replica_map.replicas(db)
+                if name in self.machines and self.machines[name].alive]
+
+    # -- database lifecycle -------------------------------------------------------
+
+    def create_database(self, db: str, ddl: Sequence[str],
+                        machines: Optional[Sequence[str]] = None,
+                        replicas: Optional[int] = None) -> None:
+        """Create a database on ``replicas`` machines and run its DDL.
+
+        Setup-phase API: executes instantly (no simulated time), as does
+        :meth:`bulk_load`. Placement defaults to the least-loaded live
+        machines; the SLA-driven path in :mod:`repro.platform` chooses
+        machines explicitly.
+        """
+        if machines is None:
+            count = replicas or self.config.replication_factor
+            # Spread primaries (the first replica serves all Option-1
+            # reads) as well as total replica counts, so read load is
+            # balanced across the cluster under every read option.
+            primary_counts = {name: 0 for name in self.machines}
+            hosted_counts = {name: 0 for name in self.machines}
+            for db_name in self.replica_map.databases():
+                existing = self.replica_map.replicas(db_name)
+                if existing:
+                    primary_counts[existing[0]] = (
+                        primary_counts.get(existing[0], 0) + 1)
+                for replica in existing:
+                    hosted_counts[replica] = hosted_counts.get(replica, 0) + 1
+            live = self.live_machines()
+            if len(live) < count:
+                raise NoReplicaError(
+                    f"need {count} machines, have {len(live)}")
+            primary = min(live, key=lambda m: (primary_counts[m.name],
+                                               hosted_counts[m.name]))
+            rest = sorted((m for m in live if m.name != primary.name),
+                          key=lambda m: (hosted_counts[m.name],
+                                         primary_counts[m.name]))
+            machines = [primary.name] + [m.name for m in rest[:count - 1]]
+        for name in machines:
+            engine = self.machines[name].engine
+            engine.create_database(db)
+            setup_txn = engine.begin()
+            for statement in ddl:
+                engine.execute_sync(setup_txn, db, statement)
+            engine.commit(setup_txn)
+        self.replica_map.add_database(db, list(machines))
+        self.schemas[db] = self.machines[machines[0]].engine.database(db).schema
+        self.ddl[db] = list(ddl)
+
+    def bulk_load(self, db: str, table: str, rows: Sequence[Sequence[Any]]) -> None:
+        """Load identical rows into every replica (setup phase)."""
+        for name in self.replica_map.replicas(db):
+            self.machines[name].engine.load_table_rows(db, table,
+                                                       [tuple(r) for r in rows])
+
+    def connect(self, db: str) -> Connection:
+        self.replica_map.replicas(db)  # raises if unknown
+        return Connection(self, db)
+
+    # -- statement classification ----------------------------------------------------
+
+    def _classify(self, sql: str) -> Tuple[str, Optional[str]]:
+        """("read"|"write", target table for writes)."""
+        if sql not in self._stmt_cache:
+            stmt = parse(sql)
+            if isinstance(stmt, n.Select):
+                if stmt.for_update:
+                    # A locking read must hold its X locks on every
+                    # replica (ROWA treats it as a write); it modifies
+                    # nothing, so Algorithm 1 never needs to reject it
+                    # (table=None).
+                    self._stmt_cache[sql] = ("write", None)
+                else:
+                    self._stmt_cache[sql] = ("read", None)
+            elif isinstance(stmt, (n.Insert, n.Update, n.Delete)):
+                self._stmt_cache[sql] = ("write", stmt.table)
+            else:
+                self._stmt_cache[sql] = ("write", None)  # DDL: treat as write
+        return self._stmt_cache[sql]
+
+    # -- transaction plumbing -----------------------------------------------------------
+
+    def _ensure_txn(self, conn: Connection) -> _TxnState:
+        if conn.txn is None or conn.txn.finished:
+            conn.txn = _TxnState(next(self._txn_ids), conn.db, self.sim.now)
+        return conn.txn
+
+    def _finish(self, conn: Connection, txn: _TxnState) -> None:
+        txn.finished = True
+        self.router.forget(txn.txn_id)
+        conn.txn = None
+
+    def _abort_everywhere(self, conn: Connection, txn: _TxnState) -> None:
+        """Immediately roll the transaction back on every touched machine."""
+        for name in txn.touched:
+            machine = self.machines.get(name)
+            if machine is not None:
+                machine.abort_local(txn.txn_id)
+        self._finish(conn, txn)
+
+    def _record_failure(self, txn: _TxnState, exc: BaseException) -> None:
+        if isinstance(exc, (DeadlockError, LockTimeoutError)):
+            self.metrics.record_deadlock(txn.db, self.sim.now)
+        elif isinstance(exc, (ProactiveRejectionError, MachineFailedError,
+                              NoReplicaError)):
+            self.metrics.record_rejection(txn.db, self.sim.now)
+        else:
+            self.metrics.record_other_abort(txn.db)
+
+    # -- statement execution -----------------------------------------------------------
+
+    def _execute(self, conn: Connection, sql: str,
+                 params: Tuple[Any, ...]) -> Generator:
+        if conn.closed:
+            raise TransactionError("connection is closed")
+        txn = self._ensure_txn(conn)
+        if txn.poisoned is not None:
+            exc = txn.poisoned
+            self._abort_everywhere(conn, txn)
+            self._record_failure(txn, exc)
+            raise TransactionAborted(
+                f"transaction aborted: deferred write failure ({exc})",
+                cause=exc)
+        kind, table = self._classify(sql)
+        try:
+            if kind == "read":
+                result = yield from self._execute_read(conn, txn, sql, params)
+            else:
+                result = yield from self._execute_write(conn, txn, sql,
+                                                        params, table)
+        except (DeadlockError, LockTimeoutError, ProactiveRejectionError,
+                NoReplicaError, MachineFailedError) as exc:
+            self._abort_everywhere(conn, txn)
+            self._record_failure(txn, exc)
+            raise TransactionAborted(str(exc), cause=exc) from exc
+        return result
+
+    def _execute_read(self, conn: Connection, txn: _TxnState, sql: str,
+                      params: Tuple[Any, ...]) -> Generator:
+        attempts = 0
+        while True:
+            replicas = self.live_replicas(conn.db)
+            if not replicas:
+                raise NoReplicaError(f"no live replica of {conn.db!r}")
+            choice = self.router.choose(txn.txn_id, replicas)
+            machine = self.machines[choice]
+            proc = machine.submit(
+                txn.txn_id,
+                machine.statement_body(txn.txn_id, conn.db, sql, params,
+                                       self.config.lock_wait_timeout_s),
+                label=f"r:{sql[:24]}")
+            txn.touched.add(choice)
+            try:
+                result = yield proc
+                return result
+            except MachineFailedError:
+                attempts += 1
+                if attempts > len(self.machines):
+                    raise
+                # Retry the read on another live replica.
+                continue
+
+    def _write_targets(self, db: str, table: Optional[str]) -> List[str]:
+        """Live targets for one write, applying Algorithm 1."""
+        replicas = self.live_replicas(db)
+        if not replicas:
+            raise NoReplicaError(f"no live replica of {db!r}")
+        state = self.copy_states.get(db)
+        if state is None or table is None:
+            return replicas
+        if state.copying_all or table == state.copying_table:
+            raise ProactiveRejectionError(
+                f"write to {db}.{table} rejected: table is being copied")
+        if table in state.copied_tables:
+            target_machine = self.machines.get(state.target)
+            if target_machine is not None and target_machine.alive:
+                return replicas + [state.target]
+        return replicas
+
+    def _execute_write(self, conn: Connection, txn: _TxnState, sql: str,
+                       params: Tuple[Any, ...],
+                       table: Optional[str]) -> Generator:
+        targets = self._write_targets(conn.db, table)
+        procs: List[Process] = []
+        for name in targets:
+            machine = self.machines[name]
+            proc = machine.submit(
+                txn.txn_id,
+                machine.statement_body(txn.txn_id, conn.db, sql, params,
+                                       self.config.lock_wait_timeout_s),
+                label=f"w:{sql[:24]}")
+            # The controller observes every write outcome itself (below or
+            # in _watch_writes); pre-defuse so an early failure on one
+            # replica cannot crash the kernel before we reach its yield.
+            proc.defused = True
+            procs.append(proc)
+            txn.touched.add(name)
+            txn.write_participants.add(name)
+        txn.wrote = True
+        txn.write_log.append((sql, params))
+        if self.config.write_policy is WritePolicy.CONSERVATIVE:
+            result = yield from self._await_all_writes(txn, procs)
+        else:
+            result = yield from self._await_first_write(txn, procs)
+        return result
+
+    def _await_all_writes(self, txn: _TxnState,
+                          procs: List[Process]) -> Generator:
+        """Conservative policy: every replica must finish the write."""
+        result = None
+        failure: Optional[BaseException] = None
+        for proc in procs:
+            try:
+                result = yield proc
+            except MachineFailedError:
+                continue  # replica lost; survivors carry the write
+            except (DeadlockError, LockTimeoutError) as exc:
+                failure = exc
+        if failure is not None:
+            raise failure
+        if result is None:
+            raise NoReplicaError(f"all replicas of {txn.db!r} failed mid-write")
+        return result
+
+    def _await_first_write(self, txn: _TxnState,
+                           procs: List[Process]) -> Generator:
+        """Aggressive policy: return on the first acknowledgement.
+
+        Remaining replicas are watched in the background; a failure there
+        poisons the transaction so its next operation aborts (the paper's
+        description of the aggressive controller).
+        """
+        pending = list(procs)
+        result = None
+        while pending and result is None:
+            # Wait until at least one write settles, success or failure
+            # (AnyOf over the raw processes would fail fast and lose the
+            # distinction between a dead replica and a real error).
+            settled = []
+            for proc in pending:
+                ev = self.sim.event()
+                proc.add_callback(lambda p, e=ev: e.succeed(p))
+                settled.append(ev)
+            yield self.sim.any_of(settled)
+            still_pending = []
+            failure: Optional[BaseException] = None
+            for proc in pending:
+                if not proc.processed:
+                    still_pending.append(proc)
+                    continue
+                if proc.ok:
+                    if result is None:
+                        result = proc.value
+                elif isinstance(proc.value, MachineFailedError):
+                    continue
+                else:
+                    failure = proc.value
+            if failure is not None and result is None:
+                raise failure
+            pending = still_pending
+        if result is None:
+            raise NoReplicaError(f"all replicas of {txn.db!r} failed mid-write")
+        if pending:
+            self.sim.process(self._watch_writes(txn, pending),
+                             name=f"watch:{txn.txn_id}")
+        return result
+
+    def _watch_writes(self, txn: _TxnState,
+                      pending: List[Process]) -> Generator:
+        for proc in pending:
+            try:
+                yield proc
+            except MachineFailedError:
+                continue
+            except (DeadlockError, LockTimeoutError) as exc:
+                if not txn.finished and txn.poisoned is None:
+                    txn.poisoned = exc
+            except Exception as exc:  # replica divergence and the like
+                if not txn.finished and txn.poisoned is None:
+                    txn.poisoned = exc
+
+    # -- commit / rollback (the 2PC coordinator) ------------------------------------------
+
+    def _commit(self, conn: Connection) -> Generator:
+        if conn.txn is None or conn.txn.finished:
+            return None  # nothing to do
+        txn = conn.txn
+        if txn.poisoned is not None:
+            exc = txn.poisoned
+            self._abort_everywhere(conn, txn)
+            self._record_failure(txn, exc)
+            raise TransactionAborted(
+                f"commit refused: deferred write failure ({exc})", cause=exc)
+
+        if not txn.wrote:
+            # Read-only: release locks everywhere, no 2PC (paper: the
+            # controller invokes 2PC only when the transaction wrote).
+            for name in sorted(txn.touched):
+                machine = self.machines.get(name)
+                if machine is None or not machine.alive:
+                    continue
+                try:
+                    yield machine.submit(txn.txn_id,
+                                         machine.commit_body(txn.txn_id),
+                                         label="commit-ro")
+                except MachineFailedError:
+                    continue
+            self.metrics.record_commit(txn.db, self.sim.now,
+                                       self.sim.now - txn.started_at)
+            self._finish(conn, txn)
+            return True
+
+        # Phase 1: PREPARE on every write participant.
+        participants = sorted(txn.write_participants)
+        prepared: List[str] = []
+        failure: Optional[BaseException] = None
+        for name in participants:
+            machine = self.machines.get(name)
+            if machine is None or not machine.alive:
+                continue
+            try:
+                yield machine.submit(txn.txn_id,
+                                     machine.prepare_body(txn.txn_id),
+                                     label="prepare")
+                prepared.append(name)
+            except MachineFailedError:
+                continue
+            except Exception as exc:
+                failure = exc
+                break
+        if failure is not None or not prepared:
+            exc = failure or NoReplicaError(
+                f"no surviving write participant for {txn.db!r}")
+            self._abort_everywhere(conn, txn)
+            self._record_failure(txn, exc)
+            raise TransactionAborted(f"2PC prepare failed: {exc}", cause=exc)
+
+        # Decision point: mirror to the process-pair backup before any
+        # COMMIT message leaves the controller.
+        if self.backup is not None:
+            self.backup.log_decision(txn.txn_id, "commit",
+                                     sorted(set(prepared) | txn.touched))
+
+        # Phase 2: COMMIT on all touched machines (read locks too).
+        for name in sorted(txn.touched):
+            machine = self.machines.get(name)
+            if machine is None or not machine.alive:
+                continue
+            try:
+                yield machine.submit(txn.txn_id,
+                                     machine.commit_body(txn.txn_id),
+                                     label="commit")
+            except MachineFailedError:
+                continue
+        if self.backup is not None:
+            self.backup.clear_decision(txn.txn_id)
+        self.metrics.record_commit(txn.db, self.sim.now,
+                                   self.sim.now - txn.started_at)
+        for hook in self.commit_hooks:
+            hook(txn.db, txn.txn_id, list(txn.write_log))
+        self._finish(conn, txn)
+        return True
+
+    def _rollback(self, conn: Connection) -> Generator:
+        if conn.txn is None or conn.txn.finished:
+            return None
+        txn = conn.txn
+        self._abort_everywhere(conn, txn)
+        self.metrics.record_other_abort(txn.db)
+        return True
+        yield  # pragma: no cover - generator marker
+
+    # -- machine failure handling (Section 3.2) ------------------------------------------
+
+    def fail_machine(self, name: str) -> List[str]:
+        """Fail a machine; returns the databases that lost a replica.
+
+        In-flight operations error out; client connections stay usable.
+        If a recovery manager is attached, re-replication of the affected
+        databases starts in the background.
+        """
+        machine = self.machines.get(name)
+        if machine is None:
+            raise ValueError(f"unknown machine {name!r}")
+        machine.fail()
+        affected = self.replica_map.remove_machine(name)
+        # Abandon copy targets that lived on the failed machine.
+        for db, state in list(self.copy_states.items()):
+            if state.target == name:
+                del self.copy_states[db]
+        if self.recovery is not None:
+            self.recovery.schedule_databases(affected)
+        return affected

@@ -1,0 +1,296 @@
+"""A simulated cluster machine hosting one MiniSQL engine.
+
+The machine converts engine cost reports into simulated time on its CPU
+and disk resources, enforces per-transaction FIFO ordering of operations
+(a statement sent to this machine for transaction T executes after every
+earlier operation of T here — the property the paper's anomaly example
+relies on), applies the cluster's lock-wait timeout, and models failure:
+``fail()`` kills the engine and interrupts everything in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Sequence
+
+from repro.cluster.config import MachineConfig
+from repro.engine import Engine
+from repro.engine.dump import dump_database, dump_table
+from repro.engine.executor import ExecResult
+from repro.engine.transactions import Transaction, TxnState
+from repro.errors import (DeadlockError, LockTimeoutError,
+                          MachineFailedError, TransactionError)
+from repro.sim import Interrupt, Process, Resource, Simulator
+
+
+class Machine:
+    """One commodity machine: engine + CPU + disk + failure state."""
+
+    def __init__(self, sim: Simulator, name: str, config: MachineConfig,
+                 history=None):
+        self.sim = sim
+        self.name = name
+        self.config = config
+        self.cpu = Resource(sim, capacity=config.cores)
+        self.disk = Resource(sim, capacity=config.disks)
+        self.engine = Engine(name, config.engine, history=history)
+        self.alive = True
+        self.failed_at: Optional[float] = None
+        # Tail process of each transaction's FIFO op chain on this machine.
+        self._tails: Dict[int, Process] = {}
+        self._active: set = set()
+
+    # -- capacity (SLA dimensions) -------------------------------------------
+
+    def capacity_vector(self):
+        from repro.sla.model import ResourceVector
+        return ResourceVector(
+            cpu=float(self.config.cores),
+            memory_mb=self.config.memory_mb,
+            disk_io_mbps=self.config.disk_bandwidth_mbps,
+            disk_mb=self.config.disk_mb,
+        )
+
+    # -- failure ---------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Power off: lose the engine, kill everything in flight."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.failed_at = self.sim.now
+        for proc in list(self._active):
+            proc.interrupt(MachineFailedError(self.name))
+        self._active.clear()
+        self._tails.clear()
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise MachineFailedError(self.name)
+
+    # -- op submission (FIFO per transaction) -----------------------------------
+
+    def submit(self, txn_id: int, body: Generator, label: str = "") -> Process:
+        """Queue ``body`` behind the transaction's earlier ops here."""
+        prev = self._tails.get(txn_id)
+        proc = self.sim.process(self._chained(prev, body),
+                                name=f"{self.name}:{label or txn_id}")
+        self._tails[txn_id] = proc
+        self._active.add(proc)
+        proc.add_callback(lambda _e: self._active.discard(proc))
+        return proc
+
+    def _chained(self, prev: Optional[Process], body: Generator) -> Generator:
+        if prev is not None and prev.is_alive:
+            try:
+                yield prev
+            except Exception:
+                pass  # ordering only; the earlier op's error was handled
+        result = yield from body
+        return result
+
+    def forget_txn(self, txn_id: int) -> None:
+        self._tails.pop(txn_id, None)
+
+    # -- engine operations ----------------------------------------------------------
+
+    def _engine_txn(self, txn_id: int) -> Transaction:
+        """The local branch of a global transaction, started on demand.
+
+        A *finished* branch means an earlier statement of this
+        transaction deadlocked or timed out here and rolled the branch
+        back (the InnoDB rule: a deadlock rolls back the whole
+        transaction, not just the statement). Any later operation for the
+        same transaction must fail rather than silently open a fresh
+        branch — that is what keeps a diverged replica from preparing.
+        """
+        txn = self.engine.transactions.get(txn_id)
+        if txn is None:
+            return self.engine.begin(txn_id)
+        if txn.finished:
+            raise DeadlockError(
+                f"txn {txn_id} was already rolled back on {self.name}")
+        return txn
+
+    def statement_body(self, txn_id: int, db: str, sql: str,
+                       params: Sequence[Any],
+                       lock_timeout: float) -> Generator:
+        """Execute one statement; the generator is a sim process body.
+
+        A deadlock or lock-wait timeout rolls back the transaction's
+        local branch immediately (releasing its locks and cancelling its
+        queued request) before the error propagates to the controller.
+        """
+        self._check_alive()
+        txn = self._engine_txn(txn_id)
+        gen = self.engine.execute(txn, db, sql, params)
+        try:
+            while True:
+                try:
+                    request = next(gen)
+                except StopIteration as stop:
+                    result: ExecResult = stop.value
+                    break
+                if request.granted:
+                    continue  # granted before we could subscribe
+                granted = self.sim.event()
+
+                def on_grant(req, ev=granted):
+                    if not ev.triggered:
+                        ev.succeed(req)
+
+                def on_fail(req, ev=granted):
+                    if not ev.triggered:
+                        ev.fail(req.error or RuntimeError("lock failed"))
+
+                request.on_grant.append(on_grant)
+                request.on_fail.append(on_fail)
+                timeout = self.sim.timeout(lock_timeout)
+                yield self.sim.any_of([granted, timeout])
+                if not granted.triggered:
+                    # Lock wait timed out: distributed-deadlock safety valve.
+                    gen.close()
+                    raise LockTimeoutError(
+                        f"txn {txn_id} timed out after {lock_timeout}s "
+                        f"waiting for {request.resource} on {self.name}"
+                    )
+                if not granted.ok:
+                    gen.close()
+                    raise granted.value
+                if txn.finished:
+                    # The controller rolled the branch back while we were
+                    # waiting and the grant raced the abort: stop before
+                    # the statement mutates anything under a dead branch.
+                    gen.close()
+                    raise DeadlockError(
+                        f"txn {txn_id} rolled back on {self.name} during "
+                        f"a lock wait")
+            yield from self._charge(result)
+        except Interrupt as exc:
+            gen.close()
+            raise MachineFailedError(self.name) from exc
+        except (DeadlockError, LockTimeoutError):
+            # Roll back the local branch right away: releases its locks
+            # (waking waiters) and cancels any queued lock request, so a
+            # later PREPARE here fails instead of committing a branch
+            # that is missing this statement.
+            if self.alive and not txn.finished:
+                self.engine.abort(txn)
+            raise
+        self._check_alive()
+        return result
+
+    def _charge(self, result: ExecResult) -> Generator:
+        """Hold CPU/disk for the simulated duration of a statement."""
+        cfg = self.config.engine
+        cost = result.cost
+        cpu_s = (cfg.cpu_cost_per_statement_us
+                 + cost.rows_scanned * cfg.cpu_cost_per_row_us
+                 + cost.cache_hits * cfg.page_hit_us) / 1e6
+        yield from self.cpu.use(cpu_s)
+        if cost.cache_misses:
+            disk_s = cost.cache_misses * cfg.page_miss_ms / 1e3
+            yield from self.disk.use(disk_s)
+
+    def prepare_body(self, txn_id: int) -> Generator:
+        self._check_alive()
+        txn = self.engine.transactions.get(txn_id)
+        if txn is None or txn.finished:
+            # The branch was rolled back (deadlock/timeout) or never
+            # started here; the coordinator must abort the transaction.
+            raise TransactionError(
+                f"cannot prepare txn {txn_id} on {self.name}: "
+                f"branch is not active")
+        self.engine.prepare(txn)
+        yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)
+        self._check_alive()
+        return True
+
+    def commit_body(self, txn_id: int) -> Generator:
+        self._check_alive()
+        txn = self.engine.transactions.get(txn_id)
+        if txn is None or txn.finished:
+            return True
+        self.engine.commit(txn)
+        yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)
+        self.forget_txn(txn_id)
+        return True
+
+    def abort_body(self, txn_id: int) -> Generator:
+        if not self.alive:
+            return True
+        txn = self.engine.transactions.get(txn_id)
+        if txn is not None and not txn.finished:
+            self.engine.abort(txn)
+        self.forget_txn(txn_id)
+        return True
+        yield  # pragma: no cover - generator marker
+
+    def abort_local(self, txn_id: int) -> None:
+        """Immediate, non-simulated abort (controller cleanup path)."""
+        if not self.alive:
+            return
+        txn = self.engine.transactions.get(txn_id)
+        if txn is not None and not txn.finished:
+            self.engine.abort(txn)
+        self.forget_txn(txn_id)
+
+    # -- copy tool (recovery) -----------------------------------------------------
+
+    def dump_table_body(self, db: str, table: str) -> Generator:
+        """Run the copy tool for one table, charging disk read time."""
+        self._check_alive()
+        gen = dump_table(self.engine, db, table)
+        dump = yield from self._drive_dump(gen)
+        yield from self._charge_copy_io(dump.bytes_estimate)
+        return dump
+
+    def dump_database_body(self, db: str) -> Generator:
+        self._check_alive()
+        gen = dump_database(self.engine, db)
+        dumps = yield from self._drive_dump(gen)
+        yield from self._charge_copy_io(sum(d.bytes_estimate for d in dumps))
+        return dumps
+
+    def _drive_dump(self, gen: Generator) -> Generator:
+        """Drive a dump generator; dump lock waits have no timeout."""
+        try:
+            while True:
+                try:
+                    request = next(gen)
+                except StopIteration as stop:
+                    return stop.value
+                granted = self.sim.event()
+                request.on_grant.append(
+                    lambda req, ev=granted: ev.triggered or ev.succeed(req))
+                request.on_fail.append(
+                    lambda req, ev=granted: ev.triggered or ev.fail(
+                        req.error or RuntimeError("lock failed")))
+                yield granted
+        except Interrupt as exc:
+            gen.close()
+            raise MachineFailedError(self.name) from exc
+
+    def _charge_copy_io(self, nbytes: int) -> Generator:
+        """Charge copy I/O in chunks so foreground work can interleave.
+
+        A real dump streams the table; holding the disk resource for the
+        whole copy would starve every co-tenant's reads, which is not how
+        shared disks behave.
+        """
+        scaled = nbytes * self.config.copy_bytes_factor
+        seconds = (scaled / (1024.0 * 1024.0)) / self.config.disk_bandwidth_mbps
+        if seconds <= 0:
+            return
+        chunks = max(1, min(200, int(seconds / 0.05)))
+        per_chunk = seconds / chunks
+        for _ in range(chunks):
+            yield from self.disk.use(per_chunk)
+
+    def load_rows_body(self, db: str, table: str, rows) -> Generator:
+        """Bulk-load copied rows on the destination machine."""
+        self._check_alive()
+        self.engine.load_table_rows(db, table, rows)
+        nbytes = self.engine.database(db).table(table).estimated_bytes()
+        yield from self._charge_copy_io(nbytes)
+        self._check_alive()
+        return True

@@ -1,0 +1,201 @@
+"""Planned replica migration — the SLA model's "reallocation rate".
+
+Section 4.1 counts, besides failures, "the number of times a replica of
+database j is moved from one machine to another during time period T due
+to system maintenance and reorganization". This module implements those
+planned moves with exactly the machinery Algorithm 1 provides for
+recovery copies: the same per-table copy pipeline, the same write
+rejection window, the same consistency argument — because a migration
+*is* a replica creation followed by retiring the old replica.
+
+:class:`MigrationManager` offers one-shot ``migrate_replica`` plus a
+simple ``rebalance_once`` policy (move a replica off the most-loaded
+machine), the paper's "database placement and migration within a cluster
+so that the SLAs ... are satisfied".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from repro.cluster.controller import ClusterController, CopyState
+from repro.cluster.recovery import CopyGranularity
+from repro.errors import NoReplicaError, PlatformError
+from repro.sim import Process
+
+
+class MigrationError(PlatformError):
+    """The requested migration is not possible."""
+
+
+@dataclass
+class MigrationRecord:
+    """One completed replica move."""
+
+    db: str
+    source: str
+    target: str
+    started_at: float
+    finished_at: float
+    bytes_copied: int
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class MigrationManager:
+    """Moves database replicas between machines under live traffic."""
+
+    def __init__(self, controller: ClusterController,
+                 granularity: CopyGranularity = CopyGranularity.TABLE,
+                 drop_grace_s: float = 10.0):
+        self.controller = controller
+        self.sim = controller.sim
+        self.granularity = granularity
+        # How long the retired replica's data lingers before being
+        # dropped (lets transactions that still hold locks there finish).
+        self.drop_grace_s = drop_grace_s
+        self.records: List[MigrationRecord] = []
+
+    # -- public API ------------------------------------------------------------
+
+    def migrate_replica(self, db: str, source: str,
+                        target: str) -> Process:
+        """Start moving ``db``'s replica from ``source`` to ``target``.
+
+        Returns the sim process; its value is the
+        :class:`MigrationRecord`. Raises :class:`MigrationError`
+        synchronously on invalid arguments.
+        """
+        self._validate(db, source, target)
+        return self.sim.process(self._migrate(db, source, target),
+                                name=f"migrate:{db}:{source}->{target}")
+
+    def rebalance_once(self) -> Optional[Process]:
+        """Move one replica from the most- to the least-loaded machine.
+
+        Load is the hosted-replica count (the paper's coarse-grained
+        "observation and appropriate reaction"). Returns None when the
+        cluster is already balanced (spread <= 1).
+        """
+        machines = self.controller.live_machines()
+        if len(machines) < 2:
+            return None
+        loads = sorted(
+            machines,
+            key=lambda m: len(self.controller.replica_map.hosted_on(m.name)))
+        least, most = loads[0], loads[-1]
+        most_load = len(self.controller.replica_map.hosted_on(most.name))
+        least_load = len(self.controller.replica_map.hosted_on(least.name))
+        if most_load - least_load <= 1:
+            return None
+        for db in self.controller.replica_map.hosted_on(most.name):
+            try:
+                self._validate(db, most.name, least.name)
+            except MigrationError:
+                continue
+            return self.migrate_replica(db, most.name, least.name)
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _validate(self, db: str, source: str, target: str) -> None:
+        controller = self.controller
+        if db in controller.copy_states:
+            raise MigrationError(f"{db!r} is already being copied")
+        replicas = controller.replica_map.replicas(db)
+        if source not in replicas:
+            raise MigrationError(f"{source!r} does not host {db!r}")
+        if target in replicas:
+            raise MigrationError(f"{target!r} already hosts {db!r}")
+        for name in (source, target):
+            machine = controller.machines.get(name)
+            if machine is None or not machine.alive:
+                raise MigrationError(f"machine {name!r} is not alive")
+        if controller.machines[target].engine.hosts(db):
+            raise MigrationError(f"{target!r} still has old data for {db!r}")
+
+    def _migrate(self, db: str, source_name: str,
+                 target_name: str) -> Generator:
+        controller = self.controller
+        source = controller.machines[source_name]
+        target = controller.machines[target_name]
+        started = self.sim.now
+
+        # Phase 1: build the new replica (identical to recovery's copy).
+        target.engine.create_database(db)
+        setup = target.engine.begin()
+        for statement in controller.ddl[db]:
+            target.engine.execute_sync(setup, db, statement)
+        target.engine.commit(setup)
+
+        state = CopyState(db, target_name)
+        controller.copy_states[db] = state
+        total = 0
+        try:
+            if self.granularity is CopyGranularity.DATABASE:
+                state.copying_all = True
+                dumps = yield self.sim.process(
+                    source.dump_database_body(db), name=f"mdump:{db}")
+                for dump in dumps:
+                    yield from self._transfer(dump.bytes_estimate)
+                    yield self.sim.process(
+                        target.load_rows_body(db, dump.table, dump.rows),
+                        name=f"mload:{db}.{dump.table}")
+                    total += dump.bytes_estimate
+                for dump in dumps:
+                    state.copied_tables.add(dump.table)
+                state.copying_all = False
+            else:
+                for table_name in sorted(source.engine.database(db).tables):
+                    state.copying_table = table_name
+                    dump = yield self.sim.process(
+                        source.dump_table_body(db, table_name),
+                        name=f"mdump:{db}.{table_name}")
+                    yield from self._transfer(dump.bytes_estimate)
+                    yield self.sim.process(
+                        target.load_rows_body(db, table_name, dump.rows),
+                        name=f"mload:{db}.{table_name}")
+                    state.copying_table = None
+                    state.copied_tables.add(table_name)
+                    total += dump.bytes_estimate
+        except Exception:
+            # Source or target died: abandon; recovery (if attached)
+            # will restore the replication factor.
+            if target.alive and target.engine.hosts(db):
+                target.engine.drop_database(db)
+            raise
+        finally:
+            controller.copy_states.pop(db, None)
+
+        # Phase 2: switch replicas — the new one in, the old one out.
+        controller.replica_map.add_replica(db, target_name)
+        replicas = controller.replica_map.replicas(db)
+        replicas.remove(source_name)
+        controller.replica_map.drop_database(db)
+        controller.replica_map.add_database(db, replicas)
+
+        record = MigrationRecord(db, source_name, target_name, started,
+                                 self.sim.now, total)
+        self.records.append(record)
+
+        # Phase 3: retire the old replica's data after a grace period
+        # (transactions that already hold locks there still finish).
+        self.sim.process(self._retire(db, source_name),
+                         name=f"retire:{db}@{source_name}").defused = True
+        return record
+
+    def _retire(self, db: str, source_name: str) -> Generator:
+        yield self.sim.timeout(self.drop_grace_s)
+        machine = self.controller.machines.get(source_name)
+        if machine is not None and machine.alive and machine.engine.hosts(db):
+            machine.engine.drop_database(db)
+
+    def _transfer(self, nbytes: int) -> Generator:
+        machine_cfg = self.controller.config.machine
+        scaled = nbytes * machine_cfg.copy_bytes_factor
+        seconds = (scaled / (1024.0 * 1024.0)) / machine_cfg.network_mbps
+        if seconds > 0:
+            yield self.sim.timeout(seconds + machine_cfg.network_latency_s)

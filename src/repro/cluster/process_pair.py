@@ -1,0 +1,91 @@
+"""Cluster-controller fault tolerance: the process pair (Section 2).
+
+The cluster controller "is configured to run as a process pair in two
+machines... the backup keeps track of the primary cluster controller's
+state with respect to committing transactions and cleans up the
+transactions in transit as part of its take-over processing."
+
+:class:`ProcessPairBackup` mirrors exactly that state: the primary logs a
+commit *decision* to the backup after every successful PREPARE round and
+before any COMMIT message leaves. On primary failure, the backup's
+take-over:
+
+* completes every decided-commit transaction on its participant engines
+  (they are PREPARED and hold their write locks, so this is always
+  possible);
+* presumed-aborts every other open transaction — their clients lost the
+  connection and must re-establish it, per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cluster.controller import ClusterController
+from repro.engine.transactions import TxnState
+
+
+@dataclass
+class _Decision:
+    decision: str
+    machines: List[str]
+
+
+class ProcessPairBackup:
+    """The standby half of the cluster-controller process pair."""
+
+    def __init__(self, controller: ClusterController):
+        self.controller = controller
+        self.decisions: Dict[int, _Decision] = {}
+        self.took_over = False
+        self.completed_on_takeover: List[int] = []
+        self.aborted_on_takeover: List[int] = []
+        controller.backup = self
+
+    # -- mirroring (called by the primary) ---------------------------------------
+
+    def log_decision(self, txn_id: int, decision: str,
+                     machines: List[str]) -> None:
+        self.decisions[txn_id] = _Decision(decision, list(machines))
+
+    def clear_decision(self, txn_id: int) -> None:
+        self.decisions.pop(txn_id, None)
+
+    # -- take-over -----------------------------------------------------------------
+
+    def take_over(self) -> Tuple[List[int], List[int]]:
+        """Simulate the primary crashing and the backup taking over.
+
+        Returns (committed transaction ids, aborted transaction ids).
+        Connection-level state is gone: any open :class:`Connection`
+        objects raise on further use and clients must reconnect.
+        """
+        self.took_over = True
+        # Phase 1: finish decided commits.
+        for txn_id, decision in sorted(self.decisions.items()):
+            if decision.decision != "commit":
+                continue
+            for machine_name in decision.machines:
+                machine = self.controller.machines.get(machine_name)
+                if machine is None or not machine.alive:
+                    continue
+                txn = machine.engine.transactions.get(txn_id)
+                if txn is not None and not txn.finished:
+                    machine.engine.commit(txn)
+                machine.forget_txn(txn_id)
+            self.completed_on_takeover.append(txn_id)
+        self.decisions.clear()
+
+        # Phase 2: presumed abort for everything else in flight.
+        decided = set(self.completed_on_takeover)
+        for machine in self.controller.live_machines():
+            for txn_id, txn in list(machine.engine.transactions.items()):
+                if txn_id in decided or txn.finished:
+                    continue
+                machine.engine.abort(txn)
+                machine.forget_txn(txn_id)
+                if txn_id not in self.aborted_on_takeover:
+                    self.aborted_on_takeover.append(txn_id)
+        return (list(self.completed_on_takeover),
+                list(self.aborted_on_takeover))

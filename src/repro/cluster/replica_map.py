@@ -1,0 +1,61 @@
+"""The cluster controller's map of databases to machines.
+
+Each database maps to an *ordered* list of machine names; the first live
+entry acts as the designated primary for read Option 1. The map is the
+authority on which machines writes fan out to and which machine serves a
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import NoReplicaError
+
+
+class ReplicaMap:
+    """Ordered replica placement for every hosted database."""
+
+    def __init__(self):
+        self._replicas: Dict[str, List[str]] = {}
+
+    def databases(self) -> List[str]:
+        return list(self._replicas)
+
+    def add_database(self, db: str, machines: List[str]) -> None:
+        if db in self._replicas:
+            raise ValueError(f"database {db!r} already placed")
+        if len(set(machines)) != len(machines):
+            raise ValueError(f"duplicate machines in placement: {machines}")
+        self._replicas[db] = list(machines)
+
+    def drop_database(self, db: str) -> None:
+        self._replicas.pop(db, None)
+
+    def replicas(self, db: str) -> List[str]:
+        """Ordered replica list (may include failed machines)."""
+        if db not in self._replicas:
+            raise NoReplicaError(f"database {db!r} is not hosted here")
+        return list(self._replicas[db])
+
+    def add_replica(self, db: str, machine: str) -> None:
+        replicas = self._replicas.get(db)
+        if replicas is None:
+            raise NoReplicaError(f"database {db!r} is not hosted here")
+        if machine not in replicas:
+            replicas.append(machine)
+
+    def remove_machine(self, machine: str) -> List[str]:
+        """Remove a failed machine everywhere; returns affected databases."""
+        affected = []
+        for db, replicas in self._replicas.items():
+            if machine in replicas:
+                replicas.remove(machine)
+                affected.append(db)
+        return affected
+
+    def hosted_on(self, machine: str) -> List[str]:
+        return [db for db, reps in self._replicas.items() if machine in reps]
+
+    def replica_count(self, db: str) -> int:
+        return len(self._replicas.get(db, ()))

@@ -1,0 +1,367 @@
+"""A B+Tree used for primary and secondary indexes.
+
+Keys are tuples of SQL values (composite index keys); each key maps to the
+set of row ids carrying it, so non-unique indexes need no special casing.
+Leaves are chained for range scans. The tree tracks how many *nodes* a
+lookup traverses so the executor can charge buffer-pool page accesses that
+scale realistically (log of table size).
+
+Invariants (checked by ``check_invariants`` and exercised by the
+hypothesis suite):
+
+* every node except the root has between ceil(order/2)-1 and order-1 keys;
+* internal node keys separate the key ranges of their children;
+* all leaves are at the same depth and chained left-to-right in key order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+Key = Tuple[Any, ...]
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Key] = []
+        # Internal nodes: children[i] holds keys < keys[i] (and the last
+        # child holds keys >= keys[-1]).
+        self.children: List["_Node"] = []
+        # Leaves: values[i] is the list of row ids for keys[i].
+        self.values: List[List[Any]] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """A B+Tree mapping tuple keys to lists of row ids."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise ValueError(f"b+tree order must be >= 4: {order}")
+        self.order = order
+        self._root = _Node(leaf=True)
+        self._height = 1
+        self._size = 0  # number of distinct keys
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of node levels from root to leaf (>= 1)."""
+        return self._height
+
+    # -- search ---------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[self._child_index(node, key)]
+        return node
+
+    @staticmethod
+    def _child_index(node: _Node, key: Key) -> int:
+        """Index of the child subtree that may contain ``key``."""
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key < node.keys[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @staticmethod
+    def _key_index(node: _Node, key: Key) -> int:
+        """Insertion point of ``key`` within a leaf."""
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if node.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def search(self, key: Key) -> List[Any]:
+        """Row ids stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        idx = self._key_index(leaf, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def contains(self, key: Key) -> bool:
+        leaf = self._find_leaf(key)
+        idx = self._key_index(leaf, key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    def range_scan(
+        self,
+        lo: Optional[Key] = None,
+        hi: Optional[Key] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterator[Tuple[Key, List[Any]]]:
+        """Yield (key, row-ids) for keys within the given bounds, in order.
+
+        ``None`` bounds are open. Composite keys compare with standard
+        tuple ordering, so a prefix bound like ``(x,)`` behaves as
+        expected for multi-column indexes.
+        """
+        if lo is None:
+            node: Optional[_Node] = self._leftmost_leaf()
+            idx = 0
+        else:
+            node = self._find_leaf(lo)
+            idx = self._key_index(node, lo)
+            if not lo_inclusive:
+                while (
+                    node is not None
+                    and idx < len(node.keys)
+                    and node.keys[idx] == lo
+                ):
+                    idx += 1
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if hi is not None:
+                    if hi_inclusive and key > hi:
+                        return
+                    if not hi_inclusive and key >= hi:
+                        return
+                yield key, list(node.values[idx])
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[Key, List[Any]]]:
+        """All (key, row-ids) in key order."""
+        return self.range_scan()
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node
+
+    # -- insertion ------------------------------------------------------
+
+    def insert(self, key: Key, rid: Any) -> None:
+        """Add ``rid`` under ``key`` (appends for duplicate keys)."""
+        split = self._insert(self._root, key, rid)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert(
+        self, node: _Node, key: Key, rid: Any
+    ) -> Optional[Tuple[Key, _Node]]:
+        """Insert into subtree; return (separator, new-right-node) on split."""
+        if node.leaf:
+            idx = self._key_index(node, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(rid)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [rid])
+            self._size += 1
+            if len(node.keys) < self.order:
+                return None
+            return self._split_leaf(node)
+        idx = self._child_index(node, key)
+        split = self._insert(node.children[idx], key, rid)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self.order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> Tuple[Key, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[Key, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # -- deletion -------------------------------------------------------
+
+    def delete(self, key: Key, rid: Any) -> bool:
+        """Remove one ``rid`` from ``key``; drop the key when empty.
+
+        Returns True if something was removed.
+        """
+        removed = self._delete(self._root, key, rid)
+        if not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+        return removed
+
+    def _min_keys(self) -> int:
+        # ceil(order/2) children -> that many - 1 keys.
+        return (self.order + 1) // 2 - 1
+
+    def _delete(self, node: _Node, key: Key, rid: Any) -> bool:
+        if node.leaf:
+            idx = self._key_index(node, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            try:
+                node.values[idx].remove(rid)
+            except ValueError:
+                return False
+            if not node.values[idx]:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                self._size -= 1
+            return True
+        idx = self._child_index(node, key)
+        child = node.children[idx]
+        removed = self._delete(child, key, rid)
+        if removed:
+            self._rebalance(node, idx)
+        return removed
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        """Fix up ``parent.children[idx]`` if it underflowed."""
+        child = parent.children[idx]
+        min_keys = self._min_keys()
+        if child.leaf:
+            if len(child.keys) >= max(1, min_keys):
+                return
+        else:
+            if len(child.children) >= min_keys + 1:
+                return
+
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if child.leaf:
+            if left is not None and len(left.keys) > max(1, min_keys):
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = child.keys[0]
+                return
+            if right is not None and len(right.keys) > max(1, min_keys):
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+                return
+            if left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next_leaf = child.next_leaf
+                parent.keys.pop(idx - 1)
+                parent.children.pop(idx)
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next_leaf = right.next_leaf
+                parent.keys.pop(idx)
+                parent.children.pop(idx + 1)
+            return
+
+        # Internal child underflow.
+        if left is not None and len(left.children) > min_keys + 1:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+            return
+        if right is not None and len(right.children) > min_keys + 1:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+            return
+        if left is not None:
+            left.keys.append(parent.keys[idx - 1])
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            parent.keys.pop(idx - 1)
+            parent.children.pop(idx)
+        elif right is not None:
+            child.keys.append(parent.keys[idx])
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            parent.keys.pop(idx)
+            parent.children.pop(idx + 1)
+
+    # -- invariant checking (used by tests) ------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any structural invariant is broken."""
+        leaves: List[_Node] = []
+        self._check_node(self._root, None, None, leaves, is_root=True)
+        depths = {d for _, d in self._walk_depths(self._root, 1)}
+        assert len(depths) == 1, f"leaves at different depths: {depths}"
+        # Leaf chain must visit exactly the in-order leaves.
+        chain: List[_Node] = []
+        node: Optional[_Node] = self._leftmost_leaf()
+        while node is not None:
+            chain.append(node)
+            node = node.next_leaf
+        assert chain == leaves, "leaf chain disagrees with tree order"
+        all_keys = [k for leaf in leaves for k in leaf.keys]
+        assert all_keys == sorted(all_keys), "keys out of order"
+        assert len(all_keys) == self._size, "size counter drifted"
+
+    def _walk_depths(self, node: _Node, depth: int):
+        if node.leaf:
+            yield node, depth
+        else:
+            for child in node.children:
+                yield from self._walk_depths(child, depth + 1)
+
+    def _check_node(
+        self,
+        node: _Node,
+        lo: Optional[Key],
+        hi: Optional[Key],
+        leaves: List[_Node],
+        is_root: bool,
+    ) -> None:
+        for key in node.keys:
+            assert lo is None or key >= lo, f"key {key} below bound {lo}"
+            assert hi is None or key < hi, f"key {key} above bound {hi}"
+        assert node.keys == sorted(node.keys)
+        if node.leaf:
+            assert len(node.keys) == len(node.values)
+            assert len(node.keys) < self.order
+            if not is_root:
+                assert len(node.keys) >= 1
+            for vals in node.values:
+                assert vals, "empty rid list retained"
+            leaves.append(node)
+            return
+        assert len(node.children) == len(node.keys) + 1
+        assert len(node.children) <= self.order
+        if not is_root:
+            assert len(node.children) >= self._min_keys() + 1
+        else:
+            assert len(node.children) >= 2
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            self._check_node(child, bounds[i], bounds[i + 1], leaves, is_root=False)

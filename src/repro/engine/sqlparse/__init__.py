@@ -1,0 +1,12 @@
+"""SQL front end: lexer, AST, and recursive-descent parser.
+
+The dialect is the slice of SQL-92 that TPC-W and the paper's experiments
+need: SELECT with inner joins (comma or JOIN..ON), WHERE, GROUP BY,
+ORDER BY, LIMIT/OFFSET, DISTINCT, aggregates, and parameterized
+INSERT/UPDATE/DELETE plus CREATE TABLE/INDEX.
+"""
+
+from repro.engine.sqlparse.lexer import Token, TokenType, tokenize
+from repro.engine.sqlparse.parser import parse, parse_expression
+
+__all__ = ["Token", "TokenType", "tokenize", "parse", "parse_expression"]

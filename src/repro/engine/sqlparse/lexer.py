@@ -1,0 +1,113 @@
+"""Tokenizer for the MiniSQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "LIMIT",
+    "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+    "BETWEEN", "JOIN", "INNER", "ON", "INSERT", "INTO", "VALUES", "UPDATE",
+    "SET", "DELETE", "CREATE", "TABLE", "INDEX", "PRIMARY", "KEY", "UNIQUE",
+    "ASC", "DESC", "COUNT", "SUM", "AVG", "MIN", "MAX", "FOR",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    PARAM = "PARAM"          # ?
+    OPERATOR = "OPERATOR"    # = <> != < <= > >= + - * / ( ) , .
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/",
+              "(", ")", ",", ".")
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split SQL text into tokens; raises :class:`SqlError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", i))
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SqlError(f"unterminated string at {i}: {sql!r}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            saw_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not saw_dot)):
+                if sql[j] == ".":
+                    # a trailing '.' followed by non-digit is a qualifier dot
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    saw_dot = True
+                j += 1
+            text = sql[i:j]
+            value: Any = float(text) if "." in text else int(text)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word.lower(), i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlError(f"unexpected character {ch!r} at {i} in {sql!r}")
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens

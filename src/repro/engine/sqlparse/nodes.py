@@ -1,0 +1,179 @@
+"""AST node definitions for the MiniSQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+# -- expressions -------------------------------------------------------------
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int | float | str | None
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A ``?`` placeholder; ``index`` is its 0-based position."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """``name`` or ``qualifier.name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """op in = <> < <= > >= + - * / AND OR LIKE."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """op in NOT, NEG."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    expr: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Aggregate call: COUNT/SUM/AVG/MIN/MAX. ``star`` means COUNT(*)."""
+
+    name: str
+    arg: Optional[Expr]
+    star: bool = False
+    distinct: bool = False
+
+
+# -- statements -------------------------------------------------------------
+
+class Statement:
+    """Base class for statement nodes."""
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass
+class Join:
+    """An explicit ``JOIN table ON cond`` clause."""
+
+    table: TableRef
+    condition: Expr
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class Select(Statement):
+    items: List[SelectItem]           # empty means SELECT *
+    star: bool
+    tables: List[TableRef]
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    # SELECT ... FOR UPDATE: rows are X-locked instead of S-locked.
+    for_update: bool = False
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: List[str]                # empty means full-row insert
+    rows: List[List[Expr]]
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTable(Statement):
+    table: str
+    columns: List[ColumnDef]
+    primary_key: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: List[str]
+    unique: bool = False

@@ -1,0 +1,466 @@
+"""Recursive-descent parser producing :mod:`repro.engine.sqlparse.nodes`."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.sqlparse import nodes as n
+from repro.engine.sqlparse.lexer import Token, TokenType, tokenize
+from repro.errors import SqlError
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_NOT_NULL_WORDS = ("NOT", "NULL")
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlError:
+        token = self.peek()
+        return SqlError(f"{message} at token {token.value!r} (pos {token.pos}) "
+                        f"in: {self.sql}")
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise self.error(f"expected {word}")
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.OPERATOR or token.value != op:
+            raise self.error(f"expected {op!r}")
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise self.error("expected identifier")
+        self.advance()
+        return token.value
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_statement(self) -> n.Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            stmt = self.select()
+        elif token.is_keyword("INSERT"):
+            stmt = self.insert()
+        elif token.is_keyword("UPDATE"):
+            stmt = self.update()
+        elif token.is_keyword("DELETE"):
+            stmt = self.delete()
+        elif token.is_keyword("CREATE"):
+            stmt = self.create()
+        else:
+            raise self.error("expected a statement")
+        if self.peek().type is not TokenType.EOF:
+            raise self.error("trailing tokens after statement")
+        return stmt
+
+    # -- SELECT -------------------------------------------------------------
+
+    def select(self) -> n.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        star = False
+        items: List[n.SelectItem] = []
+        if self.accept_op("*"):
+            star = True
+        else:
+            items.append(self.select_item())
+            while self.accept_op(","):
+                items.append(self.select_item())
+        self.expect_keyword("FROM")
+        tables = [self.table_ref()]
+        joins: List[n.Join] = []
+        while True:
+            if self.accept_op(","):
+                tables.append(self.table_ref())
+                continue
+            if self.peek().is_keyword("INNER") or self.peek().is_keyword("JOIN"):
+                self.accept_keyword("INNER")
+                self.expect_keyword("JOIN")
+                ref = self.table_ref()
+                self.expect_keyword("ON")
+                cond = self.expression()
+                joins.append(n.Join(ref, cond))
+                continue
+            break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        group_by: List[n.Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expression())
+            while self.accept_op(","):
+                group_by.append(self.expression())
+        having = None
+        if self.accept_keyword("HAVING"):
+            if not group_by:
+                raise self.error("HAVING requires GROUP BY")
+            having = self.expression()
+        order_by: List[n.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self.accept_op(","):
+                order_by.append(self.order_item())
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.int_literal()
+            if self.accept_keyword("OFFSET"):
+                offset = self.int_literal()
+        for_update = False
+        if self.accept_keyword("FOR"):
+            self.expect_keyword("UPDATE")
+            for_update = True
+        return n.Select(items=items, star=star, tables=tables, joins=joins,
+                        where=where, group_by=group_by, having=having,
+                        order_by=order_by, limit=limit, offset=offset,
+                        distinct=distinct, for_update=for_update)
+
+    def select_item(self) -> n.SelectItem:
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().type is TokenType.IDENT:
+            alias = self.expect_ident()
+        return n.SelectItem(expr, alias)
+
+    def table_ref(self) -> n.TableRef:
+        table = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().type is TokenType.IDENT:
+            alias = self.expect_ident()
+        return n.TableRef(table, alias)
+
+    def order_item(self) -> n.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return n.OrderItem(expr, descending)
+
+    def int_literal(self) -> int:
+        token = self.peek()
+        if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+            raise self.error("expected integer literal")
+        self.advance()
+        return token.value
+
+    # -- DML ----------------------------------------------------------------
+
+    def insert(self) -> n.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: List[str] = []
+        if self.accept_op("("):
+            columns.append(self.expect_ident())
+            while self.accept_op(","):
+                columns.append(self.expect_ident())
+            self.expect_op(")")
+        self.expect_keyword("VALUES")
+        rows: List[List[n.Expr]] = [self.value_row()]
+        while self.accept_op(","):
+            rows.append(self.value_row())
+        return n.Insert(table, columns, rows)
+
+    def value_row(self) -> List[n.Expr]:
+        self.expect_op("(")
+        exprs = [self.expression()]
+        while self.accept_op(","):
+            exprs.append(self.expression())
+        self.expect_op(")")
+        return exprs
+
+    def update(self) -> n.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, n.Expr]] = []
+        while True:
+            col = self.expect_ident()
+            # allow qualified assignment targets (t.col = ...)
+            if self.accept_op("."):
+                col = self.expect_ident()
+            self.expect_op("=")
+            assignments.append((col, self.expression()))
+            if not self.accept_op(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return n.Update(table, assignments, where)
+
+    def delete(self) -> n.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return n.Delete(table, where)
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create(self) -> n.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self.create_table()
+        unique = self.accept_keyword("UNIQUE")
+        if self.accept_keyword("INDEX"):
+            return self.create_index(unique)
+        raise self.error("expected TABLE or INDEX after CREATE")
+
+    def create_table(self) -> n.CreateTable:
+        table = self.expect_ident()
+        self.expect_op("(")
+        columns: List[n.ColumnDef] = []
+        primary_key: List[str] = []
+        while True:
+            if self.peek().is_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                self.expect_op("(")
+                primary_key.append(self.expect_ident())
+                while self.accept_op(","):
+                    primary_key.append(self.expect_ident())
+                self.expect_op(")")
+            else:
+                columns.append(self.column_def())
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        inline_pk = [c.name for c in columns if c.primary_key]
+        if inline_pk and primary_key:
+            raise self.error("both inline and table-level PRIMARY KEY")
+        return n.CreateTable(table, columns, primary_key or inline_pk)
+
+    def column_def(self) -> n.ColumnDef:
+        name = self.expect_ident()
+        token = self.peek()
+        if token.type is TokenType.IDENT:
+            type_name = token.value
+            self.advance()
+        elif token.type is TokenType.KEYWORD:
+            # e.g. none expected, but be strict
+            raise self.error("expected column type")
+        else:
+            raise self.error("expected column type")
+        # Optional (n) / (p, s) length spec, ignored.
+        if self.accept_op("("):
+            self.int_literal()
+            if self.accept_op(","):
+                self.int_literal()
+            self.expect_op(")")
+        nullable = True
+        primary_key = False
+        while True:
+            if self.peek().is_keyword("NOT") and self.peek(1).is_keyword("NULL"):
+                self.advance()
+                self.advance()
+                nullable = False
+                continue
+            if self.peek().is_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                primary_key = True
+                nullable = False
+                continue
+            break
+        return n.ColumnDef(name, type_name, nullable, primary_key)
+
+    def create_index(self, unique: bool) -> n.CreateIndex:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_op("(")
+        columns = [self.expect_ident()]
+        while self.accept_op(","):
+            columns.append(self.expect_ident())
+        self.expect_op(")")
+        return n.CreateIndex(name, table, columns, unique)
+
+    # -- expressions ----------------------------------------------------------
+    # precedence: OR < AND < NOT < comparison < additive < multiplicative
+    #             < unary < primary
+
+    def expression(self) -> n.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> n.Expr:
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            right = self.and_expr()
+            left = n.BinaryOp("OR", left, right)
+        return left
+
+    def and_expr(self) -> n.Expr:
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            right = self.not_expr()
+            left = n.BinaryOp("AND", left, right)
+        return left
+
+    def not_expr(self) -> n.Expr:
+        if self.accept_keyword("NOT"):
+            return n.UnaryOp("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> n.Expr:
+        left = self.additive()
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in (
+            "=", "<>", "!=", "<", "<=", ">", ">="
+        ):
+            op = "<>" if token.value == "!=" else token.value
+            self.advance()
+            return n.BinaryOp(op, left, self.additive())
+        negated = False
+        if token.is_keyword("NOT"):
+            nxt = self.peek(1)
+            if nxt.is_keyword("IN") or nxt.is_keyword("BETWEEN") or nxt.is_keyword("LIKE"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token.is_keyword("LIKE"):
+            self.advance()
+            like = n.BinaryOp("LIKE", left, self.additive())
+            return n.UnaryOp("NOT", like) if negated else like
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_op("(")
+            items = [self.expression()]
+            while self.accept_op(","):
+                items.append(self.expression())
+            self.expect_op(")")
+            return n.InList(left, tuple(items), negated)
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self.additive()
+            self.expect_keyword("AND")
+            high = self.additive()
+            return n.Between(left, low, high, negated)
+        if token.is_keyword("IS"):
+            self.advance()
+            is_not = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return n.IsNull(left, is_not)
+        return left
+
+    def additive(self) -> n.Expr:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                self.advance()
+                left = n.BinaryOp(token.value, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> n.Expr:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/"):
+                self.advance()
+                left = n.BinaryOp(token.value, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> n.Expr:
+        if self.accept_op("-"):
+            return n.UnaryOp("NEG", self.unary())
+        return self.primary()
+
+    def primary(self) -> n.Expr:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return n.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return n.Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            param = n.Param(self.param_count)
+            self.param_count += 1
+            return param
+        if token.is_keyword("NULL"):
+            self.advance()
+            return n.Literal(None)
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            name = token.value
+            self.advance()
+            self.expect_op("(")
+            if name == "COUNT" and self.accept_op("*"):
+                self.expect_op(")")
+                return n.FuncCall("COUNT", None, star=True)
+            distinct = self.accept_keyword("DISTINCT")
+            arg = self.expression()
+            self.expect_op(")")
+            return n.FuncCall(name, arg, distinct=distinct)
+        if token.type is TokenType.IDENT:
+            name = token.value
+            self.advance()
+            if self.accept_op("."):
+                column = self.expect_ident()
+                return n.ColumnRef(column, qualifier=name)
+            return n.ColumnRef(name)
+        if self.accept_op("("):
+            expr = self.expression()
+            self.expect_op(")")
+            return expr
+        raise self.error("expected an expression")
+
+
+def parse(sql: str) -> n.Statement:
+    """Parse one SQL statement."""
+    return _Parser(sql).parse_statement()
+
+
+def parse_expression(sql: str) -> n.Expr:
+    """Parse a standalone expression (used by tests)."""
+    parser = _Parser(sql)
+    expr = parser.expression()
+    if parser.peek().type is not TokenType.EOF:
+        raise parser.error("trailing tokens after expression")
+    return expr

@@ -1,0 +1,225 @@
+"""Heap storage: row store plus index maintenance.
+
+Each table is a heap of rows keyed by monotonically increasing row ids.
+Row ids map to heap *pages* (``rows_per_page`` rows each) so the executor
+can charge buffer-pool accesses; B+Tree indexes likewise expose the page
+ids a traversal would touch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.btree import BPlusTree
+from repro.engine.config import EngineConfig
+from repro.engine.schema import DatabaseSchema, IndexDef, TableSchema
+from repro.engine.types import coerce
+from repro.errors import ConstraintError, SchemaError
+
+Row = Tuple[Any, ...]
+PageId = Tuple[Any, ...]
+
+
+class HeapTable:
+    """One table's rows and indexes on one engine instance."""
+
+    def __init__(self, db_name: str, schema: TableSchema, config: EngineConfig):
+        self.db_name = db_name
+        self.schema = schema
+        self.config = config
+        self._rows: Dict[int, Row] = {}
+        self._next_rid = 0
+        self.indexes: Dict[str, BPlusTree] = {}
+        for index in schema.indexes.values():
+            self.indexes[index.name] = BPlusTree(order=config.btree_order)
+
+    # -- basic accessors --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def page_count(self) -> int:
+        """Heap pages the table occupies (at least 1)."""
+        return max(1, (self._next_rid + self.config.rows_per_page - 1)
+                   // self.config.rows_per_page)
+
+    def get(self, rid: int) -> Optional[Row]:
+        return self._rows.get(rid)
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """All (rid, row) pairs in rid order."""
+        for rid in sorted(self._rows):
+            yield rid, self._rows[rid]
+
+    def index_key(self, index: IndexDef, row: Row) -> Tuple[Any, ...]:
+        return tuple(row[self.schema.column_position(c)] for c in index.columns)
+
+    def pk_key(self, row: Row) -> Tuple[Any, ...]:
+        return tuple(row[p] for p in self.schema.pk_positions())
+
+    # -- page accounting ---------------------------------------------------
+
+    def heap_page(self, rid: int) -> PageId:
+        return (self.db_name, self.schema.name, "heap",
+                rid // self.config.rows_per_page)
+
+    def heap_pages(self) -> Iterator[PageId]:
+        """All heap pages, in order (a full table scan touches these)."""
+        for page_no in range(self.page_count):
+            yield (self.db_name, self.schema.name, "heap", page_no)
+
+    def index_pages(self, index_name: str, key: Tuple[Any, ...]) -> List[PageId]:
+        """Pages a point traversal of ``index_name`` touches for ``key``.
+
+        Upper levels are modeled as one hot page per level (realistic —
+        the root and internal nodes of a small index stay resident); the
+        leaf level is spread over ``leaf_count`` pages by key hash.
+        """
+        tree = self.indexes[index_name]
+        pages: List[PageId] = []
+        for level in range(max(0, tree.height - 1)):
+            pages.append((self.db_name, self.schema.name, "ix",
+                          index_name, "i", level))
+        leaf_count = max(1, len(tree) // self.config.rows_per_page)
+        bucket = hash(key) % leaf_count
+        pages.append((self.db_name, self.schema.name, "ix",
+                      index_name, "leaf", bucket))
+        return pages
+
+    # -- mutation -----------------------------------------------------------
+
+    def _coerce_row(self, values: Sequence[Any]) -> Row:
+        if len(values) != len(self.schema.columns):
+            raise ConstraintError(
+                f"{self.schema.name}: expected {len(self.schema.columns)} "
+                f"values, got {len(values)}"
+            )
+        out = []
+        for value, column in zip(values, self.schema.columns):
+            try:
+                stored = coerce(value, column.sql_type)
+            except ValueError as exc:
+                raise ConstraintError(str(exc)) from exc
+            if stored is None and not column.nullable:
+                raise ConstraintError(
+                    f"{self.schema.name}.{column.name} is NOT NULL"
+                )
+            out.append(stored)
+        return tuple(out)
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Insert a full row; returns its rid. Enforces PK uniqueness."""
+        row = self._coerce_row(values)
+        if self.schema.primary_key:
+            key = self.pk_key(row)
+            if any(v is None for v in key):
+                raise ConstraintError(
+                    f"{self.schema.name}: NULL in primary key {key}"
+                )
+            if self.indexes["__pk__"].contains(key):
+                raise ConstraintError(
+                    f"{self.schema.name}: duplicate primary key {key}"
+                )
+        rid = self._next_rid
+        self._next_rid += 1
+        self._rows[rid] = row
+        for name, index in self.schema.indexes.items():
+            self.indexes[name].insert(self.index_key(index, row), rid)
+        return rid
+
+    def insert_at(self, rid: int, values: Sequence[Any]) -> None:
+        """Re-insert a row at a specific rid (transaction undo path)."""
+        if rid in self._rows:
+            raise ConstraintError(f"rid {rid} already occupied")
+        row = self._coerce_row(values)
+        self._rows[rid] = row
+        self._next_rid = max(self._next_rid, rid + 1)
+        for name, index in self.schema.indexes.items():
+            self.indexes[name].insert(self.index_key(index, row), rid)
+
+    def delete(self, rid: int) -> Row:
+        """Remove a row; returns the before-image."""
+        if rid not in self._rows:
+            raise ConstraintError(f"no row {rid} in {self.schema.name}")
+        row = self._rows.pop(rid)
+        for name, index in self.schema.indexes.items():
+            self.indexes[name].delete(self.index_key(index, row), rid)
+        return row
+
+    def update(self, rid: int, values: Sequence[Any]) -> Tuple[Row, Row]:
+        """Replace a row in place; returns (before, after) images."""
+        if rid not in self._rows:
+            raise ConstraintError(f"no row {rid} in {self.schema.name}")
+        before = self._rows[rid]
+        after = self._coerce_row(values)
+        if self.schema.primary_key:
+            old_key = self.pk_key(before)
+            new_key = self.pk_key(after)
+            if new_key != old_key and self.indexes["__pk__"].contains(new_key):
+                raise ConstraintError(
+                    f"{self.schema.name}: duplicate primary key {new_key}"
+                )
+        self._rows[rid] = after
+        for name, index in self.schema.indexes.items():
+            old_ik = self.index_key(index, before)
+            new_ik = self.index_key(index, after)
+            if old_ik != new_ik:
+                self.indexes[name].delete(old_ik, rid)
+                self.indexes[name].insert(new_ik, rid)
+        return before, after
+
+    def lookup_pk(self, key: Tuple[Any, ...]) -> Optional[int]:
+        """rid of the row with the given primary key, if present."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"{self.schema.name} has no primary key")
+        rids = self.indexes["__pk__"].search(key)
+        return rids[0] if rids else None
+
+    def estimated_bytes(self) -> int:
+        """Rough on-disk footprint used for SLA sizing."""
+        if not self._rows:
+            return 0
+        sample_rid = next(iter(self._rows))
+        row = self._rows[sample_rid]
+        row_bytes = sum(
+            8 if isinstance(v, (int, float)) else len(str(v)) + 4
+            for v in row
+            if v is not None
+        ) + 8
+        return row_bytes * len(self._rows)
+
+
+class StoredDatabase:
+    """One tenant database's physical storage on one engine."""
+
+    def __init__(self, schema: DatabaseSchema, config: EngineConfig):
+        self.schema = schema
+        self.config = config
+        self.tables: Dict[str, HeapTable] = {
+            name: HeapTable(schema.name, tschema, config)
+            for name, tschema in schema.tables.items()
+        }
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def table(self, name: str) -> HeapTable:
+        if name not in self.tables:
+            raise SchemaError(f"no table {name!r} in database {self.name!r}")
+        return self.tables[name]
+
+    def add_table(self, tschema: TableSchema) -> None:
+        self.schema.add_table(tschema)
+        self.tables[tschema.name] = HeapTable(self.name, tschema, self.config)
+
+    def estimated_bytes(self) -> int:
+        return sum(t.estimated_bytes() for t in self.tables.values())
+
+    def estimated_mb(self) -> float:
+        return self.estimated_bytes() / (1024.0 * 1024.0)

@@ -1,0 +1,139 @@
+"""SQL value types and NULL-aware comparison semantics.
+
+MiniSQL supports four storage classes — INTEGER, FLOAT, VARCHAR, and
+DATE (stored as ISO-8601 strings) — which cover every column TPC-W
+declares. SQL's three-valued logic is collapsed to two values the way
+most query engines surface it: any comparison involving NULL is false,
+``IS NULL`` / ``IS NOT NULL`` test nullness explicitly, and aggregates
+skip NULLs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+
+class SqlType(enum.Enum):
+    """Declared column types."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        upper = name.upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "VARCHAR": cls.VARCHAR,
+            "CHAR": cls.VARCHAR,
+            "TEXT": cls.VARCHAR,
+            "DATE": cls.DATE,
+            "DATETIME": cls.DATE,
+            "TIMESTAMP": cls.DATE,
+        }
+        if upper not in aliases:
+            raise ValueError(f"unknown SQL type: {name}")
+        return aliases[upper]
+
+
+def coerce(value: Any, sql_type: SqlType) -> Any:
+    """Coerce a Python value to the storage representation of a type.
+
+    None passes through (NULL). Raises ``ValueError`` on impossible
+    coercions so constraint errors surface at insert time, not read time.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            return int(value)
+        raise ValueError(f"cannot store {value!r} as INTEGER")
+    if sql_type is SqlType.FLOAT:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        if isinstance(value, str):
+            return float(value)
+        raise ValueError(f"cannot store {value!r} as FLOAT")
+    if sql_type in (SqlType.VARCHAR, SqlType.DATE):
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (int, float)):
+            return str(value)
+        raise ValueError(f"cannot store {value!r} as {sql_type.value}")
+    raise ValueError(f"unhandled type {sql_type}")
+
+
+def sql_eq(a: Any, b: Any) -> Optional[bool]:
+    """SQL equality: NULL-involving comparisons are unknown (None)."""
+    if a is None or b is None:
+        return None
+    if isinstance(a, (int, float)) != isinstance(b, (int, float)):
+        return False
+    return a == b
+
+
+def sql_compare(a: Any, b: Any) -> Optional[int]:
+    """Three-way compare; None when either side is NULL.
+
+    Mixed numeric comparison is allowed; comparing a number with a string
+    raises ``TypeError`` (a binding bug upstream, not a data condition).
+    """
+    if a is None or b is None:
+        return None
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num != b_num:
+        raise TypeError(f"cannot compare {a!r} with {b!r}")
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def like_match(value: Any, pattern: str) -> Optional[bool]:
+    """SQL LIKE with ``%`` (any run) and ``_`` (any one char)."""
+    if value is None:
+        return None
+    text = str(value)
+    return _like(text, pattern, 0, 0)
+
+
+def _like(text: str, pat: str, ti: int, pi: int) -> bool:
+    """Recursive LIKE matcher (pattern sizes here are tiny)."""
+    while pi < len(pat):
+        ch = pat[pi]
+        if ch == "%":
+            # Collapse consecutive % and try every split point.
+            while pi < len(pat) and pat[pi] == "%":
+                pi += 1
+            if pi == len(pat):
+                return True
+            for start in range(ti, len(text) + 1):
+                if _like(text, pat, start, pi):
+                    return True
+            return False
+        if ti >= len(text):
+            return False
+        if ch != "_" and text[ti] != ch:
+            return False
+        ti += 1
+        pi += 1
+    return ti == len(text)

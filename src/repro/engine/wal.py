@@ -1,0 +1,118 @@
+"""Write-ahead logging and restart recovery.
+
+The WAL is the engine's durability story: every row change is logged
+before it is applied, COMMIT and PREPARE force the log, and
+:func:`recover` rebuilds storage state from a log after a crash-restart.
+
+The recovery contract matters for 2PC: transactions that logged PREPARE
+but no outcome are restored *in doubt* — their effects applied and their
+exclusive locks re-taken — so the cluster controller (the 2PC coordinator)
+can still decide them. Everything uncommitted and unprepared is discarded
+(presumed abort).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class RecordType(enum.Enum):
+    BEGIN = "BEGIN"
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    PREPARE = "PREPARE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One WAL entry."""
+
+    lsn: int
+    txn_id: int
+    kind: RecordType
+    db: Optional[str] = None
+    table: Optional[str] = None
+    rid: Optional[int] = None
+    before: Optional[Tuple[Any, ...]] = None
+    after: Optional[Tuple[Any, ...]] = None
+
+
+@dataclass
+class WalStats:
+    records: int = 0
+    flushes: int = 0
+
+
+class WriteAheadLog:
+    """An append-only log with an explicit flush horizon."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+        self._next_lsn = 1
+        self.flushed_lsn = 0
+        self.stats = WalStats()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, txn_id: int, kind: RecordType, db: str = None,
+               table: str = None, rid: int = None,
+               before: Tuple[Any, ...] = None,
+               after: Tuple[Any, ...] = None) -> LogRecord:
+        record = LogRecord(self._next_lsn, txn_id, kind, db, table, rid,
+                           before, after)
+        self._next_lsn += 1
+        self._records.append(record)
+        self.stats.records += 1
+        return record
+
+    def flush(self) -> None:
+        """Force everything appended so far to 'disk'."""
+        self.flushed_lsn = self._next_lsn - 1
+        self.stats.flushes += 1
+
+    def durable_records(self) -> List[LogRecord]:
+        """Records that survive a crash (appended and flushed)."""
+        return [r for r in self._records if r.lsn <= self.flushed_lsn]
+
+    def all_records(self) -> List[LogRecord]:
+        return list(self._records)
+
+
+@dataclass
+class RecoveredState:
+    """Outcome of log analysis during restart recovery."""
+
+    committed: List[int] = field(default_factory=list)
+    in_doubt: List[int] = field(default_factory=list)
+    discarded: List[int] = field(default_factory=list)
+
+
+def analyze(records: List[LogRecord]) -> RecoveredState:
+    """Classify every transaction in a durable log."""
+    outcome: Dict[int, str] = {}
+    for record in records:
+        if record.kind is RecordType.BEGIN:
+            outcome.setdefault(record.txn_id, "active")
+        elif record.kind is RecordType.PREPARE:
+            outcome[record.txn_id] = "prepared"
+        elif record.kind is RecordType.COMMIT:
+            outcome[record.txn_id] = "committed"
+        elif record.kind is RecordType.ABORT:
+            outcome[record.txn_id] = "aborted"
+        else:
+            outcome.setdefault(record.txn_id, "active")
+    state = RecoveredState()
+    for txn_id, status in outcome.items():
+        if status == "committed":
+            state.committed.append(txn_id)
+        elif status == "prepared":
+            state.in_doubt.append(txn_id)
+        else:
+            state.discarded.append(txn_id)
+    return state

@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the platform.
+
+Every error a client of the platform can observe derives from
+:class:`PlatformError`; engine-internal errors derive from
+:class:`EngineError`. The distinction between :class:`DeadlockError`
+(inherent to the application, per the paper's SLA definition) and
+:class:`ProactiveRejectionError` (caused by failures/migration, counted
+against the availability SLA) mirrors Section 4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+
+class PlatformError(Exception):
+    """Base class for all errors raised by the data platform."""
+
+
+class EngineError(PlatformError):
+    """Base class for errors raised by the single-node DBMS engine."""
+
+
+class SqlError(EngineError):
+    """Malformed SQL: lexing, parsing, or binding failure."""
+
+
+class SchemaError(EngineError):
+    """Unknown / duplicate database, table, column, or index."""
+
+
+class ConstraintError(EngineError):
+    """Primary-key or not-null violation."""
+
+
+class TransactionError(EngineError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class DeadlockError(EngineError):
+    """The transaction was chosen as a deadlock victim.
+
+    Per Section 4.1 these are *inherent to the application* and are not
+    counted as proactive rejections.
+    """
+
+
+class LockTimeoutError(EngineError):
+    """A lock wait exceeded the configured timeout.
+
+    Used to resolve distributed deadlocks that span machines (no single
+    machine's waits-for graph contains the cycle).
+    """
+
+
+class WouldBlockError(EngineError):
+    """Synchronous (non-simulated) execution hit a lock conflict."""
+
+
+class ProactiveRejectionError(PlatformError):
+    """The platform itself rejected the operation.
+
+    Raised for writes to a table that is currently being copied
+    (Algorithm 1, line 11) and for operations lost to machine failures.
+    The SLA's availability requirement bounds the fraction of these.
+    """
+
+
+class MachineFailedError(PlatformError):
+    """An operation was in flight on a machine that failed."""
+
+
+class NoReplicaError(PlatformError):
+    """No live replica of the requested database exists in the cluster."""
+
+
+class SlaViolationError(PlatformError):
+    """A database's SLA cannot be satisfied with available resources."""

@@ -1,0 +1,18 @@
+"""Experiment harness: shared drivers and reporting for the benchmarks."""
+
+from repro.harness.faults import FailureInjector
+from repro.harness.reporting import format_series, format_table
+from repro.harness.runner import (RecoveryExperimentResult, TpcwRunResult,
+                                  run_recovery_experiment, run_tpcw_cluster,
+                                  run_sla_placement)
+
+__all__ = [
+    "FailureInjector",
+    "RecoveryExperimentResult",
+    "TpcwRunResult",
+    "format_series",
+    "format_table",
+    "run_recovery_experiment",
+    "run_sla_placement",
+    "run_tpcw_cluster",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.harness`` — regenerate the paper's tables."""
+
+from repro.harness.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate the paper's evaluation tables.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness table2
+    python -m repro.harness fig2 | fig3 | fig4        # throughput figures
+    python -m repro.harness fig8 | fig9               # recovery figures
+    python -m repro.harness all                       # everything quick
+
+The figure benchmarks under ``benchmarks/`` are the authoritative
+regenerators (with shape assertions); this CLI is the quick interactive
+way to eyeball a table without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import CopyGranularity, ReadOption, WritePolicy
+from repro.harness.reporting import format_table
+from repro.harness.runner import (run_recovery_experiment, run_sla_placement,
+                                  run_tpcw_cluster)
+from repro.sla.model import ResourceVector
+from repro.workloads.tpcw import TpcwScale
+
+
+def cmd_table2(args) -> None:
+    capacity = ResourceVector(cpu=2.0, memory_mb=1200.0, disk_io_mbps=60.0,
+                              disk_mb=20000.0)
+    rows = []
+    for skew in (0.4, 0.8, 1.2, 1.6, 2.0):
+        result = run_sla_placement(skew, n_databases=args.databases,
+                                   seed=args.seed,
+                                   machine_capacity=capacity,
+                                   working_set_fraction=0.55)
+        rows.append([result.skew, result.avg_size_mb,
+                     result.avg_throughput_tps, result.machines_first_fit,
+                     result.machines_optimal])
+    print(format_table(
+        ["Skew Factor", "Average Size (MB)", "Average Throughput (TPS)",
+         "# of Machines Used", "Optimal Solution"], rows))
+
+
+def cmd_throughput(mix: str, args) -> None:
+    rows = []
+    configs = [("no-replication", 1, ReadOption.OPTION_1),
+               ("option-1", 2, ReadOption.OPTION_1),
+               ("option-2", 2, ReadOption.OPTION_2),
+               ("option-3", 2, ReadOption.OPTION_3)]
+    for label, replicas, option in configs:
+        result = run_tpcw_cluster(
+            mix_name=mix, read_option=option,
+            write_policy=WritePolicy.CONSERVATIVE,
+            machines=4, n_databases=4, replicas=replicas,
+            clients_per_db=args.clients, duration_s=args.duration,
+            scale=TpcwScale(items=1200, emulated_browsers=args.clients),
+            think_time_s=0.02, buffer_pool_pages=256)
+        rows.append([label, result.throughput_tps, result.buffer_hit_rate,
+                     result.deadlocks])
+    print(format_table(["configuration", "throughput (tps)",
+                        "buffer hit rate", "deadlocks"], rows))
+
+
+def cmd_recovery(args) -> None:
+    rows = []
+    for granularity in (CopyGranularity.TABLE, CopyGranularity.DATABASE):
+        for threads in (1, 2, 4):
+            result = run_recovery_experiment(
+                granularity=granularity, recovery_threads=threads,
+                machines=4, n_databases=4, clients_per_db=2,
+                duration_s=args.duration, failure_time_s=20.0,
+                copy_bytes_factor=2000.0, think_time_s=0.3)
+            rows.append([granularity.value, threads,
+                         result.mean_rejections_per_db,
+                         result.throughput_before_tps,
+                         result.throughput_during_tps,
+                         result.throughput_after_tps])
+    print(format_table(
+        ["copy granularity", "recovery threads", "rejections/db",
+         "tps before", "tps during", "tps after"], rows))
+
+
+def cmd_table1(args) -> None:
+    # Import lazily: the benchmark module carries the implementation.
+    sys.path.insert(0, "benchmarks")
+    try:
+        from bench_table1_serializability import regenerate_table1
+    except ImportError:
+        print("run from the repository root (needs benchmarks/ on path)")
+        return
+    table, _ = regenerate_table1()
+    print(table)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Regenerate the paper's evaluation tables")
+    parser.add_argument("experiment",
+                        choices=["table1", "table2", "fig2", "fig3", "fig4",
+                                 "fig8-9", "all"])
+    parser.add_argument("--duration", type=float, default=12.0,
+                        help="simulated seconds per run")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="emulated browsers per database")
+    parser.add_argument("--databases", type=int, default=20,
+                        help="tenant databases for placement experiments")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    chosen = args.experiment
+    if chosen in ("table1", "all"):
+        print("== Table 1: serializability matrix ==")
+        cmd_table1(args)
+    if chosen in ("table2", "all"):
+        print("\n== Table 2: SLA placement ==")
+        cmd_table2(args)
+    for fig, mix in (("fig2", "shopping"), ("fig3", "browsing"),
+                     ("fig4", "ordering")):
+        if chosen in (fig, "all"):
+            print(f"\n== {fig.upper()}: throughput, {mix} mix ==")
+            cmd_throughput(mix, args)
+    if chosen in ("fig8-9", "all"):
+        print("\n== Figures 8-9: recovery ==")
+        cmd_recovery(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Fault injection: MTBF-driven machine failures for soak experiments.
+
+The paper's availability model (Section 4.1) is parameterized by a
+machine failure rate; this injector produces exactly that — Poisson
+machine failures at a configurable mean time between failures — so
+experiments can measure rejected fractions under sustained failures
+rather than a single staged one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.cluster.controller import ClusterController
+from repro.sim import Interrupt, Process
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class FailureEvent:
+    when: float
+    machine: str
+    databases_affected: List[str]
+
+
+class FailureInjector:
+    """Fails random live machines with exponential inter-arrival times."""
+
+    def __init__(self, controller: ClusterController, mtbf_s: float,
+                 seed: int = 0, min_live_machines: int = 1,
+                 spare_last_replicas: bool = True):
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        self.controller = controller
+        self.mtbf_s = mtbf_s
+        self.rng = SeededRNG(seed).fork("failure-injector")
+        # Never fail below this many live machines (the cluster would
+        # just be gone; the paper assumes failures are sparse).
+        self.min_live_machines = min_live_machines
+        # Skip machines holding the only live replica of some database
+        # (simulates the paper's assumption that simultaneous loss of
+        # all replicas is a disaster-recovery event, not a cluster one).
+        self.spare_last_replicas = spare_last_replicas
+        self.events: List[FailureEvent] = []
+        self._proc: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._proc is not None:
+            return
+        proc = self.controller.sim.process(self._loop(),
+                                           name="failure-injector")
+        proc.defused = True
+        self._proc = proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("injector stopped")
+        self._proc = None
+
+    def _candidates(self) -> List[str]:
+        live = [m.name for m in self.controller.live_machines()]
+        if len(live) <= self.min_live_machines:
+            return []
+        if not self.spare_last_replicas:
+            return live
+        spared = set()
+        for db in self.controller.replica_map.databases():
+            live_replicas = self.controller.live_replicas(db)
+            if len(live_replicas) == 1:
+                spared.add(live_replicas[0])
+        return [name for name in live if name not in spared]
+
+    def _loop(self) -> Generator:
+        sim = self.controller.sim
+        try:
+            while True:
+                yield sim.timeout(self.rng.expovariate(1.0 / self.mtbf_s))
+                candidates = self._candidates()
+                if not candidates:
+                    continue
+                victim = self.rng.choice(sorted(candidates))
+                affected = self.controller.fail_machine(victim)
+                self.events.append(FailureEvent(sim.now, victim, affected))
+        except Interrupt:
+            return

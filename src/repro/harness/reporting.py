@@ -1,0 +1,44 @@
+"""Plain-text tables and series, in the shape the paper reports."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str,
+                  points: Sequence[Tuple[float, float]]) -> str:
+    """Render one named (x, y) series, one point per line."""
+    lines = [f"# {name}"]
+    for x, y in points:
+        lines.append(f"{_fmt(x)}\t{_fmt(y)}")
+    return "\n".join(lines)

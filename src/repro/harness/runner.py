@@ -1,0 +1,301 @@
+"""Reusable experiment drivers behind the figure/table benchmarks.
+
+Three drivers cover the paper's whole evaluation section:
+
+* :func:`run_tpcw_cluster` — multi-tenant TPC-W on one cluster under a
+  chosen read option / write policy / replication factor (Figures 2-7);
+* :func:`run_recovery_experiment` — induce a machine failure mid-run and
+  measure rejections and throughput during re-replication (Figures 8-9);
+* :func:`run_sla_placement` — zipf-skewed SLA demands packed by
+  First-Fit vs. the exact optimum (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import MetricsCollector
+from repro.cluster import (ClusterConfig, ClusterController, CopyGranularity,
+                           ReadOption, RecoveryManager, WritePolicy)
+from repro.cluster.recovery import RecoveryRecord
+from repro.sim import Simulator
+from repro.sim.rng import SeededRNG, ZipfGenerator
+from repro.sla.model import ResourceVector
+from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
+from repro.sla.optimal import optimal_machine_count
+from repro.sla.profiler import estimate_requirements
+from repro.workloads.tpcw import (MIXES, TpcwClient, TpcwDatabase, TpcwScale)
+from repro.workloads.tpcw.schema import TPCW_DDL
+
+
+@dataclass
+class TpcwRunResult:
+    """Aggregate outcome of one TPC-W cluster run."""
+
+    sim_seconds: float
+    committed: int
+    deadlocks: int
+    rejections: int
+    throughput_tps: float
+    deadlock_rate_per_s: float
+    buffer_hit_rate: float
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def _build_tpcw_cluster(
+    sim: Simulator,
+    mix_name: str,
+    read_option: ReadOption,
+    write_policy: WritePolicy,
+    machines: int,
+    n_databases: int,
+    replicas: int,
+    scale: TpcwScale,
+    seed: int,
+    buffer_pool_pages: Optional[int],
+    lock_wait_timeout_s: float,
+    nonlocking_reads: bool = False,
+) -> Tuple[ClusterController, List[TpcwDatabase]]:
+    config = ClusterConfig(read_option=read_option,
+                           write_policy=write_policy,
+                           replication_factor=replicas,
+                           lock_wait_timeout_s=lock_wait_timeout_s)
+    if buffer_pool_pages is not None:
+        config.machine.engine.buffer_pool_pages = buffer_pool_pages
+    config.machine.engine.nonlocking_reads = nonlocking_reads
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    datasets: List[TpcwDatabase] = []
+    for i in range(n_databases):
+        data = TpcwDatabase(scale, seed=seed + i)
+        db_name = f"tpcw{i}"
+        controller.create_database(db_name, TPCW_DDL, replicas=replicas)
+        data.load_into(controller, db_name)
+        datasets.append(data)
+    return controller, datasets
+
+
+def run_tpcw_cluster(
+    mix_name: str = "shopping",
+    read_option: ReadOption = ReadOption.OPTION_1,
+    write_policy: WritePolicy = WritePolicy.CONSERVATIVE,
+    machines: int = 4,
+    n_databases: int = 4,
+    replicas: int = 2,
+    clients_per_db: int = 4,
+    duration_s: float = 30.0,
+    scale: Optional[TpcwScale] = None,
+    seed: int = 7,
+    think_time_s: float = 0.2,
+    buffer_pool_pages: Optional[int] = None,
+    lock_wait_timeout_s: float = 5.0,
+    nonlocking_reads: bool = False,
+) -> TpcwRunResult:
+    """One steady-state TPC-W run; returns cluster-level aggregates.
+
+    ``replicas=1`` gives the paper's no-replication baseline.
+    ``nonlocking_reads=True`` gives MySQL-style consistent reads (used by
+    the deadlock-rate experiments).
+    """
+    sim = Simulator()
+    scale = scale or TpcwScale(items=500, emulated_browsers=clients_per_db)
+    controller, datasets = _build_tpcw_cluster(
+        sim, mix_name, read_option, write_policy, machines, n_databases,
+        replicas, scale, seed, buffer_pool_pages, lock_wait_timeout_s,
+        nonlocking_reads=nonlocking_reads)
+    mix = MIXES[mix_name]
+    for i, data in enumerate(datasets):
+        for c in range(clients_per_db):
+            client = TpcwClient(controller, f"tpcw{i}", data, mix,
+                                client_id=c, seed=seed * 1000 + i * 100 + c,
+                                think_time_s=think_time_s)
+            proc = sim.process(client.run(until=duration_s))
+            proc.defused = True  # stats come from controller metrics
+    sim.run(until=duration_s)
+
+    metrics = controller.metrics
+    pool_hits = sum(m.engine.buffer_pool.stats.hits
+                    for m in controller.machines.values())
+    pool_misses = sum(m.engine.buffer_pool.stats.misses
+                      for m in controller.machines.values())
+    accesses = pool_hits + pool_misses
+    return TpcwRunResult(
+        sim_seconds=duration_s,
+        committed=metrics.total_committed(),
+        deadlocks=metrics.total_deadlocks(),
+        rejections=metrics.total_rejected(),
+        throughput_tps=metrics.throughput(duration_s),
+        deadlock_rate_per_s=metrics.deadlock_rate(duration_s),
+        buffer_hit_rate=pool_hits / accesses if accesses else 0.0,
+        metrics=metrics,
+        controller=controller,
+    )
+
+
+@dataclass
+class RecoveryExperimentResult:
+    """Outcome of one induced-failure run (Figures 8 and 9)."""
+
+    sim_seconds: float
+    failure_time: float
+    committed: int
+    rejections_total: int
+    rejections_per_db: Dict[str, int]
+    mean_rejections_per_db: float
+    throughput_before_tps: float
+    throughput_during_tps: float
+    throughput_after_tps: float
+    recovery_records: List[RecoveryRecord]
+    recovery_complete_time: Optional[float]
+    throughput_series: List[Tuple[float, float]]
+    metrics: MetricsCollector
+
+
+def run_recovery_experiment(
+    granularity: CopyGranularity = CopyGranularity.TABLE,
+    recovery_threads: int = 1,
+    machines: int = 5,
+    n_databases: int = 6,
+    replicas: int = 2,
+    clients_per_db: int = 2,
+    duration_s: float = 120.0,
+    failure_time_s: float = 30.0,
+    mix_name: str = "shopping",
+    scale: Optional[TpcwScale] = None,
+    seed: int = 11,
+    think_time_s: float = 0.3,
+    copy_bytes_factor: float = 800.0,
+) -> RecoveryExperimentResult:
+    """Kill one machine mid-run and measure Algorithm 1's behaviour.
+
+    The failed machine is the one hosting the most databases, so several
+    databases need re-replication at once — making the recovery-thread
+    count (the x-axis of Figure 8) matter. ``copy_bytes_factor`` scales
+    the generated databases (a few hundred KB) up to the paper's 200 MB
+    class for copy-duration purposes.
+    """
+    sim = Simulator()
+    scale = scale or TpcwScale(items=400, emulated_browsers=clients_per_db)
+    controller, datasets = _build_tpcw_cluster(
+        sim, mix_name, ReadOption.OPTION_1, WritePolicy.CONSERVATIVE,
+        machines, n_databases, replicas, scale, seed, None, 5.0)
+    controller.config.machine.copy_bytes_factor = copy_bytes_factor
+    recovery = RecoveryManager(controller, granularity=granularity,
+                               threads=recovery_threads)
+    recovery.start()
+    mix = MIXES[mix_name]
+    for i, data in enumerate(datasets):
+        for c in range(clients_per_db):
+            client = TpcwClient(controller, f"tpcw{i}", data, mix,
+                                client_id=c, seed=seed * 977 + i * 31 + c,
+                                think_time_s=think_time_s)
+            proc = sim.process(client.run(until=duration_s))
+            proc.defused = True
+
+    victim = max(controller.machines,
+                 key=lambda m: len(controller.replica_map.hosted_on(m)))
+
+    def failure_injector():
+        yield sim.timeout(failure_time_s)
+        controller.fail_machine(victim)
+
+    sim.process(failure_injector())
+    sim.run(until=duration_s)
+
+    metrics = controller.metrics
+    rejections_per_db = {db: counters.rejected
+                         for db, counters in metrics.per_db.items()}
+    affected = [r for r in recovery.records if r.succeeded]
+    recovery_end = max((r.finished_at for r in affected), default=None)
+
+    def window_tps(lo: float, hi: float) -> float:
+        if hi <= lo:
+            return 0.0
+        total = sum(v for t, v in metrics.commits_over_time.series(duration_s)
+                    if lo <= t < hi)
+        return total / (hi - lo)
+
+    during_end = recovery_end if recovery_end is not None else duration_s
+    during_end = min(during_end, duration_s)
+    n_dbs = max(1, n_databases)
+    return RecoveryExperimentResult(
+        sim_seconds=duration_s,
+        failure_time=failure_time_s,
+        committed=metrics.total_committed(),
+        rejections_total=metrics.total_rejected(),
+        rejections_per_db=rejections_per_db,
+        mean_rejections_per_db=metrics.total_rejected() / n_dbs,
+        throughput_before_tps=window_tps(0.0, failure_time_s),
+        throughput_during_tps=window_tps(failure_time_s, during_end),
+        throughput_after_tps=window_tps(during_end, duration_s),
+        recovery_records=recovery.records,
+        recovery_complete_time=recovery_end,
+        throughput_series=metrics.commits_over_time.rate_series(duration_s),
+        metrics=metrics,
+    )
+
+
+@dataclass
+class SlaPlacementResult:
+    """One row of Table 2."""
+
+    skew: float
+    n_databases: int
+    avg_size_mb: float
+    avg_throughput_tps: float
+    machines_first_fit: int
+    machines_optimal: int
+
+
+def run_sla_placement(
+    skew: float,
+    n_databases: int = 20,
+    seed: int = 3,
+    size_range_mb: Tuple[float, float] = (200.0, 1000.0),
+    tps_range: Tuple[float, float] = (0.1, 10.0),
+    replicas: int = 1,
+    machine_capacity: Optional[ResourceVector] = None,
+    write_mix: float = 0.2,
+    working_set_fraction: float = 0.25,
+) -> SlaPlacementResult:
+    """Table 2: zipf-skewed demands, First-Fit vs exhaustive optimum.
+
+    Database sizes and throughputs are drawn from bounded zipfians with
+    the given skew (higher skew concentrates near the low end of each
+    range, shrinking the averages — matching the paper's Table 2 trend).
+    """
+    rng = SeededRNG(seed).fork(f"sla-{skew}")
+    size_zipf = ZipfGenerator(64, skew, rng.fork("size"))
+    tps_zipf = ZipfGenerator(64, skew, rng.fork("tps"))
+    capacity = machine_capacity or ResourceVector(
+        cpu=2.0, memory_mb=1024.0, disk_io_mbps=30.0, disk_mb=6000.0)
+    loads: List[DatabaseLoad] = []
+    sizes: List[float] = []
+    tpss: List[float] = []
+    for i in range(n_databases):
+        size = size_zipf.sample_in_range(*size_range_mb)
+        tps = tps_zipf.sample_in_range(*tps_range)
+        sizes.append(size)
+        tpss.append(tps)
+        requirement = estimate_requirements(
+            size, tps, write_mix, working_set_fraction=working_set_fraction)
+        loads.append(DatabaseLoad(f"db{i}", requirement, replicas=replicas))
+
+    counter = [0]
+
+    def new_bin() -> MachineBin:
+        counter[0] += 1
+        return MachineBin(f"m{counter[0]}", capacity)
+
+    placement = first_fit(loads, bins=[], new_bin=new_bin)
+    optimal = optimal_machine_count(loads, capacity)
+    return SlaPlacementResult(
+        skew=skew,
+        n_databases=n_databases,
+        avg_size_mb=sum(sizes) / len(sizes),
+        avg_throughput_tps=sum(tpss) / len(tpss),
+        machines_first_fit=placement.machines_used,
+        machines_optimal=optimal,
+    )

@@ -1,0 +1,19 @@
+"""The platform tier: system controller, colos, and the public facade.
+
+Implements the Section 2 architecture above the cluster: geographically
+distributed colos, asynchronous cross-colo replication for disaster
+recovery, free machine pools, and a :class:`DataPlatform` that exposes
+exactly the paper's two-call API — create a database with an SLA, then
+connect to it.
+"""
+
+from repro.platform.colo import ColoController
+from repro.platform.platform import DataPlatform, DatabaseSpec
+from repro.platform.system_controller import SystemController
+
+__all__ = [
+    "ColoController",
+    "DataPlatform",
+    "DatabaseSpec",
+    "SystemController",
+]

@@ -1,0 +1,139 @@
+"""The colo controller: clusters plus a pool of free machines.
+
+"Each colo contains one or more machine clusters... The clusters are
+coordinated by a fault-tolerant colo controller, which routes client
+database connection requests to the appropriate cluster that hosts the
+database. In addition, the colo controller manages a pool of free
+machines and adds them to clusters as needed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.controller import ClusterController, Connection
+from repro.cluster.machine import Machine
+from repro.errors import NoReplicaError, SlaViolationError
+from repro.sim import Simulator
+from repro.sla.model import ResourceVector
+from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
+
+
+class ColoController:
+    """One physical location: clusters, free pool, connection routing."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 cluster_config: Optional[ClusterConfig] = None,
+                 free_machines: int = 10,
+                 location: float = 0.0):
+        self.sim = sim
+        self.name = name
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.clusters: Dict[str, ClusterController] = {}
+        self.free_pool = free_machines
+        # Abstract geographic coordinate used for proximity routing.
+        self.location = location
+        # db -> cluster name
+        self._db_cluster: Dict[str, str] = {}
+        # Placement bookkeeping: machine name -> bin (capacity/used).
+        self._bins: Dict[str, MachineBin] = {}
+
+    # -- cluster management -------------------------------------------------------
+
+    def add_cluster(self, name: Optional[str] = None,
+                    machines: int = 4) -> ClusterController:
+        name = name or f"{self.name}-cluster{len(self.clusters) + 1}"
+        if machines > self.free_pool:
+            raise SlaViolationError(
+                f"colo {self.name}: free pool has {self.free_pool} machines, "
+                f"requested {machines}")
+        cluster = ClusterController(self.sim, self.cluster_config, name=name)
+        for _ in range(machines):
+            self._provision(cluster)
+        cluster.free_machine_hook = lambda c=cluster: self.provision_machine(c)
+        self.clusters[name] = cluster
+        return cluster
+
+    def _provision(self, cluster: ClusterController) -> Machine:
+        if self.free_pool <= 0:
+            raise SlaViolationError(f"colo {self.name}: free pool exhausted")
+        self.free_pool -= 1
+        machine = cluster.add_machine()
+        self._bins[machine.name] = MachineBin(machine.name,
+                                              machine.capacity_vector())
+        return machine
+
+    def provision_machine(self, cluster: ClusterController) -> Optional[Machine]:
+        """Move one machine from the free pool into ``cluster``."""
+        if self.free_pool <= 0:
+            return None
+        return self._provision(cluster)
+
+    def cluster_of(self, db: str) -> ClusterController:
+        if db not in self._db_cluster:
+            raise NoReplicaError(f"colo {self.name} does not host {db!r}")
+        return self.clusters[self._db_cluster[db]]
+
+    def hosts(self, db: str) -> bool:
+        return db in self._db_cluster
+
+    # -- SLA-driven database placement ----------------------------------------------
+
+    def place_database(self, db: str, ddl: List[str],
+                       requirement: ResourceVector,
+                       replicas: int) -> ClusterController:
+        """Choose machines with First-Fit (Algorithm 2) and create the db.
+
+        Tries each cluster in order; extends a cluster from the free pool
+        when the new database's replicas do not fit on its current
+        machines (Algorithm 2 lines 12-14).
+        """
+        if not self.clusters:
+            self.add_cluster(machines=min(4, self.free_pool))
+        last_error: Optional[Exception] = None
+        for cluster in self.clusters.values():
+            try:
+                machines = self._fit_in_cluster(cluster, db, requirement,
+                                                replicas)
+            except SlaViolationError as exc:
+                last_error = exc
+                continue
+            cluster.create_database(db, ddl, machines=machines)
+            for machine_name in machines:
+                self._bins[machine_name].place(
+                    DatabaseLoad(db, requirement, replicas=1))
+            self._db_cluster[db] = cluster.name
+            return cluster
+        raise last_error or SlaViolationError(
+            f"colo {self.name}: no cluster can host {db!r}")
+
+    def _fit_in_cluster(self, cluster: ClusterController, db: str,
+                        requirement: ResourceVector,
+                        replicas: int) -> List[str]:
+        ordered_bins = [self._bins[name] for name in cluster.machines
+                        if cluster.machines[name].alive]
+        chosen: List[str] = []
+        for _ in range(replicas):
+            placed = False
+            for machine_bin in ordered_bins:
+                if machine_bin.name in chosen:
+                    continue
+                if machine_bin.can_fit(requirement):
+                    chosen.append(machine_bin.name)
+                    placed = True
+                    break
+            if not placed:
+                machine = self.provision_machine(cluster)
+                if machine is None:
+                    raise SlaViolationError(
+                        f"colo {self.name}: cannot fit replica of {db!r}")
+                chosen.append(machine.name)
+                ordered_bins.append(self._bins[machine.name])
+        return chosen
+
+    # -- connection routing -----------------------------------------------------------
+
+    def connect(self, db: str) -> Connection:
+        return self.cluster_of(db).connect(db)

@@ -1,0 +1,170 @@
+"""The system controller: colos, proximity routing, disaster recovery.
+
+"The colos are coordinated by a fault-tolerant system controller, which
+routes client database connection requests to an appropriate colo, based
+on... the replication configuration for the database, the load and status
+of the colo, and the geographical proximity of the client and the colo.
+A client database is (asynchronously) replicated across more than one
+colo to provide disaster recovery."
+
+Asynchronous replication is write-shipping: every committed writing
+transaction's statements are queued, shipped with WAN latency, and
+replayed *in commit order* on the standby colo's copy. Guarantees are
+deliberately weaker than in-cluster replication (the paper's design): on
+colo failure the standby may miss a suffix of recent transactions, but is
+always a transaction-consistent prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.controller import Connection
+from repro.errors import NoReplicaError, PlatformError
+from repro.platform.colo import ColoController
+from repro.sim import Process, Simulator, Store
+
+
+@dataclass
+class ReplicationLink:
+    """Async write-shipping from a primary colo db to a standby colo."""
+
+    db: str
+    primary: str
+    standby: str
+    queue: Store
+    applier: Optional[Process] = None
+    shipped: int = 0
+    applied: int = 0
+
+
+class SystemController:
+    """Top-level coordinator across geographically distributed colos."""
+
+    def __init__(self, sim: Simulator, wan_latency_s: float = 0.05):
+        self.sim = sim
+        self.wan_latency_s = wan_latency_s
+        self.colos: Dict[str, ColoController] = {}
+        # db -> (primary colo, standby colo or None)
+        self.placements: Dict[str, Tuple[str, Optional[str]]] = {}
+        self.links: Dict[str, ReplicationLink] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def add_colo(self, colo: ColoController) -> None:
+        if colo.name in self.colos:
+            raise ValueError(f"colo {colo.name!r} already registered")
+        self.colos[colo.name] = colo
+
+    def live_colos(self) -> List[ColoController]:
+        return list(self.colos.values())
+
+    # -- database placement across colos ---------------------------------------------
+
+    def register_database(self, db: str, primary: str,
+                          standby: Optional[str] = None) -> None:
+        """Record a database's colo placement and start async shipping."""
+        if primary not in self.colos:
+            raise NoReplicaError(f"unknown colo {primary!r}")
+        if standby is not None and standby not in self.colos:
+            raise NoReplicaError(f"unknown colo {standby!r}")
+        self.placements[db] = (primary, standby)
+        if standby is None:
+            return
+        link = ReplicationLink(db, primary, standby, Store(self.sim))
+        self.links[db] = link
+        primary_cluster = self.colos[primary].cluster_of(db)
+        primary_cluster.commit_hooks.append(
+            lambda committed_db, txn_id, writes, link=link:
+            self._on_commit(link, committed_db, writes))
+        applier = self.sim.process(self._apply_loop(link),
+                                   name=f"ship:{db}")
+        applier.defused = True  # runs forever
+        link.applier = applier
+
+    def _on_commit(self, link: ReplicationLink, db: str, writes) -> None:
+        if db != link.db or not writes:
+            return
+        link.shipped += 1
+        link.queue.put(writes)
+
+    def _apply_loop(self, link: ReplicationLink) -> Generator:
+        """Replay shipped transactions on the standby, in commit order."""
+        from repro.cluster.controller import TransactionAborted
+        while True:
+            writes = yield link.queue.get()
+            yield self.sim.timeout(self.wan_latency_s)
+            standby_colo = self.colos.get(link.standby)
+            if standby_colo is None or not standby_colo.hosts(link.db):
+                continue
+            conn = standby_colo.connect(link.db)
+            try:
+                for sql, params in writes:
+                    yield conn.execute(sql, params)
+                yield conn.commit()
+            except TransactionAborted:
+                # Standby conflict (e.g. local activity); the transaction
+                # is retried once, then dropped — async replication is
+                # best-effort by design.
+                try:
+                    for sql, params in writes:
+                        yield conn.execute(sql, params)
+                    yield conn.commit()
+                except TransactionAborted:
+                    continue
+            finally:
+                conn.close()
+            link.applied += 1
+
+    # -- connection routing ---------------------------------------------------------
+
+    def route(self, db: str,
+              client_location: float = 0.0) -> ColoController:
+        """Pick the colo to serve a connection.
+
+        Prefers the primary colo; falls back to the standby when the
+        primary is gone (disaster routing). Among equals, proximity wins
+        (the |location - client| metric stands in for geography).
+        """
+        if db not in self.placements:
+            raise NoReplicaError(f"database {db!r} is not registered")
+        primary, standby = self.placements[db]
+        candidates = [name for name in (primary, standby)
+                      if name is not None and name in self.colos
+                      and self.colos[name].hosts(db)]
+        if not candidates:
+            raise NoReplicaError(f"no colo can serve {db!r}")
+        candidates.sort(key=lambda name: (
+            0 if name == primary else 1,
+            abs(self.colos[name].location - client_location)))
+        return self.colos[candidates[0]]
+
+    def connect(self, db: str, client_location: float = 0.0) -> Connection:
+        return self.route(db, client_location).connect(db)
+
+    # -- disaster handling -------------------------------------------------------------
+
+    def fail_colo(self, name: str) -> List[str]:
+        """Lose a whole colo; promote standbys. Returns affected dbs."""
+        if name not in self.colos:
+            raise ValueError(f"unknown colo {name!r}")
+        del self.colos[name]
+        affected = []
+        for db, (primary, standby) in list(self.placements.items()):
+            if primary == name:
+                if standby is not None and standby in self.colos:
+                    self.placements[db] = (standby, None)
+                else:
+                    self.placements.pop(db)
+                affected.append(db)
+            elif standby == name:
+                self.placements[db] = (primary, None)
+        return affected
+
+    def replication_lag(self, db: str) -> int:
+        """Shipped-but-not-applied transaction count (staleness metric)."""
+        link = self.links.get(db)
+        if link is None:
+            return 0
+        return link.shipped - link.applied

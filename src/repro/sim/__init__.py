@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the stand-in for the paper's physical cluster: simulated
+time, generator-based processes, FIFO resources (CPU cores, disks), and
+seeded random distributions. The kernel is intentionally SimPy-like but
+small, dependency-free, and fully deterministic for a given seed.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import SeededRNG, ZipfGenerator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SeededRNG",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "ZipfGenerator",
+]

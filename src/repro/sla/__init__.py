@@ -1,0 +1,33 @@
+"""Database SLAs: model, profiling, and placement (Section 4).
+
+An SLA is a (minimum throughput, maximum proactively-rejected fraction)
+pair over a period T. Throughput maps to a multi-dimensional
+:class:`~repro.sla.model.ResourceVector` observed during a dedicated
+profiling period; placement packs those vectors onto machines with
+First-Fit (Algorithm 2), and :mod:`repro.sla.optimal` computes the exact
+minimum for comparison (Table 2).
+"""
+
+from repro.sla.model import (AvailabilityInputs, ResourceVector, Sla,
+                             availability_ok, rejected_fraction_bound)
+from repro.sla.placement import (DatabaseLoad, MachineBin, Placement,
+                                 best_fit, first_fit, repack, worst_fit)
+from repro.sla.optimal import optimal_machine_count
+from repro.sla.profiler import estimate_requirements
+
+__all__ = [
+    "AvailabilityInputs",
+    "DatabaseLoad",
+    "MachineBin",
+    "Placement",
+    "ResourceVector",
+    "Sla",
+    "availability_ok",
+    "best_fit",
+    "estimate_requirements",
+    "first_fit",
+    "optimal_machine_count",
+    "rejected_fraction_bound",
+    "repack",
+    "worst_fit",
+]

@@ -1,0 +1,121 @@
+"""Runtime SLA compliance monitoring.
+
+Section 4.1 defines the two SLA requirements; placement enforces them
+*a priori*. This monitor closes the loop at runtime: given a cluster's
+measured metrics over a window, it reports which databases are meeting
+their throughput floor and rejected-transaction ceiling, and estimates
+the availability-constraint inputs (failure rate, recovery time) from
+what actually happened — the "observation and appropriate reaction" the
+paper's related-work section contrasts against OS-level enforcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import MetricsCollector
+from repro.cluster.recovery import RecoveryRecord
+from repro.sla.model import AvailabilityInputs, Sla, rejected_fraction_bound
+
+
+@dataclass
+class ComplianceReport:
+    """One database's SLA compliance over an observation window."""
+
+    db: str
+    window_s: float
+    measured_tps: float
+    required_tps: float
+    rejected_fraction: float
+    max_rejected_fraction: float
+
+    @property
+    def throughput_ok(self) -> bool:
+        return self.measured_tps >= self.required_tps
+
+    @property
+    def availability_ok(self) -> bool:
+        return self.rejected_fraction <= self.max_rejected_fraction
+
+    @property
+    def compliant(self) -> bool:
+        return self.throughput_ok and self.availability_ok
+
+    def summary(self) -> str:
+        verdict = "OK" if self.compliant else "VIOLATION"
+        return (f"{self.db}: {verdict} "
+                f"(tps {self.measured_tps:.2f}/{self.required_tps:.2f}, "
+                f"rejected {self.rejected_fraction:.4f}"
+                f"/{self.max_rejected_fraction:.4f})")
+
+
+class SlaMonitor:
+    """Checks measured metrics against declared SLAs."""
+
+    def __init__(self, slas: Dict[str, Sla]):
+        self.slas = dict(slas)
+
+    def check(self, metrics: MetricsCollector,
+              window_s: float) -> List[ComplianceReport]:
+        """Compliance of every SLA-bearing database over ``window_s``.
+
+        Note the throughput requirement is a *floor the platform must be
+        able to sustain*, so a database whose offered load was below its
+        floor is not a violation unless it also saw rejections; callers
+        that know offered load can interpret ``throughput_ok`` strictly.
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        reports = []
+        for db, sla in sorted(self.slas.items()):
+            counters = metrics.per_db.get(db)
+            committed = counters.committed if counters else 0
+            rejected_fraction = (counters.rejected_fraction()
+                                 if counters else 0.0)
+            reports.append(ComplianceReport(
+                db=db,
+                window_s=window_s,
+                measured_tps=committed / window_s,
+                required_tps=sla.min_throughput_tps,
+                rejected_fraction=rejected_fraction,
+                max_rejected_fraction=sla.max_rejected_fraction,
+            ))
+        return reports
+
+    def violations(self, metrics: MetricsCollector,
+                   window_s: float) -> List[ComplianceReport]:
+        return [r for r in self.check(metrics, window_s) if not r.compliant]
+
+
+def observed_availability_inputs(
+    db: str,
+    records: List[RecoveryRecord],
+    failures_observed: int,
+    window_s: float,
+    write_mix: float,
+    period_s: float,
+) -> AvailabilityInputs:
+    """Estimate the Section 4.1 constraint inputs from observed history.
+
+    ``records`` are the recovery manager's completed copies; the
+    database's mean observed copy duration stands in for
+    ``recovery_time``, and the observed failure count is extrapolated
+    from the observation window to the SLA period.
+    """
+    mine = [r for r in records if r.db == db and r.succeeded]
+    recovery_time = (sum(r.duration for r in mine) / len(mine)
+                     if mine else 0.0)
+    scale = period_s / window_s if window_s > 0 else 0.0
+    return AvailabilityInputs(
+        machine_failure_rate=failures_observed * scale,
+        reallocation_rate=0.0,
+        recovery_time_s=recovery_time,
+        write_mix=write_mix,
+    )
+
+
+def predicted_rejected_fraction(inputs: AvailabilityInputs,
+                                period_s: float) -> float:
+    """Convenience re-export of the paper's bound for monitor callers."""
+    return rejected_fraction_bound(inputs, period_s)

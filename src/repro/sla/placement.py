@@ -1,0 +1,157 @@
+"""SLA-based placement: multi-dimensional bin packing (Section 4.2).
+
+The online problem: given existing placements M and a new database with
+``replicas`` copies each requiring resource vector r, extend the
+placement without moving existing databases so every machine's load stays
+within its capacity, minimizing machines used. This is multi-dimensional
+bin packing (NP-hard); the paper uses First-Fit (Algorithm 2). Best-Fit
+and Worst-Fit are provided as ablations, and :func:`repack` implements
+the paper's future-work idea of reallocating everything from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SlaViolationError
+from repro.sla.model import ResourceVector
+
+
+@dataclass
+class DatabaseLoad:
+    """One database's placement demand: a vector per replica."""
+
+    name: str
+    requirement: ResourceVector
+    replicas: int = 1
+
+
+@dataclass
+class MachineBin:
+    """A machine's capacity and the replicas currently packed on it."""
+
+    name: str
+    capacity: ResourceVector
+    used: ResourceVector = field(default_factory=ResourceVector)
+    hosted: List[str] = field(default_factory=list)
+
+    def can_fit(self, requirement: ResourceVector) -> bool:
+        return (self.used + requirement).fits_within(self.capacity)
+
+    def place(self, db: DatabaseLoad) -> None:
+        if not self.can_fit(db.requirement):
+            raise SlaViolationError(
+                f"{db.name} does not fit on {self.name}")
+        self.used = self.used + db.requirement
+        self.hosted.append(db.name)
+
+    def headroom(self) -> ResourceVector:
+        return self.capacity - self.used
+
+
+@dataclass
+class Placement:
+    """Result of packing a set of databases."""
+
+    bins: List[MachineBin]
+    assignments: Dict[str, List[str]] = field(default_factory=dict)
+    machines_added: int = 0
+
+    @property
+    def machines_used(self) -> int:
+        return sum(1 for b in self.bins if b.hosted)
+
+
+def _place_replicas(db: DatabaseLoad, bins: List[MachineBin],
+                    choose: Callable[[DatabaseLoad, List[MachineBin]],
+                                     Optional[MachineBin]],
+                    new_bin: Optional[Callable[[], MachineBin]],
+                    placement: Placement) -> None:
+    """Algorithm 2: place each replica on a distinct machine.
+
+    Falls back to a fresh machine from the free pool for every replica
+    that fits nowhere (lines 12-14 of the paper's listing).
+    """
+    chosen: List[MachineBin] = []
+    for _ in range(db.replicas):
+        candidates = [b for b in bins
+                      if b not in chosen and b.can_fit(db.requirement)]
+        machine = choose(db, candidates)
+        if machine is None:
+            if new_bin is None:
+                raise SlaViolationError(
+                    f"no machine fits a replica of {db.name} and the free "
+                    f"pool is exhausted")
+            machine = new_bin()
+            if not machine.can_fit(db.requirement):
+                raise SlaViolationError(
+                    f"replica of {db.name} exceeds a whole machine")
+            bins.append(machine)
+            placement.machines_added += 1
+        machine.place(db)
+        chosen.append(machine)
+    placement.assignments[db.name] = [b.name for b in chosen]
+
+
+def _pack(databases: Sequence[DatabaseLoad], bins: List[MachineBin],
+          choose: Callable, new_bin: Optional[Callable[[], MachineBin]]
+          ) -> Placement:
+    placement = Placement(bins=bins)
+    for db in databases:
+        _place_replicas(db, bins, choose, new_bin, placement)
+    return placement
+
+
+def first_fit(databases: Sequence[DatabaseLoad],
+              bins: Optional[List[MachineBin]] = None,
+              new_bin: Optional[Callable[[], MachineBin]] = None
+              ) -> Placement:
+    """The paper's Algorithm 2: first machine (in order) that fits."""
+    def choose(db, candidates):
+        return candidates[0] if candidates else None
+    return _pack(databases, list(bins or []), choose, new_bin)
+
+
+def best_fit(databases: Sequence[DatabaseLoad],
+             bins: Optional[List[MachineBin]] = None,
+             new_bin: Optional[Callable[[], MachineBin]] = None
+             ) -> Placement:
+    """Tightest-fit ablation: machine with least headroom that still fits."""
+    def choose(db, candidates):
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda b: (b.headroom() - db.requirement)
+                   .dominant_fraction(b.capacity))
+    return _pack(databases, list(bins or []), choose, new_bin)
+
+
+def worst_fit(databases: Sequence[DatabaseLoad],
+              bins: Optional[List[MachineBin]] = None,
+              new_bin: Optional[Callable[[], MachineBin]] = None
+              ) -> Placement:
+    """Loosest-fit ablation (load-levelling)."""
+    def choose(db, candidates):
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda b: b.headroom().dominant_fraction(b.capacity))
+    return _pack(databases, list(bins or []), choose, new_bin)
+
+
+def repack(databases: Sequence[DatabaseLoad],
+           new_bin: Callable[[], MachineBin],
+           strategy: Callable = first_fit) -> Placement:
+    """Offline reallocation (the paper's future-work extension).
+
+    Re-places *all* databases from scratch, sorted by decreasing dominant
+    resource demand (First-Fit-Decreasing), which typically beats the
+    online order. Use when migration cost is acceptable.
+    """
+    reference = new_bin().capacity
+    ordered = sorted(
+        databases,
+        key=lambda db: db.requirement.dominant_fraction(reference),
+        reverse=True)
+    return strategy(ordered, bins=[], new_bin=new_bin)

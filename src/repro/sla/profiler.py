@@ -1,0 +1,132 @@
+"""Resource profiling: mapping a database's SLA to a resource vector.
+
+The paper allocates a new database to a *free* machine for an
+observational period and measures what it needs (Section 4.2). This
+module provides both halves:
+
+* :func:`estimate_requirements` — the analytical cost model used to seed
+  experiments: given database size, target throughput, and write mix,
+  produce the resource vector one replica needs;
+* :class:`ObservationProfiler` — the measured variant: run a workload
+  against a database hosted alone on a dedicated machine and read the
+  CPU/disk utilizations off the machine's simulated resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cluster.machine import Machine
+from repro.engine.config import EngineConfig
+from repro.sla.model import ResourceVector
+
+
+def estimate_requirements(size_mb: float, throughput_tps: float,
+                          write_mix: float = 0.2,
+                          rows_per_txn: float = 40.0,
+                          working_set_fraction: float = 0.25,
+                          engine: Optional[EngineConfig] = None
+                          ) -> ResourceVector:
+    """Analytical resource requirement of one replica.
+
+    The model mirrors how the simulated engine charges work: CPU scales
+    with rows examined per transaction, disk I/O with the buffer-pool
+    miss rate over the cold fraction of the working set, memory with the
+    working set kept resident, and disk space with the database plus log.
+    """
+    if size_mb < 0 or throughput_tps < 0:
+        raise ValueError("size and throughput must be non-negative")
+    engine = engine or EngineConfig()
+    cpu_us_per_txn = (engine.cpu_cost_per_statement_us * 5
+                      + rows_per_txn * engine.cpu_cost_per_row_us)
+    cpu_cores = throughput_tps * cpu_us_per_txn / 1e6
+
+    # Pages touched per transaction, assuming point accesses: index
+    # traversal plus heap page per row plus log write for updates.
+    pages_per_txn = rows_per_txn / 4.0 + 3.0
+    page_kb = engine.rows_per_page * 0.25  # ~256 B rows
+    miss_rate = max(0.05, 1.0 - working_set_fraction)
+    disk_io_mbps = (throughput_tps * pages_per_txn * miss_rate
+                    * page_kb / 1024.0)
+    disk_io_mbps += throughput_tps * write_mix * 0.01  # log flushes
+
+    memory_mb = size_mb * working_set_fraction + 16.0  # + connection state
+    disk_mb = size_mb * 1.2  # data + log + slack
+    return ResourceVector(cpu=cpu_cores, memory_mb=memory_mb,
+                          disk_io_mbps=disk_io_mbps, disk_mb=disk_mb)
+
+
+@dataclass
+class ObservationReport:
+    """What the observational period measured."""
+
+    duration_s: float
+    committed: int
+    cpu_utilization: float
+    disk_utilization: float
+    requirement: ResourceVector
+
+    @property
+    def observed_tps(self) -> float:
+        return self.committed / self.duration_s if self.duration_s else 0.0
+
+    def requirement_for(self, target_tps: float) -> ResourceVector:
+        """Scale the measured vector to a target SLA throughput.
+
+        This is what placement packs: the observation tells us resources
+        *per transaction*, the SLA tells us how many transactions per
+        second the tenant is entitled to. Size-driven dimensions (memory,
+        disk space) do not scale with throughput.
+        """
+        if self.observed_tps <= 0:
+            return self.requirement
+        factor = target_tps / self.observed_tps
+        return ResourceVector(
+            cpu=self.requirement.cpu * factor,
+            memory_mb=self.requirement.memory_mb,
+            disk_io_mbps=self.requirement.disk_io_mbps * factor,
+            disk_mb=self.requirement.disk_mb,
+        )
+
+
+class ObservationProfiler:
+    """Measure a database's needs on a dedicated machine.
+
+    Usage: place the database alone on ``machine``, run the workload for
+    ``duration`` simulated seconds (the caller drives the client
+    processes), then call :meth:`report` — utilizations are converted to
+    the machine-relative resource vector the placement algorithms pack.
+    """
+
+    def __init__(self, machine: Machine, db_size_mb: float):
+        self.machine = machine
+        self.db_size_mb = db_size_mb
+        self._start_time: Optional[float] = None
+        self._start_cpu_busy = 0.0
+        self._start_disk_busy = 0.0
+
+    def begin(self) -> None:
+        self._start_time = self.machine.sim.now
+        self._start_cpu_busy = self.machine.cpu.busy_time
+        self._start_disk_busy = self.machine.disk.busy_time
+
+    def report(self, committed: int) -> ObservationReport:
+        if self._start_time is None:
+            raise RuntimeError("begin() was not called")
+        elapsed = self.machine.sim.now - self._start_time
+        if elapsed <= 0:
+            raise RuntimeError("observation window has zero length")
+        cpu_busy = self.machine.cpu.busy_time - self._start_cpu_busy
+        disk_busy = self.machine.disk.busy_time - self._start_disk_busy
+        cpu_util = cpu_busy / (self.machine.cpu.capacity * elapsed)
+        disk_util = disk_busy / (self.machine.disk.capacity * elapsed)
+        capacity = self.machine.capacity_vector()
+        requirement = ResourceVector(
+            cpu=cpu_util * capacity.cpu,
+            memory_mb=min(capacity.memory_mb, self.db_size_mb * 0.25 + 16.0),
+            disk_io_mbps=disk_util * capacity.disk_io_mbps,
+            disk_mb=self.db_size_mb * 1.2,
+        )
+        return ObservationReport(elapsed, committed, cpu_util, disk_util,
+                                 requirement)

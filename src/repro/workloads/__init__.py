@@ -1,0 +1,14 @@
+"""Workloads: TPC-W (the paper's benchmark) and a key-value microbench."""
+
+from repro.workloads.microbench import KeyValueWorkload
+from repro.workloads.tpcw import (TpcwClient, TpcwDatabase, TpcwScale,
+                                  MIXES, Mix)
+
+__all__ = [
+    "KeyValueWorkload",
+    "MIXES",
+    "Mix",
+    "TpcwClient",
+    "TpcwDatabase",
+    "TpcwScale",
+]

@@ -1,0 +1,71 @@
+"""A minimal key-value workload for tests and micro-experiments.
+
+Clients issue transactions of point reads and updates over a single
+``kv(k, v)`` table. Cheap enough for unit tests, contended enough (with a
+small key space) to exercise deadlocks, replication, and recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cluster.controller import ClusterController, TransactionAborted
+from repro.sim.rng import SeededRNG
+
+KV_DDL = ["CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"]
+
+
+@dataclass
+class KvStats:
+    committed: int = 0
+    aborted: int = 0
+
+
+class KeyValueWorkload:
+    """Factory for a tiny keyed table plus client processes over it."""
+
+    def __init__(self, controller: ClusterController, db_name: str = "kv",
+                 keys: int = 100, seed: int = 0):
+        self.controller = controller
+        self.db_name = db_name
+        self.keys = keys
+        self.seed = seed
+
+    def install(self, replicas: Optional[int] = None,
+                machines=None) -> None:
+        """Create and load the database on the cluster (setup phase)."""
+        self.controller.create_database(self.db_name, KV_DDL,
+                                        machines=machines,
+                                        replicas=replicas)
+        self.controller.bulk_load(self.db_name, "kv",
+                                  [(k, 0) for k in range(self.keys)])
+
+    def client(self, client_id: int, transactions: int,
+               reads_per_txn: int = 2, writes_per_txn: int = 1,
+               think_time_s: float = 0.0,
+               stats: Optional[KvStats] = None) -> Generator:
+        """Sim process: run ``transactions`` read/update transactions."""
+        rng = SeededRNG(self.seed).fork(f"kv-client-{client_id}")
+        sim = self.controller.sim
+        conn = self.controller.connect(self.db_name)
+        stats = stats if stats is not None else KvStats()
+        for _ in range(transactions):
+            try:
+                for _ in range(reads_per_txn):
+                    yield conn.execute(
+                        "SELECT v FROM kv WHERE k = ?",
+                        (rng.randint(0, self.keys - 1),))
+                for _ in range(writes_per_txn):
+                    yield conn.execute(
+                        "UPDATE kv SET v = v + 1 WHERE k = ?",
+                        (rng.randint(0, self.keys - 1),))
+                yield conn.commit()
+            except TransactionAborted:
+                stats.aborted += 1
+            else:
+                stats.committed += 1
+            if think_time_s > 0:
+                yield sim.timeout(rng.expovariate(1.0 / think_time_s))
+        conn.close()
+        return stats

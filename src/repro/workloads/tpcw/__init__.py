@@ -1,0 +1,22 @@
+"""TPC-W: the transactional web benchmark the paper evaluates with.
+
+The paper "bypassed the application servers and only focused on the
+database operations", so this implementation drives the *database
+transactions* of the 14 TPC-W web interactions directly through cluster
+connections, with the three standard mixes:
+
+* **browsing** — 95 % browse / 5 % order,
+* **shopping** — 80 % browse / 20 % order (the default reporting mix),
+* **ordering** — 50 % browse / 50 % order.
+
+Components: schema DDL (:mod:`schema`), a scaled deterministic data
+generator (:mod:`datagen`), the interaction transaction templates
+(:mod:`transactions`), the mix tables (:mod:`mixes`), and the emulated
+browser client (:mod:`client`).
+"""
+
+from repro.workloads.tpcw.client import TpcwClient
+from repro.workloads.tpcw.datagen import TpcwDatabase, TpcwScale
+from repro.workloads.tpcw.mixes import MIXES, Mix
+
+__all__ = ["MIXES", "Mix", "TpcwClient", "TpcwDatabase", "TpcwScale"]

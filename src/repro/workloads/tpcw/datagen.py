@@ -1,0 +1,219 @@
+"""Deterministic TPC-W data generation at configurable scale.
+
+:class:`TpcwScale` controls cardinalities following the spec's ratios
+(customers per emulated browser, 0.25 authors and 0.9 orders per item,
+etc.), scaled down so a few hundred megabytes of paper-scale data maps to
+a few thousand simulated rows. :class:`TpcwDatabase` generates every
+table's rows with a seeded RNG and tracks the id counters that clients
+use when inserting new customers, orders, and carts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.rng import SeededRNG
+
+SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+]
+
+COUNTRIES = [
+    "United States", "United Kingdom", "Canada", "Germany", "France",
+    "Japan", "Netherlands", "Switzerland", "Australia", "India",
+]
+
+SHIP_TYPES = ["AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL"]
+STATUSES = ["PROCESSING", "SHIPPED", "PENDING", "DENIED"]
+CARD_TYPES = ["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"]
+BACKINGS = ["HARDBACK", "PAPERBACK", "USED", "AUDIO", "LIMITED-ED"]
+
+
+@dataclass(frozen=True)
+class TpcwScale:
+    """Cardinalities for one generated TPC-W database.
+
+    The defaults follow the TPC-W ratios at roughly 1/100 of the paper's
+    smallest configuration; multiply ``items`` to grow the database (all
+    dependent tables scale along).
+    """
+
+    items: int = 1000
+    emulated_browsers: int = 10
+
+    @property
+    def authors(self) -> int:
+        return max(1, self.items // 4)
+
+    @property
+    def customers(self) -> int:
+        return max(10, 29 * self.emulated_browsers)
+
+    @property
+    def addresses(self) -> int:
+        return 2 * self.customers
+
+    @property
+    def orders(self) -> int:
+        return max(1, int(0.9 * self.customers))
+
+    @property
+    def countries(self) -> int:
+        return len(COUNTRIES)
+
+
+def _date(rng: SeededRNG, year_lo: int = 1998, year_hi: int = 2008) -> str:
+    return (f"{rng.randint(year_lo, year_hi):04d}-"
+            f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}")
+
+
+@dataclass
+class IdAllocator:
+    """Shared id counters for client-side inserts (app-server sequences)."""
+
+    next_customer: int
+    next_address: int
+    next_order: int
+    next_cart: int
+
+    def customer(self) -> int:
+        cid = self.next_customer
+        self.next_customer += 1
+        return cid
+
+    def address(self) -> int:
+        aid = self.next_address
+        self.next_address += 1
+        return aid
+
+    def order(self) -> int:
+        oid = self.next_order
+        self.next_order += 1
+        return oid
+
+    def cart(self) -> int:
+        cid = self.next_cart
+        self.next_cart += 1
+        return cid
+
+
+class TpcwDatabase:
+    """Generates and remembers one TPC-W database's contents."""
+
+    def __init__(self, scale: TpcwScale, seed: int = 0):
+        self.scale = scale
+        self.rng = SeededRNG(seed).fork("tpcw-datagen")
+        self.rows: Dict[str, List[Tuple]] = {}
+        self._generate()
+        self.ids = IdAllocator(
+            next_customer=scale.customers + 1,
+            next_address=scale.addresses + 1,
+            next_order=scale.orders + 1,
+            next_cart=scale.emulated_browsers * 4 + 1,
+        )
+
+    # -- generation ----------------------------------------------------------
+
+    def _generate(self) -> None:
+        rng = self.rng
+        scale = self.scale
+        self.rows["country"] = [
+            (i + 1, name, round(rng.uniform(0.5, 2.0), 4), "CUR")
+            for i, name in enumerate(COUNTRIES)
+        ]
+        self.rows["author"] = [
+            (a, f"afn{a}", f"aln{a % max(1, scale.authors // 2)}",
+             None, _date(rng, 1900, 1980), rng.string(40))
+            for a in range(1, scale.authors + 1)
+        ]
+        self.rows["item"] = [
+            (i,
+             f"title{i:06d}",
+             rng.randint(1, scale.authors),
+             _date(rng),
+             f"publisher{rng.randint(1, 50)}",
+             rng.choice(SUBJECTS),
+             rng.string(60),
+             round(rng.uniform(1.0, 100.0), 2),
+             round(rng.uniform(1.0, 90.0), 2),
+             _date(rng, 2008, 2009),
+             rng.randint(10, 30),
+             f"{rng.randint(10 ** 12, 10 ** 13 - 1)}",
+             rng.randint(20, 9999),
+             rng.choice(BACKINGS))
+            for i in range(1, scale.items + 1)
+        ]
+        self.rows["address"] = [
+            (a, rng.string(20), rng.string(20), rng.string(10),
+             rng.string(8), f"{rng.randint(10000, 99999)}",
+             rng.randint(1, len(COUNTRIES)))
+            for a in range(1, scale.addresses + 1)
+        ]
+        self.rows["customer"] = [
+            (c, f"user{c:07d}", rng.string(8), rng.string(8), rng.string(10),
+             rng.randint(1, scale.addresses), f"555{rng.randint(1000000, 9999999)}",
+             f"user{c}@example.com", _date(rng), _date(rng, 2007, 2008),
+             _date(rng, 2008, 2008), _date(rng, 2009, 2010),
+             round(rng.uniform(0.0, 0.5), 2), round(rng.uniform(-100, 500), 2),
+             round(rng.uniform(0, 2000), 2))
+            for c in range(1, scale.customers + 1)
+        ]
+        orders: List[Tuple] = []
+        order_lines: List[Tuple] = []
+        cc_xacts: List[Tuple] = []
+        for o in range(1, scale.orders + 1):
+            c_id = rng.randint(1, scale.customers)
+            sub = round(rng.uniform(10, 500), 2)
+            orders.append((o, c_id, _date(rng, 2007, 2008), sub,
+                           round(sub * 0.0825, 2), round(sub * 1.0825, 2),
+                           rng.choice(SHIP_TYPES), _date(rng, 2008, 2008),
+                           rng.randint(1, scale.addresses),
+                           rng.randint(1, scale.addresses),
+                           rng.choice(STATUSES)))
+            for line in range(1, rng.randint(1, 5) + 1):
+                order_lines.append((o, line, rng.randint(1, scale.items),
+                                    rng.randint(1, 9),
+                                    round(rng.uniform(0, 0.4), 2),
+                                    rng.string(20)))
+            cc_xacts.append((o, rng.choice(CARD_TYPES),
+                             f"{rng.randint(10 ** 15, 10 ** 16 - 1)}",
+                             rng.string(14), _date(rng, 2009, 2012),
+                             rng.string(15), round(sub * 1.0825, 2),
+                             _date(rng, 2008, 2008),
+                             rng.randint(1, len(COUNTRIES))))
+        self.rows["orders"] = orders
+        self.rows["order_line"] = order_lines
+        self.rows["cc_xacts"] = cc_xacts
+        # Pre-created carts: a handful per emulated browser.
+        carts = []
+        cart_lines = []
+        for sc in range(1, scale.emulated_browsers * 4 + 1):
+            carts.append((sc, _date(rng, 2008, 2008)))
+            if rng.random() < 0.5:
+                cart_lines.append((sc, rng.randint(1, scale.items),
+                                   rng.randint(1, 4)))
+        self.rows["shopping_cart"] = carts
+        self.rows["shopping_cart_line"] = cart_lines
+
+    # -- loading helpers -----------------------------------------------------
+
+    def load_into(self, controller, db_name: str) -> None:
+        """Bulk-load every table into all replicas (setup phase)."""
+        for table, rows in self.rows.items():
+            controller.bulk_load(db_name, table, rows)
+
+    def estimated_mb(self) -> float:
+        """Rough generated size (for SLA sizing and reporting)."""
+        total = 0
+        for rows in self.rows.values():
+            for row in rows:
+                total += sum(8 if isinstance(v, (int, float))
+                             else len(str(v)) + 4
+                             for v in row if v is not None) + 8
+        return total / (1024.0 * 1024.0)

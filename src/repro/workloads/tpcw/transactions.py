@@ -1,0 +1,282 @@
+"""The database transactions behind the 14 TPC-W web interactions.
+
+Each interaction is a generator coroutine that drives one cluster
+:class:`~repro.cluster.controller.Connection` — executing statements,
+branching on their results like the benchmark's servlets, and committing
+at the end. A :class:`TpcwSession` binds the interactions to one emulated
+browser's state: its customer id and its dedicated shopping cart.
+
+If any statement aborts (deadlock, rejection, failure) the controller
+raises :class:`TransactionAborted` out of the generator; the client loop
+catches and accounts for it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.cluster.controller import Connection
+from repro.sim.rng import SeededRNG
+from repro.workloads.tpcw.datagen import SUBJECTS, TpcwDatabase
+
+
+class TpcwSession:
+    """One emulated browser's interaction repertoire."""
+
+    def __init__(self, conn: Connection, data: TpcwDatabase,
+                 rng: SeededRNG, customer_id: int, cart_id: int):
+        self.conn = conn
+        self.data = data
+        self.rng = rng
+        self.customer_id = customer_id
+        self.cart_id = cart_id
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _random_item(self) -> int:
+        return self.rng.randint(1, self.data.scale.items)
+
+    def _random_subject(self) -> str:
+        return self.rng.choice(SUBJECTS)
+
+    def _today(self) -> str:
+        return "2008-06-15"
+
+    # -- browse interactions ------------------------------------------------------
+
+    def home(self) -> Generator:
+        """Customer greeting plus promotional items (point reads)."""
+        conn = self.conn
+        yield conn.execute(
+            "SELECT c_fname, c_lname FROM customer WHERE c_id = ?",
+            (self.customer_id,))
+        for _ in range(2):
+            yield conn.execute(
+                "SELECT i_id, i_title, i_cost FROM item WHERE i_id = ?",
+                (self._random_item(),))
+        yield conn.commit()
+
+    def new_products(self) -> Generator:
+        """Newest items in one subject, with their authors."""
+        yield self.conn.execute(
+            "SELECT i_id, i_title, i_pub_date, i_srp, a_fname, a_lname "
+            "FROM item, author WHERE i_subject = ? AND i_a_id = a_id "
+            "ORDER BY i_pub_date DESC, i_title LIMIT 20",
+            (self._random_subject(),))
+        yield self.conn.commit()
+
+    def best_sellers(self) -> Generator:
+        """Top sellers over the most recent orders (two-phase form).
+
+        As in the reference TPC-W implementations: first aggregate the
+        recent order lines alone (order_line rows are insert-only, so
+        these read locks conflict with nothing), then fetch details for
+        just the top items — bounding the catalog rows this interaction
+        touches to the list it displays.
+        """
+        recent = max(1, self.data.ids.next_order - 300)
+        top = yield self.conn.execute(
+            "SELECT ol_i_id, SUM(ol_qty) AS qty FROM order_line "
+            "WHERE ol_o_id >= ? GROUP BY ol_i_id "
+            "ORDER BY qty DESC, ol_i_id LIMIT 10", (recent,))
+        for (item_id, _qty) in top.rows:
+            yield self.conn.execute(
+                "SELECT i_title, i_srp, a_fname, a_lname "
+                "FROM item, author WHERE i_id = ? AND i_a_id = a_id",
+                (item_id,))
+        yield self.conn.commit()
+
+    def product_detail(self) -> Generator:
+        yield self.conn.execute(
+            "SELECT i_title, i_pub_date, i_publisher, i_desc, i_srp, "
+            "i_cost, i_stock, a_fname, a_lname "
+            "FROM item, author WHERE i_id = ? AND i_a_id = a_id",
+            (self._random_item(),))
+        yield self.conn.commit()
+
+    def search_request(self) -> Generator:
+        """The search form page: a light catalog touch."""
+        yield self.conn.execute(
+            "SELECT co_id, co_name FROM country ORDER BY co_id LIMIT 5")
+        yield self.conn.commit()
+
+    def search_results(self) -> Generator:
+        """Search by author (40 %), subject (40 %), or title (20 %)."""
+        kind = self.rng.random()
+        if kind < 0.4:
+            lname = f"aln{self.rng.randint(0, max(0, self.data.scale.authors // 2 - 1))}"
+            yield self.conn.execute(
+                "SELECT i_id, i_title, a_fname, a_lname "
+                "FROM author, item WHERE a_lname = ? AND i_a_id = a_id "
+                "ORDER BY i_title LIMIT 20", (lname,))
+        elif kind < 0.8:
+            yield self.conn.execute(
+                "SELECT i_id, i_title, i_srp FROM item WHERE i_subject = ? "
+                "ORDER BY i_title LIMIT 20", (self._random_subject(),))
+        else:
+            # Title prefix search: exercises the title index range or a
+            # scan, the cold path of the buffer pool.
+            prefix = f"title{self.rng.randint(0, 9)}"
+            yield self.conn.execute(
+                "SELECT i_id, i_title, i_srp FROM item "
+                "WHERE i_title >= ? AND i_title <= ? ORDER BY i_title "
+                "LIMIT 20", (prefix, prefix + "~"))
+        yield self.conn.commit()
+
+    # -- cart / order interactions ----------------------------------------------------
+
+    def shopping_cart(self) -> Generator:
+        """View the cart and (usually) add or bump one item."""
+        conn = self.conn
+        result = yield conn.execute(
+            "SELECT scl_i_id, scl_qty FROM shopping_cart_line "
+            "WHERE scl_sc_id = ?", (self.cart_id,))
+        if self.rng.random() < 0.8:
+            item = self._random_item()
+            existing = {row[0] for row in result.rows}
+            if item in existing:
+                yield conn.execute(
+                    "UPDATE shopping_cart_line SET scl_qty = scl_qty + 1 "
+                    "WHERE scl_sc_id = ? AND scl_i_id = ?",
+                    (self.cart_id, item))
+            else:
+                yield conn.execute(
+                    "INSERT INTO shopping_cart_line VALUES (?, ?, ?)",
+                    (self.cart_id, item, self.rng.randint(1, 3)))
+        yield conn.execute(
+            "UPDATE shopping_cart SET sc_time = ? WHERE sc_id = ?",
+            (self._today(), self.cart_id))
+        yield conn.commit()
+
+    def customer_registration(self) -> Generator:
+        """Create a new customer with a fresh address."""
+        conn = self.conn
+        addr_id = self.data.ids.address()
+        c_id = self.data.ids.customer()
+        yield conn.execute(
+            "INSERT INTO address VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (addr_id, self.rng.string(16), self.rng.string(16),
+             self.rng.string(10), self.rng.string(8),
+             f"{self.rng.randint(10000, 99999)}",
+             self.rng.randint(1, self.data.scale.countries)))
+        yield conn.execute(
+            "INSERT INTO customer VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (c_id, f"user{c_id:07d}", self.rng.string(8),
+             self.rng.string(8), self.rng.string(10), addr_id,
+             f"555{self.rng.randint(1000000, 9999999)}",
+             f"user{c_id}@example.com", self._today(), self._today(),
+             self._today(), "2010-01-01", 0.1, 0.0, 0.0))
+        yield conn.commit()
+        # Future interactions of this browser act as the new customer.
+        self.customer_id = c_id
+
+    def buy_request(self) -> Generator:
+        """Checkout page: customer, address, cart refresh."""
+        conn = self.conn
+        result = yield conn.execute(
+            "SELECT c_fname, c_lname, c_addr_id, c_discount "
+            "FROM customer WHERE c_id = ?", (self.customer_id,))
+        if result.rows:
+            addr_id = result.rows[0][2]
+            yield conn.execute(
+                "SELECT addr_street1, addr_city, addr_zip, co_name "
+                "FROM address, country WHERE addr_id = ? "
+                "AND addr_co_id = co_id", (addr_id,))
+        yield conn.execute(
+            "UPDATE shopping_cart SET sc_time = ? WHERE sc_id = ?",
+            (self._today(), self.cart_id))
+        yield conn.commit()
+
+    def buy_confirm(self) -> Generator:
+        """Place the order: the benchmark's heavyweight write transaction.
+
+        Reads the cart, inserts the order, its lines, and the credit-card
+        transaction, decrements every purchased item's stock (the lock
+        pattern responsible for TPC-W's deadlocks), and clears the cart.
+        """
+        conn = self.conn
+        result = yield conn.execute(
+            "SELECT scl_i_id, scl_qty FROM shopping_cart_line "
+            "WHERE scl_sc_id = ?", (self.cart_id,))
+        lines: List[Tuple[int, int]] = [(r[0], r[1] or 1) for r in result.rows]
+        if not lines:
+            item = self._random_item()
+            lines = [(item, 1)]
+        o_id = self.data.ids.order()
+        subtotal = 0.0
+        costs = []
+        for item_id, qty in lines:
+            # Check-then-decrement on the item: under strict 2PL this is
+            # the benchmark's classic deadlock — two buyers of the same
+            # item both hold S and both try to upgrade to X.
+            price_row = yield conn.execute(
+                "SELECT i_cost, i_stock FROM item WHERE i_id = ?",
+                (item_id,))
+            cost = price_row.scalar() or 10.0
+            costs.append(cost)
+            subtotal += cost * qty
+        tax = round(subtotal * 0.0825, 2)
+        yield conn.execute(
+            "INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (o_id, self.customer_id, self._today(), round(subtotal, 2),
+             tax, round(subtotal + tax, 2), "UPS", self._today(),
+             1, 1, "PENDING"))
+        for line_no, ((item_id, qty), cost) in enumerate(zip(lines, costs),
+                                                         start=1):
+            yield conn.execute(
+                "INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?)",
+                (o_id, line_no, item_id, qty, 0.0, ""))
+            yield conn.execute(
+                "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?",
+                (qty, item_id))
+        yield conn.execute(
+            "INSERT INTO cc_xacts VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (o_id, "VISA", f"{self.rng.randint(10 ** 15, 10 ** 16 - 1)}",
+             self.rng.string(12), "2010-01-01", self.rng.string(10),
+             round(subtotal + tax, 2), self._today(),
+             self.rng.randint(1, self.data.scale.countries)))
+        yield conn.execute(
+            "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
+            (self.cart_id,))
+        yield conn.commit()
+
+    def order_inquiry(self) -> Generator:
+        yield self.conn.execute(
+            "SELECT c_id, c_fname, c_lname FROM customer WHERE c_id = ?",
+            (self.customer_id,))
+        yield self.conn.commit()
+
+    def order_display(self) -> Generator:
+        """The customer's most recent order with lines and payment."""
+        conn = self.conn
+        result = yield conn.execute(
+            "SELECT o_id, o_date, o_total, o_status FROM orders "
+            "WHERE o_c_id = ? ORDER BY o_id DESC LIMIT 1",
+            (self.customer_id,))
+        if result.rows:
+            o_id = result.rows[0][0]
+            yield conn.execute(
+                "SELECT ol_i_id, ol_qty, i_title, i_cost "
+                "FROM order_line, item WHERE ol_o_id = ? AND ol_i_id = i_id",
+                (o_id,))
+            yield conn.execute(
+                "SELECT cx_type, cx_xact_amt, cx_xact_date "
+                "FROM cc_xacts WHERE cx_o_id = ?", (o_id,))
+        yield conn.commit()
+
+    # -- admin interactions ---------------------------------------------------------
+
+    def admin_request(self) -> Generator:
+        yield self.conn.execute(
+            "SELECT i_id, i_title, i_srp, i_cost, i_stock, i_pub_date "
+            "FROM item WHERE i_id = ?", (self._random_item(),))
+        yield self.conn.commit()
+
+    def admin_confirm(self) -> Generator:
+        """Catalog maintenance: re-price and re-date one item."""
+        item = self._random_item()
+        yield self.conn.execute(
+            "UPDATE item SET i_pub_date = ?, i_srp = ? WHERE i_id = ?",
+            (self._today(), round(self.rng.uniform(1.0, 100.0), 2), item))
+        yield self.conn.commit()

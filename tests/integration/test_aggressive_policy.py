@@ -1,0 +1,119 @@
+"""Integration tests specific to the aggressive write policy."""
+
+import pytest
+
+from repro.cluster import ReadOption, WritePolicy
+from repro.cluster.controller import TransactionAborted
+from repro.workloads.microbench import KeyValueWorkload, KvStats
+from tests.conftest import make_kv_cluster, read_table
+
+
+class TestAggressiveWrites:
+    def test_writes_still_reach_all_replicas(self, sim):
+        controller = make_kv_cluster(sim,
+                                     write_policy=WritePolicy.AGGRESSIVE)
+
+        def client():
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 5 WHERE k = 1")
+            yield conn.commit()
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.ok
+        for machine in controller.replica_map.replicas("kv"):
+            assert read_table(controller, machine, "kv",
+                              "SELECT v FROM kv WHERE k = 1") == [(5,)]
+
+    def test_ack_can_arrive_before_all_replicas_finish(self, sim):
+        """The defining behaviour: the client resumes after the first ack.
+
+        We slow one replica's disk by loading it with other work, then
+        check the client's write latency is below the loaded replica's.
+        """
+        controller = make_kv_cluster(sim,
+                                     write_policy=WritePolicy.AGGRESSIVE)
+        replicas = controller.replica_map.replicas("kv")
+        slow = controller.machines[replicas[1]]
+
+        # Saturate the slow machine's disk with a background hold.
+        def hog():
+            yield from slow.disk.use(0.5)
+
+        sim.process(hog())
+        timestamps = {}
+
+        def client():
+            conn = controller.connect("kv")
+            timestamps["start"] = sim.now
+            yield conn.execute("UPDATE kv SET v = 1 WHERE k = 0")
+            timestamps["acked"] = sim.now
+            yield conn.commit()
+            timestamps["committed"] = sim.now
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.ok
+        # The write ack arrived while the slow disk was still busy...
+        assert timestamps["acked"] - timestamps["start"] < 0.4
+        # ...but commit (2PC) had to wait for the slow replica.
+        assert timestamps["committed"] - timestamps["start"] >= 0.4
+
+    def test_poisoned_txn_aborts_on_next_operation(self, sim):
+        controller = make_kv_cluster(sim,
+                                     write_policy=WritePolicy.AGGRESSIVE,
+                                     lock_wait_timeout_s=0.2)
+        replicas = controller.replica_map.replicas("kv")
+        blocker_machine = controller.machines[replicas[1]]
+
+        # A direct engine transaction holds an X lock on k=7 on ONE
+        # replica only, so the cluster write acks on the other replica
+        # and the blocked one times out in the background.
+        blocker = blocker_machine.engine.begin()
+        blocker_machine.engine.execute_sync(
+            blocker, "kv", "UPDATE kv SET v = 99 WHERE k = 7")
+
+        outcome = {}
+
+        def client():
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 1 WHERE k = 7")
+            # First ack arrived; now give the background failure time to
+            # surface, then try to commit.
+            yield sim.timeout(1.0)
+            try:
+                yield conn.commit()
+                outcome["result"] = "committed"
+            except TransactionAborted:
+                outcome["result"] = "aborted"
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.ok
+        assert outcome["result"] == "aborted"
+        blocker_machine.engine.abort(blocker)
+        # No replica kept the poisoned write.
+        for machine in replicas:
+            assert read_table(controller, machine, "kv",
+                              "SELECT v FROM kv WHERE k = 7") == [(0,)]
+
+    def test_aggressive_storm_keeps_replicas_consistent(self, sim):
+        controller = make_kv_cluster(sim, keys=10,
+                                     write_policy=WritePolicy.AGGRESSIVE,
+                                     read_option=ReadOption.OPTION_1,
+                                     lock_wait_timeout_s=0.5)
+        workload = KeyValueWorkload(controller, db_name="kv2", keys=10,
+                                    seed=3)
+        workload.install(replicas=2)
+        stats = [KvStats() for _ in range(6)]
+        for cid in range(6):
+            proc = sim.process(workload.client(cid, transactions=15,
+                                               stats=stats[cid]))
+            proc.defused = True
+        sim.run()
+        assert sum(s.committed for s in stats) > 0
+        replicas = controller.replica_map.replicas("kv2")
+        states = [read_table(controller, m, "kv2",
+                             "SELECT k, v FROM kv ORDER BY k")
+                  for m in replicas]
+        assert states[0] == states[1]

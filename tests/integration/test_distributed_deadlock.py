@@ -1,0 +1,131 @@
+"""Integration tests for the distributed deadlock detector."""
+
+import pytest
+
+from repro.cluster import (ClusterConfig, ClusterController,
+                           DistributedDeadlockDetector, ReadOption,
+                           WritePolicy)
+from repro.cluster.controller import TransactionAborted
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.sim import Simulator
+
+
+def build(detector_period=None, timeout_s=10.0):
+    sim = Simulator()
+    config = ClusterConfig(read_option=ReadOption.OPTION_2,
+                           write_policy=WritePolicy.CONSERVATIVE,
+                           lock_wait_timeout_s=timeout_s)
+    controller = ClusterController(sim, config)
+    controller.add_machines(2)
+    controller.create_database(
+        "db", ["CREATE TABLE kv (k VARCHAR(4) PRIMARY KEY, v INTEGER)"],
+        replicas=2)
+    controller.bulk_load("db", "kv", [("x", 0), ("y", 0)])
+    detector = None
+    if detector_period is not None:
+        detector = DistributedDeadlockDetector(controller,
+                                               period_s=detector_period)
+        detector.start()
+    return sim, controller, detector
+
+
+def cross_machine_deadlock(sim, controller, outcomes):
+    """T1: r(x) w(y); T2: r(y) w(x) — Option 2 reads land on different
+    machines, so the waits-for cycle spans both machines with no local
+    cycle (the paper's distributed-deadlock situation)."""
+
+    def txn(name, read_key, write_key):
+        conn = controller.connect("db")
+        try:
+            yield conn.execute("SELECT v FROM kv WHERE k = ?", (read_key,))
+            yield conn.execute("UPDATE kv SET v = 1 WHERE k = ?",
+                               (write_key,))
+            yield conn.commit()
+            outcomes.append((name, "committed", sim.now))
+        except TransactionAborted as exc:
+            outcomes.append((name, "aborted", sim.now, type(exc.cause)))
+
+    sim.process(txn("T1", "x", "y"))
+    sim.process(txn("T2", "y", "x"))
+
+
+class TestDistributedDeadlockDetector:
+    def test_no_local_cycle_but_global_cycle_found(self):
+        sim, controller, detector = build(detector_period=0.1)
+        cross_machine_deadlock(sim, controller, [])
+        # Step to where both transactions are blocked, then inspect.
+        sim.run(until=0.05)
+        local_cycles = []
+        for machine in controller.live_machines():
+            edges = machine.engine.locks.waits_for_edges()
+            from repro.analysis.serialization_graph import SerializationGraph
+            graph = SerializationGraph(
+                (s, d) for s, ds in edges.items() for d in ds)
+            local_cycles.append(graph.find_cycle())
+        assert all(c is None for c in local_cycles)
+        global_edges = detector.global_waits_for()
+        assert global_edges  # the cross-machine wait exists
+        sim.run(until=30.0)
+
+    def test_detector_resolves_and_one_commits(self):
+        sim, controller, detector = build(detector_period=0.1)
+        outcomes = []
+        cross_machine_deadlock(sim, controller, outcomes)
+        sim.run(until=30.0)
+        verdicts = sorted(o[1] for o in outcomes)
+        assert verdicts == ["aborted", "committed"]
+        assert detector.stats.deadlocks_found >= 1
+        # The aborted one was a deadlock victim, not a timeout.
+        aborted = [o for o in outcomes if o[1] == "aborted"][0]
+        assert aborted[3] is DeadlockError
+
+    def test_victim_is_youngest(self):
+        sim, controller, detector = build(detector_period=0.1)
+        outcomes = []
+        cross_machine_deadlock(sim, controller, outcomes)
+        sim.run(until=30.0)
+        assert detector.stats.victims
+        # Both transactions got ids 1 and 2; the victim must be 2.
+        assert detector.stats.victims[0] == 2
+
+    def test_detector_much_faster_than_timeout(self):
+        # With only the 10 s timeout, resolution takes ~10 s...
+        sim, controller, _ = build(detector_period=None, timeout_s=10.0)
+        outcomes_timeout = []
+        cross_machine_deadlock(sim, controller, outcomes_timeout)
+        sim.run()
+        timeout_resolution = max(o[2] for o in outcomes_timeout)
+        # ...with the detector it takes about one sweep period.
+        sim2, controller2, _ = build(detector_period=0.1, timeout_s=10.0)
+        outcomes_detector = []
+        cross_machine_deadlock(sim2, controller2, outcomes_detector)
+        sim2.run(until=30.0)
+        detector_resolution = max(o[2] for o in outcomes_detector)
+        assert detector_resolution < 1.0
+        assert timeout_resolution >= 10.0
+        assert detector_resolution < timeout_resolution / 10
+
+    def test_quiet_cluster_sweeps_find_nothing(self):
+        sim, controller, detector = build(detector_period=0.05)
+
+        def client():
+            conn = controller.connect("db")
+            yield conn.execute("UPDATE kv SET v = 5 WHERE k = 'x'")
+            yield conn.commit()
+
+        proc = sim.process(client())
+        sim.run(until=1.0)
+        assert proc.ok
+        assert detector.stats.sweeps >= 10
+        assert detector.stats.deadlocks_found == 0
+
+    def test_start_is_idempotent(self):
+        sim, controller, detector = build(detector_period=0.1)
+        detector.start()
+        detector.start()
+        sim.run(until=0.5)
+
+    def test_bad_period_rejected(self):
+        sim, controller, _ = build()
+        with pytest.raises(ValueError):
+            DistributedDeadlockDetector(controller, period_s=0)

@@ -1,0 +1,192 @@
+"""Integration tests for the platform tier (colo + system controllers)."""
+
+import pytest
+
+from repro.cluster.controller import TransactionAborted
+from repro.errors import NoReplicaError, SlaViolationError
+from repro.platform import ColoController, DataPlatform, DatabaseSpec
+from repro.sim import Simulator
+from repro.sla import Sla
+
+DDL = ["CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"]
+
+
+def make_platform(colos=2, machines=8):
+    platform = DataPlatform()
+    for i in range(colos):
+        platform.add_colo(f"colo{i}", free_machines=machines,
+                          location=float(i * 10))
+    return platform
+
+
+def spec(name, tps=1.0, size=50, dr=True):
+    return DatabaseSpec(name=name, ddl=list(DDL),
+                        sla=Sla(tps, 0.001),
+                        expected_size_mb=size, replicas=2,
+                        disaster_recovery=dr)
+
+
+class TestCreateAndConnect:
+    def test_create_places_on_two_colos(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        primary, standby = platform.system.placements["app"]
+        assert primary != standby
+        assert platform.system.colos[primary].hosts("app")
+        assert platform.system.colos[standby].hosts("app")
+
+    def test_duplicate_database_rejected(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        with pytest.raises(SlaViolationError):
+            platform.create_database(spec("app"))
+
+    def test_no_colos_rejected(self):
+        platform = DataPlatform()
+        with pytest.raises(SlaViolationError):
+            platform.create_database(spec("app"))
+
+    def test_connect_unknown_db(self):
+        platform = make_platform()
+        with pytest.raises(NoReplicaError):
+            platform.connect("missing")
+
+    def test_single_colo_no_dr(self):
+        platform = make_platform(colos=1)
+        platform.create_database(spec("app"))
+        primary, standby = platform.system.placements["app"]
+        assert standby is None
+
+    def test_sla_too_big_for_machine(self):
+        platform = make_platform()
+        huge = DatabaseSpec(name="huge", ddl=list(DDL),
+                            sla=Sla(10.0, 0.001),
+                            expected_size_mb=50_000.0, replicas=2)
+        with pytest.raises(SlaViolationError):
+            platform.create_database(huge)
+
+
+class TestEndToEnd:
+    def test_transactions_through_facade(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        platform.bulk_load("app", "t", [(k, 0) for k in range(5)])
+
+        def client():
+            conn = platform.connect("app")
+            yield conn.execute("UPDATE t SET v = v + 1 WHERE k = 2")
+            yield conn.commit()
+            result = yield conn.execute("SELECT v FROM t WHERE k = 2")
+            yield conn.commit()
+            return result.scalar()
+
+        proc = platform.sim.process(client())
+        platform.sim.run()
+        assert proc.ok and proc.value == 1
+
+    def test_async_replication_reaches_standby(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        platform.bulk_load("app", "t", [(k, 0) for k in range(5)])
+
+        def client():
+            conn = platform.connect("app")
+            for _ in range(3):
+                yield conn.execute("UPDATE t SET v = v + 1 WHERE k = 1")
+                yield conn.commit()
+
+        platform.sim.process(client())
+        platform.sim.run()
+        assert platform.system.replication_lag("app") == 0
+        _, standby = platform.system.placements["app"]
+        cluster = platform.system.colos[standby].cluster_of("app")
+        machine = cluster.machines[cluster.replica_map.replicas("app")[0]]
+        txn = machine.engine.begin()
+        value = machine.engine.execute_sync(
+            txn, "app", "SELECT v FROM t WHERE k = 1").scalar()
+        machine.engine.commit(txn)
+        assert value == 3
+
+    def test_colo_failover_serves_from_standby(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        platform.bulk_load("app", "t", [(k, 0) for k in range(5)])
+
+        def phase1():
+            conn = platform.connect("app")
+            yield conn.execute("UPDATE t SET v = 42 WHERE k = 0")
+            yield conn.commit()
+
+        platform.sim.process(phase1())
+        platform.sim.run()
+        primary, _ = platform.system.placements["app"]
+        platform.system.fail_colo(primary)
+
+        def phase2():
+            conn = platform.connect("app")
+            result = yield conn.execute("SELECT v FROM t WHERE k = 0")
+            yield conn.commit()
+            return result.scalar()
+
+        proc = platform.sim.process(phase2())
+        platform.sim.run()
+        assert proc.ok and proc.value == 42
+
+    def test_fail_colo_without_standby_loses_db(self):
+        platform = make_platform(colos=1)
+        platform.create_database(spec("app", dr=False))
+        primary, _ = platform.system.placements["app"]
+        platform.system.fail_colo(primary)
+        with pytest.raises(NoReplicaError):
+            platform.connect("app")
+
+    def test_proximity_routing_prefers_primary(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        primary, _ = platform.system.placements["app"]
+        colo = platform.system.route("app", client_location=0.0)
+        assert colo.name == primary
+
+
+class TestColoController:
+    def test_free_pool_accounting(self):
+        sim = Simulator()
+        colo = ColoController(sim, "c", free_machines=5)
+        cluster = colo.add_cluster(machines=3)
+        assert colo.free_pool == 2
+        assert len(cluster.machines) == 3
+
+    def test_add_cluster_pool_exhausted(self):
+        sim = Simulator()
+        colo = ColoController(sim, "c", free_machines=2)
+        with pytest.raises(SlaViolationError):
+            colo.add_cluster(machines=5)
+
+    def test_provision_extends_cluster(self):
+        sim = Simulator()
+        colo = ColoController(sim, "c", free_machines=4)
+        cluster = colo.add_cluster(machines=2)
+        machine = colo.provision_machine(cluster)
+        assert machine is not None
+        assert len(cluster.machines) == 3
+        assert colo.free_pool == 1
+
+    def test_provision_empty_pool_returns_none(self):
+        sim = Simulator()
+        colo = ColoController(sim, "c", free_machines=2)
+        cluster = colo.add_cluster(machines=2)
+        assert colo.provision_machine(cluster) is None
+
+    def test_placement_extends_from_pool_when_needed(self):
+        sim = Simulator()
+        colo = ColoController(sim, "c", free_machines=6)
+        colo.add_cluster(machines=2)
+        from repro.sla.model import ResourceVector
+        # Each replica nearly fills a machine: 2 dbs x 2 replicas force
+        # provisioning beyond the initial 2 machines.
+        big = ResourceVector(cpu=1.5, memory_mb=100, disk_io_mbps=1,
+                             disk_mb=100)
+        colo.place_database("db1", list(DDL), big, replicas=2)
+        colo.place_database("db2", list(DDL), big, replicas=2)
+        cluster = colo.cluster_of("db2")
+        assert len(cluster.machines) == 4

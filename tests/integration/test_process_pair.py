@@ -1,0 +1,103 @@
+"""Integration tests for cluster-controller process-pair failover."""
+
+from repro.cluster.process_pair import ProcessPairBackup
+from repro.engine.transactions import TxnState
+from tests.conftest import make_kv_cluster, read_table
+
+
+class TestProcessPair:
+    def test_clean_commits_leave_no_decisions(self, sim):
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+
+        def client():
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+            yield conn.commit()
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.ok
+        assert backup.decisions == {}
+
+    def test_takeover_completes_decided_commit(self, sim):
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+        replicas = controller.replica_map.replicas("kv")
+
+        # Drive a transaction manually up to the decision point: all
+        # participants PREPARED and the decision mirrored, but no COMMIT
+        # messages sent (the primary dies exactly there).
+        txn_id = 4242
+        for name in replicas:
+            machine = controller.machines[name]
+            txn = machine.engine.begin(txn_id)
+            machine.engine.execute_sync(
+                txn, "kv", "UPDATE kv SET v = 99 WHERE k = 5")
+            machine.engine.prepare(txn)
+        backup.log_decision(txn_id, "commit", list(replicas))
+
+        committed, aborted = backup.take_over()
+        assert committed == [txn_id]
+        assert txn_id not in aborted
+        for name in replicas:
+            assert read_table(controller, name, "kv",
+                              "SELECT v FROM kv WHERE k = 5") == [(99,)]
+
+    def test_takeover_aborts_undecided_transactions(self, sim):
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+        replicas = controller.replica_map.replicas("kv")
+
+        txn_id = 777
+        for name in replicas:
+            machine = controller.machines[name]
+            txn = machine.engine.begin(txn_id)
+            machine.engine.execute_sync(
+                txn, "kv", "UPDATE kv SET v = 5 WHERE k = 3")
+        # No prepare, no decision: in transit when the primary dies.
+        committed, aborted = backup.take_over()
+        assert committed == []
+        assert txn_id in aborted
+        for name in replicas:
+            assert read_table(controller, name, "kv",
+                              "SELECT v FROM kv WHERE k = 3") == [(0,)]
+            engine_txn = controller.machines[name].engine.transactions[txn_id]
+            assert engine_txn.state is TxnState.ABORTED
+
+    def test_takeover_aborts_prepared_but_undecided(self, sim):
+        # Prepared everywhere but the decision never reached the backup:
+        # presumed abort.
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+        replicas = controller.replica_map.replicas("kv")
+        txn_id = 888
+        for name in replicas:
+            machine = controller.machines[name]
+            txn = machine.engine.begin(txn_id)
+            machine.engine.execute_sync(
+                txn, "kv", "UPDATE kv SET v = 8 WHERE k = 8")
+            machine.engine.prepare(txn)
+        committed, aborted = backup.take_over()
+        assert txn_id in aborted
+        for name in replicas:
+            assert read_table(controller, name, "kv",
+                              "SELECT v FROM kv WHERE k = 8") == [(0,)]
+
+    def test_takeover_skips_dead_machines(self, sim):
+        controller = make_kv_cluster(sim, machines=3)
+        backup = ProcessPairBackup(controller)
+        replicas = controller.replica_map.replicas("kv")
+        txn_id = 999
+        for name in replicas:
+            machine = controller.machines[name]
+            txn = machine.engine.begin(txn_id)
+            machine.engine.execute_sync(
+                txn, "kv", "UPDATE kv SET v = 9 WHERE k = 9")
+            machine.engine.prepare(txn)
+        backup.log_decision(txn_id, "commit", list(replicas))
+        controller.fail_machine(replicas[1])
+        committed, _ = backup.take_over()
+        assert committed == [txn_id]
+        assert read_table(controller, replicas[0], "kv",
+                          "SELECT v FROM kv WHERE k = 9") == [(9,)]

@@ -1,0 +1,76 @@
+"""Integration test for the Section 4.2 observational profiling workflow:
+place a new database alone on a free machine, drive its workload for a
+while, measure its resource vector, then use it for placement.
+"""
+
+import pytest
+
+from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
+from repro.sla.profiler import ObservationProfiler
+from repro.workloads.microbench import KeyValueWorkload
+from tests.conftest import make_cluster
+
+
+class TestObservationProfiler:
+    def _profile(self, sim, writes_per_txn):
+        controller = make_cluster(sim, machines=1)
+        workload = KeyValueWorkload(controller, keys=200, seed=4)
+        workload.install(replicas=1)
+        machine = controller.machines[
+            controller.replica_map.replicas("kv")[0]]
+        profiler = ObservationProfiler(machine, db_size_mb=100.0)
+        profiler.begin()
+        procs = [sim.process(workload.client(
+            cid, transactions=40, writes_per_txn=writes_per_txn,
+            think_time_s=0.01)) for cid in range(3)]
+        sim.run()
+        committed = sum(p.value.committed for p in procs)
+        return profiler.report(committed), machine
+
+    def test_report_fields(self, sim):
+        report, machine = self._profile(sim, writes_per_txn=1)
+        assert report.committed > 0
+        assert report.duration_s > 0
+        assert 0 <= report.cpu_utilization <= 1
+        assert 0 <= report.disk_utilization <= 1
+        requirement = report.requirement
+        assert requirement.fits_within(machine.capacity_vector())
+        assert requirement.disk_mb == pytest.approx(120.0)
+
+    def test_heavier_writes_need_more_disk_io_per_tps(self):
+        from repro.sim import Simulator
+        light_report, _ = self._profile(Simulator(), writes_per_txn=0)
+        heavy_report, _ = self._profile(Simulator(), writes_per_txn=4)
+        # Per unit of SLA throughput, write-heavy transactions need more
+        # disk bandwidth (per-commit log flushes + more page writes).
+        target = 10.0
+        light = light_report.requirement_for(target)
+        heavy = heavy_report.requirement_for(target)
+        assert heavy.disk_io_mbps > light.disk_io_mbps
+        assert heavy.cpu > light.cpu
+
+    def test_requirement_for_scales_linearly(self, sim):
+        report, _ = self._profile(sim, writes_per_txn=1)
+        one = report.requirement_for(1.0)
+        ten = report.requirement_for(10.0)
+        assert ten.cpu == pytest.approx(10 * one.cpu)
+        assert ten.memory_mb == one.memory_mb  # size-driven, not scaled
+
+    def test_begin_required(self, sim):
+        controller = make_cluster(sim, machines=1)
+        machine = list(controller.machines.values())[0]
+        profiler = ObservationProfiler(machine, db_size_mb=10)
+        with pytest.raises(RuntimeError):
+            profiler.report(0)
+
+    def test_profile_feeds_placement(self, sim):
+        report, machine = self._profile(sim, writes_per_txn=1)
+        load = DatabaseLoad("profiled", report.requirement, replicas=2)
+        counter = [0]
+
+        def new_bin():
+            counter[0] += 1
+            return MachineBin(f"m{counter[0]}", machine.capacity_vector())
+
+        placement = first_fit([load], bins=[], new_bin=new_bin)
+        assert placement.machines_used == 2

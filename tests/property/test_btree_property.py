@@ -1,0 +1,87 @@
+"""Property-based tests: the B+Tree against a dict model."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.engine.btree import BPlusTree
+
+keys = st.integers(min_value=0, max_value=200)
+rids = st.integers(min_value=0, max_value=20)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(keys, rids)))
+def test_insert_matches_model(pairs):
+    tree = BPlusTree(order=5)
+    model = defaultdict(list)
+    for key, rid in pairs:
+        tree.insert((key,), rid)
+        model[key].append(rid)
+    tree.check_invariants()
+    for key, vals in model.items():
+        assert sorted(tree.search((key,))) == sorted(vals)
+    assert len(tree) == len(model)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(keys, rids)), st.data())
+def test_range_scan_matches_model(pairs, data):
+    tree = BPlusTree(order=4)
+    model = defaultdict(list)
+    for key, rid in pairs:
+        tree.insert((key,), rid)
+        model[key].append(rid)
+    lo = data.draw(keys)
+    hi = data.draw(keys)
+    if lo > hi:
+        lo, hi = hi, lo
+    got = {k[0]: sorted(v) for k, v in tree.range_scan((lo,), (hi,))}
+    want = {k: sorted(v) for k, v in model.items() if lo <= k <= hi}
+    assert got == want
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful test: arbitrary interleavings of insert/delete."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model = defaultdict(list)
+
+    @rule(key=keys, rid=rids)
+    def insert(self, key, rid):
+        self.tree.insert((key,), rid)
+        self.model[key].append(rid)
+
+    @rule(key=keys, rid=rids)
+    def delete(self, key, rid):
+        expected = rid in self.model.get(key, [])
+        assert self.tree.delete((key,), rid) is expected
+        if expected:
+            self.model[key].remove(rid)
+            if not self.model[key]:
+                del self.model[key]
+
+    @rule(key=keys)
+    def search(self, key):
+        assert sorted(self.tree.search((key,))) == \
+            sorted(self.model.get(key, []))
+
+    @invariant()
+    def structure_holds(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def iteration_sorted(self):
+        listed = [k[0] for k, _ in self.tree.items()]
+        assert listed == sorted(self.model.keys())
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(max_examples=25,
+                                      stateful_step_count=40,
+                                      deadline=None)

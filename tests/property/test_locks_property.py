@@ -1,0 +1,107 @@
+"""Property-based tests for the lock manager's safety invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.locks import LockManager, LockMode, compatible
+from repro.errors import DeadlockError
+
+txn_ids = st.integers(min_value=1, max_value=6)
+resources = st.sampled_from([("row", "db", "t", i) for i in range(4)]
+                            + [("tbl", "db", "t")])
+modes = st.sampled_from(list(LockMode))
+
+
+class Action:
+    pass
+
+
+actions = st.one_of(
+    st.tuples(st.just("acquire"), txn_ids, resources, modes),
+    st.tuples(st.just("release"), txn_ids),
+    st.tuples(st.just("release_shared"), txn_ids),
+)
+
+
+def check_lock_table_invariants(manager: LockManager):
+    """Core safety: holders pairwise compatible; no granted duplicates."""
+    for resource, table in manager._tables.items():
+        holders = list(table.holders.items())
+        for i, (txn_a, mode_a) in enumerate(holders):
+            for txn_b, mode_b in holders[i + 1:]:
+                assert compatible(mode_a, mode_b) or \
+                    compatible(mode_b, mode_a), (
+                        f"incompatible co-holders on {resource}: "
+                        f"{txn_a}:{mode_a} vs {txn_b}:{mode_b}")
+        for request in table.queue:
+            assert not request.granted
+            assert request.error is None
+        # A queued head must actually be blocked by someone.
+        if table.queue:
+            head = table.queue[0]
+            blocked = any(
+                not compatible(mode, head.mode)
+                for txn, mode in table.holders.items()
+                if txn != head.txn_id)
+            assert blocked, f"head of queue on {resource} is not blocked"
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(actions, max_size=60))
+def test_lock_manager_invariants_hold(sequence):
+    manager = LockManager()
+    # A transaction with a pending request may not issue another acquire;
+    # track that to drive the API legally.
+    pending = set()
+    for action in sequence:
+        if action[0] == "acquire":
+            _, txn, resource, mode = action
+            if txn in pending:
+                continue
+            try:
+                request = manager.acquire(txn, resource, mode)
+            except DeadlockError:
+                # Victim aborts: release everything it holds.
+                manager.release_all(txn)
+                pending.discard(txn)
+            else:
+                if not request.granted:
+                    pending.add(txn)
+                    request.on_grant.append(
+                        lambda r: pending.discard(r.txn_id))
+                    request.on_fail.append(
+                        lambda r: pending.discard(r.txn_id))
+        elif action[0] == "release":
+            manager.release_all(action[1])
+            pending.discard(action[1])
+        else:
+            if action[1] not in pending:
+                manager.release_shared(action[1])
+        check_lock_table_invariants(manager)
+
+    # Drain: releasing everyone must leave the manager empty.
+    for txn in range(1, 7):
+        manager.release_all(txn)
+    assert not manager._tables
+    assert not manager._waiting
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(txn_ids, resources), min_size=2, max_size=30))
+def test_exclusive_acquires_never_coexist(pairs):
+    """Two different txns never both hold X on one resource."""
+    manager = LockManager()
+    for txn, resource in pairs:
+        if manager.waiting_request(txn) is not None:
+            continue
+        try:
+            manager.acquire(txn, resource, LockMode.X)
+        except DeadlockError:
+            manager.release_all(txn)
+        holders_by_resource = {}
+        for owner in range(1, 7):
+            for res, mode in manager.held(owner).items():
+                if mode is LockMode.X:
+                    assert res not in holders_by_resource, (
+                        f"double X on {res}")
+                    holders_by_resource[res] = owner

@@ -1,0 +1,91 @@
+"""Property test: the paper's Theorems 1 and 2 over random workloads.
+
+Any execution the cluster produces under a *serializable* configuration
+(Option 1 under either policy; any option under the conservative policy)
+must yield an acyclic global serialization graph. Randomized clients,
+keys, and timings probe the space of interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_one_copy_serializable
+from repro.cluster import (ClusterConfig, ClusterController, ReadOption,
+                           WritePolicy)
+from repro.cluster.controller import TransactionAborted
+from repro.sim import Simulator
+from repro.sim.rng import SeededRNG
+
+
+def run_random_workload(option, policy, seed, clients, keys):
+    sim = Simulator()
+    config = ClusterConfig(read_option=option, write_policy=policy,
+                           record_history=True, lock_wait_timeout_s=0.5)
+    controller = ClusterController(sim, config)
+    controller.add_machines(3)
+    controller.create_database(
+        "db", ["CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"],
+        replicas=2)
+    controller.bulk_load("db", "kv", [(k, 0) for k in range(keys)])
+
+    def client(cid):
+        rng = SeededRNG(seed).fork(f"c{cid}")
+        conn = controller.connect("db")
+        for _ in range(5):
+            try:
+                if rng.random() < 0.5:
+                    yield conn.execute("SELECT v FROM kv WHERE k = ?",
+                                       (rng.randint(0, keys - 1),))
+                yield conn.execute("UPDATE kv SET v = v + 1 WHERE k = ?",
+                                   (rng.randint(0, keys - 1),))
+                if rng.random() < 0.3:
+                    yield conn.execute("SELECT v FROM kv WHERE k = ?",
+                                       (rng.randint(0, keys - 1),))
+                yield conn.commit()
+            except TransactionAborted:
+                pass
+            yield sim.timeout(rng.uniform(0, 0.001))
+
+    for cid in range(clients):
+        sim.process(client(cid))
+    sim.run()
+    return controller
+
+
+SAFE_CONFIGS = [
+    (ReadOption.OPTION_1, WritePolicy.AGGRESSIVE),
+    (ReadOption.OPTION_1, WritePolicy.CONSERVATIVE),
+    (ReadOption.OPTION_2, WritePolicy.CONSERVATIVE),
+    (ReadOption.OPTION_3, WritePolicy.CONSERVATIVE),
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       config=st.sampled_from(SAFE_CONFIGS),
+       clients=st.integers(min_value=2, max_value=5),
+       keys=st.integers(min_value=2, max_value=6))
+def test_theorems_1_and_2_hold(seed, config, clients, keys):
+    option, policy = config
+    controller = run_random_workload(option, policy, seed, clients, keys)
+    ok, cycle = check_one_copy_serializable(controller.history)
+    assert ok, (f"serializable config {option}/{policy} produced cycle "
+                f"{cycle} at seed {seed}")
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       config=st.sampled_from(SAFE_CONFIGS),
+       clients=st.integers(min_value=2, max_value=4))
+def test_replicas_converge(seed, config, clients):
+    option, policy = config
+    controller = run_random_workload(option, policy, seed, clients, keys=4)
+    replicas = controller.replica_map.replicas("db")
+    states = []
+    for name in replicas:
+        engine = controller.machines[name].engine
+        txn = engine.begin()
+        states.append(engine.execute_sync(
+            txn, "db", "SELECT k, v FROM kv ORDER BY k").rows)
+        engine.commit(txn)
+    assert states[0] == states[1], f"replica divergence at seed {seed}"

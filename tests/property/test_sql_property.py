@@ -1,0 +1,126 @@
+"""Property-based tests: SQL query results against a Python model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Engine
+
+values = st.integers(min_value=-50, max_value=50)
+rows_strategy = st.lists(
+    st.tuples(values, values),
+    max_size=40,
+    unique_by=lambda r: r[0],
+)
+
+
+def build(rows):
+    engine = Engine()
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    for k, v in rows:
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?)", (k, v))
+    engine.commit(txn)
+    return engine
+
+
+def query(engine, sql, params=()):
+    txn = engine.begin()
+    try:
+        return engine.execute_sync(txn, "db", sql, params)
+    finally:
+        engine.commit(txn)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows_strategy, values, values)
+def test_range_filter_matches_model(rows, lo, hi):
+    engine = build(rows)
+    result = query(engine,
+                   "SELECT k FROM t WHERE k >= ? AND k <= ? ORDER BY k",
+                   (lo, hi))
+    expected = sorted(k for k, _ in rows if lo <= k <= hi)
+    assert [r[0] for r in result.rows] == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows_strategy, values)
+def test_point_lookup_matches_model(rows, probe):
+    engine = build(rows)
+    result = query(engine, "SELECT v FROM t WHERE k = ?", (probe,))
+    expected = [v for k, v in rows if k == probe]
+    assert [r[0] for r in result.rows] == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows_strategy)
+def test_aggregates_match_model(rows):
+    engine = build(rows)
+    result = query(engine, "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t")
+    count, total, low, high = result.rows[0]
+    assert count == len(rows)
+    if rows:
+        vs = [v for _, v in rows]
+        assert total == sum(vs)
+        assert low == min(vs)
+        assert high == max(vs)
+    else:
+        assert total is None and low is None and high is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows_strategy, values)
+def test_update_then_read_consistent(rows, delta):
+    engine = build(rows)
+    query(engine, "UPDATE t SET v = v + ?", (delta,))
+    result = query(engine, "SELECT k, v FROM t ORDER BY k")
+    expected = sorted((k, v + delta) for k, v in rows)
+    assert result.rows == [tuple(e) for e in expected]
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows_strategy, values)
+def test_delete_matches_model(rows, threshold):
+    engine = build(rows)
+    result = query(engine, "DELETE FROM t WHERE v < ?", (threshold,))
+    expected_deleted = sum(1 for _, v in rows if v < threshold)
+    assert result.rowcount == expected_deleted
+    remaining = query(engine, "SELECT COUNT(*) FROM t").scalar()
+    assert remaining == len(rows) - expected_deleted
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_abort_is_identity(rows):
+    engine = build(rows)
+    before = query(engine, "SELECT k, v FROM t ORDER BY k").rows
+    txn = engine.begin()
+    engine.execute_sync(txn, "db", "UPDATE t SET v = 0")
+    engine.execute_sync(txn, "db", "INSERT INTO t VALUES (999, 1)")
+    engine.execute_sync(txn, "db", "DELETE FROM t WHERE k >= 0")
+    engine.abort(txn)
+    after = query(engine, "SELECT k, v FROM t ORDER BY k").rows
+    assert before == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy, st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=10))
+def test_limit_offset_window(rows, limit, offset):
+    engine = build(rows)
+    result = query(engine,
+                   f"SELECT k FROM t ORDER BY k LIMIT {limit} OFFSET {offset}")
+    expected = sorted(k for k, _ in rows)[offset:offset + limit]
+    assert [r[0] for r in result.rows] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_group_by_matches_model(rows):
+    engine = build(rows)
+    result = query(engine, "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v")
+    model = {}
+    for _, v in rows:
+        model[v] = model.get(v, 0) + 1
+    assert result.rows == sorted(model.items())

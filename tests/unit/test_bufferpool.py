@@ -1,0 +1,70 @@
+"""Unit tests for the LRU buffer-pool model."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+
+
+class TestBufferPool:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_first_access_is_miss_second_is_hit(self):
+        pool = BufferPool(4)
+        assert pool.access(("db", "t", 0)) is False
+        assert pool.access(("db", "t", 0)) is True
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.access(("p", 1))
+        pool.access(("p", 2))
+        pool.access(("p", 1))     # p1 most recent
+        pool.access(("p", 3))     # evicts p2
+        assert pool.resident(("p", 1))
+        assert not pool.resident(("p", 2))
+        assert pool.resident(("p", 3))
+        assert pool.stats.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        pool = BufferPool(8)
+        for i in range(100):
+            pool.access(("p", i))
+        assert len(pool) == 8
+
+    def test_access_many_report(self):
+        pool = BufferPool(10)
+        report = pool.access_many([("p", i) for i in range(5)])
+        assert report.misses == 5 and report.hits == 0
+        report = pool.access_many([("p", i) for i in range(5)])
+        assert report.hits == 5 and report.misses == 0
+
+    def test_invalidate_prefix(self):
+        pool = BufferPool(10)
+        pool.access(("db1", "t", 0))
+        pool.access(("db1", "t", 1))
+        pool.access(("db2", "t", 0))
+        dropped = pool.invalidate_prefix(("db1",))
+        assert dropped == 2
+        assert not pool.resident(("db1", "t", 0))
+        assert pool.resident(("db2", "t", 0))
+
+    def test_hit_rate(self):
+        pool = BufferPool(4)
+        pool.access(("p", 1))
+        pool.access(("p", 1))
+        pool.access(("p", 1))
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert BufferPool(4).stats.hit_rate == 0.0
+
+    def test_resident_probe_does_not_touch(self):
+        pool = BufferPool(2)
+        pool.access(("p", 1))
+        pool.access(("p", 2))
+        pool.resident(("p", 1))   # must NOT refresh recency
+        pool.access(("p", 3))     # evicts p1 (oldest by access)
+        assert not pool.resident(("p", 1))

@@ -1,0 +1,22 @@
+"""Unit tests for the harness CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_table2_prints_table(self, capsys):
+        code = main(["table2", "--databases", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Skew Factor" in out
+        assert "Optimal Solution" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_duration_flag_parsed(self, capsys):
+        code = main(["table2", "--databases", "6", "--seed", "9"])
+        assert code == 0

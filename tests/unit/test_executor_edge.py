@@ -1,0 +1,149 @@
+"""Executor edge cases: three-valued logic, NULL handling, join corners."""
+
+import pytest
+
+from repro.engine import Engine
+
+
+@pytest.fixture
+def eng():
+    engine = Engine()
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, "
+                        "v INTEGER, s VARCHAR(10))")
+    rows = [(1, 10, "a"), (2, None, "b"), (3, 30, None), (4, 10, "d")]
+    for row in rows:
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?, ?)", row)
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE u (k INTEGER PRIMARY KEY, "
+                        "tv INTEGER)")
+    for k, tv in [(1, 10), (2, 30), (3, None)]:
+        engine.execute_sync(txn, "db", "INSERT INTO u VALUES (?, ?)", (k, tv))
+    engine.commit(txn)
+    return engine
+
+
+def q(engine, sql, params=()):
+    txn = engine.begin()
+    try:
+        return engine.execute_sync(txn, "db", sql, params)
+    finally:
+        engine.commit(txn)
+
+
+class TestThreeValuedLogic:
+    def test_null_comparison_excludes_row(self, eng):
+        assert q(eng, "SELECT COUNT(*) FROM t WHERE v = 10").scalar() == 2
+        assert q(eng, "SELECT COUNT(*) FROM t WHERE v <> 10").scalar() == 1
+
+    def test_null_neither_in_nor_not_in(self, eng):
+        in_count = q(eng, "SELECT COUNT(*) FROM t WHERE v IN (10, 30)"
+                     ).scalar()
+        not_in = q(eng, "SELECT COUNT(*) FROM t WHERE v NOT IN (10, 30)"
+                   ).scalar()
+        assert in_count == 3
+        assert not_in == 0  # the NULL row matches neither
+
+    def test_null_in_list_item_makes_unknown(self, eng):
+        # v NOT IN (10, NULL): rows with v != 10 compare unknown vs NULL.
+        count = q(eng, "SELECT COUNT(*) FROM t WHERE v NOT IN (10, NULL)"
+                  ).scalar()
+        assert count == 0
+
+    def test_or_with_unknown(self, eng):
+        # v = 10 OR v IS NULL covers both sides.
+        count = q(eng, "SELECT COUNT(*) FROM t WHERE v = 10 OR v IS NULL"
+                  ).scalar()
+        assert count == 3
+
+    def test_not_unknown_is_unknown(self, eng):
+        count = q(eng, "SELECT COUNT(*) FROM t WHERE NOT (v = 10)").scalar()
+        assert count == 1  # only v=30; NULL row excluded
+
+    def test_between_with_null_bound(self, eng):
+        count = q(eng, "SELECT COUNT(*) FROM t WHERE v BETWEEN NULL AND 100"
+                  ).scalar()
+        assert count == 0
+
+    def test_arithmetic_null_propagates(self, eng):
+        rows = q(eng, "SELECT v + 1 FROM t ORDER BY k").rows
+        assert rows[1] == (None,)
+
+
+class TestSortingAndNulls:
+    def test_nulls_sort_first_ascending(self, eng):
+        rows = q(eng, "SELECT v FROM t ORDER BY v").rows
+        assert rows[0] == (None,)
+        assert [r[0] for r in rows[1:]] == [10, 10, 30]
+
+    def test_nulls_sort_last_descending(self, eng):
+        rows = q(eng, "SELECT v FROM t ORDER BY v DESC").rows
+        assert rows[-1] == (None,)
+
+    def test_multi_key_sort(self, eng):
+        rows = q(eng, "SELECT v, k FROM t ORDER BY v DESC, k DESC").rows
+        assert rows == [(30, 3), (10, 4), (10, 1), (None, 2)]
+
+
+class TestJoins:
+    def test_hash_join_skips_null_keys(self, eng):
+        # u.tv = t.v: u row with NULL tv and t row with NULL v never join.
+        rows = q(eng, "SELECT u.k, t.k FROM u, t WHERE u.tv = t.v "
+                      "ORDER BY u.k, t.k").rows
+        assert rows == [(1, 1), (1, 4), (2, 3)]
+
+    def test_cross_join_count(self, eng):
+        count = q(eng, "SELECT COUNT(*) FROM t, u").scalar()
+        assert count == 4 * 3
+
+    def test_join_with_extra_filter(self, eng):
+        rows = q(eng, "SELECT t.k FROM t, u WHERE u.tv = t.v AND t.s = 'a'"
+                 ).rows
+        assert rows == [(1,)]
+
+    def test_self_join_via_aliases(self, eng):
+        rows = q(eng, "SELECT a.k, b.k FROM t a, t b "
+                      "WHERE a.v = b.v AND a.k < b.k").rows
+        assert rows == [(1, 4)]
+
+
+class TestGroupingEdges:
+    def test_group_by_null_groups_together(self, eng):
+        rows = q(eng, "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v").rows
+        assert (None, 1) in rows
+
+    def test_count_column_skips_nulls(self, eng):
+        result = q(eng, "SELECT COUNT(v), COUNT(*) FROM t")
+        assert result.rows == [(3, 4)]
+
+    def test_avg_skips_nulls(self, eng):
+        result = q(eng, "SELECT AVG(v) FROM t")
+        assert result.scalar() == pytest.approx(50 / 3)
+
+    def test_distinct_aggregate(self, eng):
+        assert q(eng, "SELECT COUNT(DISTINCT v) FROM t").scalar() == 2
+        assert q(eng, "SELECT SUM(DISTINCT v) FROM t").scalar() == 40
+
+    def test_group_key_plus_arithmetic(self, eng):
+        rows = q(eng, "SELECT v, COUNT(*) * 2 FROM t GROUP BY v "
+                      "ORDER BY v").rows
+        assert rows == [(None, 2), (10, 4), (30, 2)]
+
+
+class TestParams:
+    def test_missing_param_raises(self, eng):
+        from repro.errors import SqlError
+        txn = eng.begin()
+        with pytest.raises(SqlError):
+            eng.execute_sync(txn, "db", "SELECT v FROM t WHERE k = ?")
+        eng.abort(txn)
+
+    def test_param_in_projection(self, eng):
+        result = q(eng, "SELECT k + ? FROM t WHERE k = 1", (100,))
+        assert result.scalar() == 101
+
+    def test_params_positional_order(self, eng):
+        result = q(eng, "SELECT k FROM t WHERE k > ? AND k < ?", (1, 4))
+        assert [r[0] for r in result.rows] == [2, 3]

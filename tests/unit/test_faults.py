@@ -1,0 +1,51 @@
+"""Unit tests for the failure injector's victim selection."""
+
+import pytest
+
+from repro.harness.faults import FailureInjector
+from tests.conftest import make_kv_cluster
+
+
+class TestVictimSelection:
+    def test_candidates_exclude_last_replicas(self, sim):
+        controller = make_kv_cluster(sim, machines=3)
+        injector = FailureInjector(controller, mtbf_s=10.0,
+                                   min_live_machines=1)
+        replicas = controller.replica_map.replicas("kv")
+        controller.fail_machine(replicas[0])
+        # The surviving replica must be spared.
+        survivor = controller.live_replicas("kv")[0]
+        assert survivor not in injector._candidates()
+
+    def test_candidates_respect_min_live(self, sim):
+        controller = make_kv_cluster(sim, machines=2)
+        injector = FailureInjector(controller, mtbf_s=10.0,
+                                   min_live_machines=2)
+        assert injector._candidates() == []
+
+    def test_spare_disabled_allows_all(self, sim):
+        controller = make_kv_cluster(sim, machines=3)
+        injector = FailureInjector(controller, mtbf_s=10.0,
+                                   min_live_machines=1,
+                                   spare_last_replicas=False)
+        assert len(injector._candidates()) == 3
+
+    def test_stop_before_start_is_noop(self, sim):
+        controller = make_kv_cluster(sim, machines=2)
+        injector = FailureInjector(controller, mtbf_s=10.0)
+        injector.stop()
+
+    def test_deterministic_for_seed(self):
+        from repro.sim import Simulator
+        events = []
+        for _ in range(2):
+            sim = Simulator()
+            controller = make_kv_cluster(sim, machines=5)
+            injector = FailureInjector(controller, mtbf_s=3.0, seed=11,
+                                       min_live_machines=2)
+            injector.start()
+            sim.run(until=30.0)
+            injector.stop()
+            events.append([(e.when, e.machine) for e in injector.events])
+        assert events[0] == events[1]
+        assert events[0], "expected at least one failure in 30 s"

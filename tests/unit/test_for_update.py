@@ -1,0 +1,83 @@
+"""Unit tests for SELECT ... FOR UPDATE."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.locks import LockMode
+from repro.errors import WouldBlockError
+
+
+@pytest.fixture
+def eng():
+    engine = Engine()
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    for k in range(10):
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?)", (k, 0))
+    engine.commit(txn)
+    return engine
+
+
+class TestForUpdate:
+    def test_takes_exclusive_row_lock(self, eng):
+        txn = eng.begin()
+        eng.execute_sync(txn, "db",
+                         "SELECT v FROM t WHERE k = 3 FOR UPDATE")
+        held = eng.locks.held(txn.txn_id)
+        row = ("row", "db", "t", 3)
+        assert held[row] is LockMode.X
+        eng.commit(txn)
+
+    def test_blocks_other_readers(self, eng):
+        txn1 = eng.begin()
+        eng.execute_sync(txn1, "db",
+                         "SELECT v FROM t WHERE k = 3 FOR UPDATE")
+        txn2 = eng.begin()
+        with pytest.raises(WouldBlockError):
+            eng.execute_sync(txn2, "db", "SELECT v FROM t WHERE k = 3")
+        eng.abort(txn2)
+        eng.commit(txn1)
+
+    def test_plain_select_still_shared(self, eng):
+        txn1 = eng.begin()
+        eng.execute_sync(txn1, "db", "SELECT v FROM t WHERE k = 3")
+        txn2 = eng.begin()
+        eng.execute_sync(txn2, "db", "SELECT v FROM t WHERE k = 3")
+        eng.commit(txn1)
+        eng.commit(txn2)
+
+    def test_no_upgrade_needed_before_update(self, eng):
+        """The classic pattern: read FOR UPDATE then write — no S->X
+        upgrade, so the upgrade-deadlock window disappears."""
+        txn = eng.begin()
+        eng.execute_sync(txn, "db",
+                         "SELECT v FROM t WHERE k = 5 FOR UPDATE")
+        eng.execute_sync(txn, "db", "UPDATE t SET v = 1 WHERE k = 5")
+        held = eng.locks.held(txn.txn_id)
+        assert held[("row", "db", "t", 5)] is LockMode.X
+        eng.commit(txn)
+
+    def test_for_update_seq_scan_takes_table_x(self, eng):
+        txn = eng.begin()
+        eng.execute_sync(txn, "db", "SELECT v FROM t FOR UPDATE")
+        held = eng.locks.held(txn.txn_id)
+        assert held[("tbl", "db", "t")] is LockMode.X
+        eng.commit(txn)
+
+    def test_parse_rejects_dangling_for(self, eng):
+        from repro.errors import SqlError
+        txn = eng.begin()
+        with pytest.raises(SqlError):
+            eng.execute_sync(txn, "db", "SELECT v FROM t FOR")
+        eng.abort(txn)
+
+    def test_released_at_commit(self, eng):
+        txn1 = eng.begin()
+        eng.execute_sync(txn1, "db",
+                         "SELECT v FROM t WHERE k = 1 FOR UPDATE")
+        eng.commit(txn1)
+        txn2 = eng.begin()
+        eng.execute_sync(txn2, "db", "SELECT v FROM t WHERE k = 1")
+        eng.commit(txn2)

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.harness import format_series, format_table, run_sla_placement
+from repro.harness.runner import run_tpcw_cluster
+from repro.cluster import ReadOption, WritePolicy
+from repro.workloads.tpcw import TpcwScale
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 123.456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "123" in lines[3]
+
+    def test_format_table_float_rendering(self):
+        text = format_table(["x"], [[0.12345], [1234.5], [2.5], [0]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1235" in text or "1234" in text
+        assert "2.50" in text
+
+    def test_format_series(self):
+        text = format_series("tps", [(0.0, 1.0), (10.0, 2.0)])
+        lines = text.splitlines()
+        assert lines[0] == "# tps"
+        assert len(lines) == 3
+
+
+class TestTpcwRunner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_tpcw_cluster(
+            mix_name="shopping", machines=3, n_databases=2, replicas=2,
+            clients_per_db=2, duration_s=5.0,
+            scale=TpcwScale(items=150, emulated_browsers=2),
+            think_time_s=0.05)
+
+    def test_throughput_positive(self, result):
+        assert result.committed > 0
+        assert result.throughput_tps == pytest.approx(
+            result.committed / result.sim_seconds)
+
+    def test_buffer_hit_rate_sane(self, result):
+        assert 0.0 < result.buffer_hit_rate <= 1.0
+
+    def test_metrics_exposed(self, result):
+        assert set(result.metrics.per_db) == {"tpcw0", "tpcw1"}
+
+    def test_no_replication_variant(self):
+        result = run_tpcw_cluster(
+            mix_name="browsing", machines=2, n_databases=1, replicas=1,
+            clients_per_db=1, duration_s=3.0,
+            scale=TpcwScale(items=100, emulated_browsers=1),
+            think_time_s=0.05)
+        assert result.committed > 0
+        assert result.controller.replica_map.replica_count("tpcw0") == 1
+
+
+class TestSlaPlacementRunner:
+    def test_runs_and_orders(self):
+        low = run_sla_placement(0.4, n_databases=10, seed=1)
+        high = run_sla_placement(2.0, n_databases=10, seed=1)
+        assert low.avg_size_mb > high.avg_size_mb
+        assert low.machines_first_fit >= low.machines_optimal
+        assert high.machines_first_fit >= high.machines_optimal
+
+    def test_deterministic(self):
+        a = run_sla_placement(1.2, n_databases=8, seed=5)
+        b = run_sla_placement(1.2, n_databases=8, seed=5)
+        assert a == b

@@ -1,0 +1,81 @@
+"""Unit tests for HAVING."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def eng():
+    engine = Engine()
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, "
+                        "grp INTEGER, v INTEGER)")
+    rows = [(1, 1, 10), (2, 1, 20), (3, 2, 5), (4, 2, 5),
+            (5, 2, 5), (6, 3, 100)]
+    for row in rows:
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?, ?)", row)
+    engine.commit(txn)
+    return engine
+
+
+def q(engine, sql, params=()):
+    txn = engine.begin()
+    try:
+        return engine.execute_sync(txn, "db", sql, params)
+    finally:
+        engine.commit(txn)
+
+
+class TestHaving:
+    def test_filter_on_count(self, eng):
+        result = q(eng, "SELECT grp, COUNT(*) FROM t GROUP BY grp "
+                        "HAVING COUNT(*) >= 2 ORDER BY grp")
+        assert result.rows == [(1, 2), (2, 3)]
+
+    def test_filter_on_aggregate_not_in_select(self, eng):
+        result = q(eng, "SELECT grp FROM t GROUP BY grp "
+                        "HAVING SUM(v) > 20 ORDER BY grp")
+        assert result.rows == [(1,), (3,)]
+
+    def test_filter_on_group_key(self, eng):
+        result = q(eng, "SELECT grp, COUNT(*) FROM t GROUP BY grp "
+                        "HAVING grp > 1 ORDER BY grp")
+        assert result.rows == [(2, 3), (3, 1)]
+
+    def test_combined_predicate(self, eng):
+        result = q(eng, "SELECT grp FROM t GROUP BY grp "
+                        "HAVING COUNT(*) > 1 AND AVG(v) < 10")
+        assert result.rows == [(2,)]
+
+    def test_having_with_order_and_limit(self, eng):
+        result = q(eng, "SELECT grp, SUM(v) s FROM t GROUP BY grp "
+                        "HAVING SUM(v) > 10 ORDER BY s DESC LIMIT 1")
+        assert result.rows == [(3, 100)]
+
+    def test_having_with_param(self, eng):
+        result = q(eng, "SELECT grp FROM t GROUP BY grp "
+                        "HAVING COUNT(*) = ?", (3,))
+        assert result.rows == [(2,)]
+
+    def test_having_without_group_by_rejected(self, eng):
+        txn = eng.begin()
+        with pytest.raises(SqlError):
+            eng.execute_sync(txn, "db",
+                             "SELECT COUNT(*) FROM t HAVING COUNT(*) > 1")
+        eng.abort(txn)
+
+    def test_having_on_ungrouped_column_rejected(self, eng):
+        txn = eng.begin()
+        with pytest.raises(SqlError):
+            eng.execute_sync(txn, "db",
+                             "SELECT grp FROM t GROUP BY grp HAVING v > 1")
+        eng.abort(txn)
+
+    def test_empty_result_when_nothing_qualifies(self, eng):
+        result = q(eng, "SELECT grp FROM t GROUP BY grp "
+                        "HAVING COUNT(*) > 100")
+        assert result.rows == []

@@ -1,0 +1,45 @@
+"""Unit tests for the history formatter and related analysis helpers."""
+
+from repro.analysis import GlobalHistory
+from repro.analysis.history import format_history
+
+
+class TestFormatHistory:
+    def _history(self):
+        history = GlobalHistory()
+        m1 = history.site("m1")
+        m1.record_read(1, ("db", "kv", ("x",)))
+        m1.record_write(1, ("db", "kv", ("y",)))
+        m1.record_write(2, ("db", "kv", ("x",)))
+        m1.record_commit(1)
+        m1.record_commit(2)
+        m2 = history.site("m2")
+        m2.record_read(2, ("db", "kv", ("y",)))
+        m2.record_abort(3)
+        return history
+
+    def test_paper_notation(self):
+        text = format_history(self._history())
+        lines = text.splitlines()
+        assert lines[0] == "m1: r1(x), w1(y), w2(x), c1, c2"
+        assert lines[1] == "m2: r2(y), a3"
+
+    def test_truncation(self):
+        history = GlobalHistory()
+        site = history.site("m1")
+        for i in range(50):
+            site.record_read(1, ("db", "t", (i,)))
+        text = format_history(history, max_ops_per_site=5)
+        assert text.endswith("...")
+        assert text.count("r1(") == 5
+
+    def test_empty_history(self):
+        assert format_history(GlobalHistory()) == ""
+
+    def test_sites_sorted(self):
+        history = GlobalHistory()
+        history.site("zeta").record_read(1, ("db", "t", (1,)))
+        history.site("alpha").record_read(2, ("db", "t", (1,)))
+        lines = format_history(history).splitlines()
+        assert lines[0].startswith("alpha:")
+        assert lines[1].startswith("zeta:")

@@ -1,0 +1,200 @@
+"""Unit tests for the multi-granularity lock manager."""
+
+import pytest
+
+from repro.engine.locks import (LockManager, LockMode, compatible, supremum)
+from repro.errors import DeadlockError
+
+ROW_A = ("row", "db", "t", 1)
+ROW_B = ("row", "db", "t", 2)
+TBL = ("tbl", "db", "t")
+
+
+class TestModeLattice:
+    def test_compatibility_matrix(self):
+        # (held, requested) -> compatible
+        expectations = {
+            (LockMode.IS, LockMode.IS): True,
+            (LockMode.IS, LockMode.IX): True,
+            (LockMode.IS, LockMode.S): True,
+            (LockMode.IS, LockMode.SIX): True,
+            (LockMode.IS, LockMode.X): False,
+            (LockMode.IX, LockMode.IX): True,
+            (LockMode.IX, LockMode.S): False,
+            (LockMode.IX, LockMode.SIX): False,
+            (LockMode.S, LockMode.S): True,
+            (LockMode.S, LockMode.IX): False,
+            (LockMode.S, LockMode.X): False,
+            (LockMode.SIX, LockMode.IS): True,
+            (LockMode.SIX, LockMode.IX): False,
+            (LockMode.X, LockMode.IS): False,
+            (LockMode.X, LockMode.X): False,
+        }
+        for (held, req), expected in expectations.items():
+            assert compatible(held, req) is expected, (held, req)
+
+    def test_supremum_examples(self):
+        assert supremum(LockMode.S, LockMode.IX) is LockMode.SIX
+        assert supremum(LockMode.IS, LockMode.IX) is LockMode.IX
+        assert supremum(LockMode.S, LockMode.X) is LockMode.X
+        assert supremum(LockMode.S, LockMode.S) is LockMode.S
+
+    def test_supremum_commutes(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert supremum(a, b) is supremum(b, a)
+
+
+class TestAcquireRelease:
+    def test_grant_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, ROW_A, LockMode.S).granted
+        assert lm.acquire(2, ROW_A, LockMode.S).granted
+
+    def test_conflict_queues(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        req = lm.acquire(2, ROW_A, LockMode.S)
+        assert not req.granted
+        assert lm.stats.waits == 1
+
+    def test_release_grants_fifo(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        r2 = lm.acquire(2, ROW_A, LockMode.S)
+        lm.release_all(1)
+        assert r2.granted
+        assert lm.holds(2, ROW_A, LockMode.S)
+
+    def test_fifo_prevents_overtaking(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        rx = lm.acquire(2, ROW_A, LockMode.X)   # queued
+        rs = lm.acquire(3, ROW_A, LockMode.S)   # compatible with holder but
+        assert not rx.granted
+        assert not rs.granted                   # must not starve the writer
+
+    def test_reentrant_weaker_request(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        again = lm.acquire(1, ROW_A, LockMode.S)
+        assert again.granted
+        assert lm.holds(1, ROW_A, LockMode.X)
+
+    def test_upgrade_granted_when_alone(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        up = lm.acquire(1, ROW_A, LockMode.X)
+        assert up.granted
+        assert lm.holds(1, ROW_A, LockMode.X)
+
+    def test_upgrade_jumps_queue(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        lm.acquire(2, ROW_A, LockMode.S)
+        waiting_x = lm.acquire(3, ROW_A, LockMode.X)   # queued behind holders
+        up = lm.acquire(1, ROW_A, LockMode.X)          # upgrade: front of queue
+        assert not up.granted                          # txn2 still holds S
+        lm.release_all(2)
+        assert up.granted                              # upgrade won over txn3
+        assert not waiting_x.granted
+
+    def test_release_shared_keeps_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        lm.acquire(1, ROW_B, LockMode.X)
+        lm.acquire(1, TBL, LockMode.IX)
+        lm.release_shared(1)
+        held = lm.held(1)
+        assert ROW_A not in held
+        assert held[ROW_B] is LockMode.X
+        assert held[TBL] is LockMode.IX
+
+    def test_release_shared_weakens_six_to_ix(self):
+        lm = LockManager()
+        lm.acquire(1, TBL, LockMode.S)
+        lm.acquire(1, TBL, LockMode.IX)  # -> SIX
+        assert lm.holds(1, TBL, LockMode.SIX)
+        lm.release_shared(1)
+        assert lm.held(1)[TBL] is LockMode.IX
+
+    def test_release_shared_unblocks_waiters(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        waiting = lm.acquire(2, ROW_A, LockMode.X)
+        lm.release_shared(1)
+        assert waiting.granted
+
+    def test_release_all_fails_pending_request(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        pending = lm.acquire(2, ROW_A, LockMode.X)
+        failures = []
+        pending.on_fail.append(lambda r: failures.append(r.error))
+        lm.release_all(2)
+        assert pending.error is not None
+        assert failures
+
+    def test_grant_callbacks_fire(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        pending = lm.acquire(2, ROW_A, LockMode.S)
+        grants = []
+        pending.on_grant.append(lambda r: grants.append(r))
+        lm.release_all(1)
+        assert grants == [pending]
+
+
+class TestDeadlocks:
+    def test_two_txn_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        lm.acquire(2, ROW_B, LockMode.X)
+        lm.acquire(1, ROW_B, LockMode.X)  # 1 waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, ROW_A, LockMode.X)  # 2 waits on 1 -> cycle
+        assert lm.stats.deadlocks == 1
+
+    def test_victim_request_removed_from_queue(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        lm.acquire(2, ROW_B, LockMode.X)
+        lm.acquire(1, ROW_B, LockMode.X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, ROW_A, LockMode.X)
+        # txn2 can abort; releasing it unblocks txn1
+        pending_1 = lm.waiting_request(1)
+        lm.release_all(2)
+        assert pending_1.granted
+
+    def test_three_txn_cycle(self):
+        lm = LockManager()
+        rows = [("row", "db", "t", i) for i in range(3)]
+        for txn, row in enumerate(rows, start=1):
+            lm.acquire(txn, row, LockMode.X)
+        lm.acquire(1, rows[1], LockMode.X)
+        lm.acquire(2, rows[2], LockMode.X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, rows[0], LockMode.X)
+
+    def test_upgrade_deadlock(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        lm.acquire(2, ROW_A, LockMode.S)
+        lm.acquire(1, ROW_A, LockMode.X)  # waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, ROW_A, LockMode.X)  # cycle through upgrades
+
+    def test_no_false_positive_on_chain(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        lm.acquire(2, ROW_A, LockMode.X)  # 2 waits on 1
+        req3 = lm.acquire(3, ROW_A, LockMode.X)  # 3 waits; no cycle
+        assert not req3.granted
+
+    def test_waits_for_edges_structure(self):
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.X)
+        lm.acquire(2, ROW_A, LockMode.S)
+        edges = lm.waits_for_edges()
+        assert edges == {2: {1}}

@@ -1,0 +1,128 @@
+"""Unit tests for non-locking consistent reads (read-committed mode)."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.errors import WouldBlockError
+
+
+@pytest.fixture
+def eng():
+    engine = Engine(config=EngineConfig(nonlocking_reads=True))
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    for k in range(10):
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?)",
+                            (k, k * 10))
+    engine.commit(txn)
+    return engine
+
+
+class TestNonlockingReads:
+    def test_read_does_not_block_on_writer(self, eng):
+        writer = eng.begin()
+        eng.execute_sync(writer, "db", "UPDATE t SET v = 999 WHERE k = 3")
+        reader = eng.begin()
+        result = eng.execute_sync(reader, "db",
+                                  "SELECT v FROM t WHERE k = 3")
+        # Sees the last COMMITTED image, not the uncommitted 999.
+        assert result.scalar() == 30
+        eng.commit(reader)
+        eng.commit(writer)
+
+    def test_committed_value_visible_after_commit(self, eng):
+        writer = eng.begin()
+        eng.execute_sync(writer, "db", "UPDATE t SET v = 999 WHERE k = 3")
+        eng.commit(writer)
+        reader = eng.begin()
+        assert eng.execute_sync(reader, "db",
+                                "SELECT v FROM t WHERE k = 3").scalar() == 999
+        eng.commit(reader)
+
+    def test_uncommitted_insert_invisible(self, eng):
+        writer = eng.begin()
+        eng.execute_sync(writer, "db", "INSERT INTO t VALUES (100, 1)")
+        reader = eng.begin()
+        assert eng.execute_sync(reader, "db",
+                                "SELECT COUNT(*) FROM t").scalar() == 10
+        eng.commit(reader)
+        eng.abort(writer)
+        reader2 = eng.begin()
+        assert eng.execute_sync(reader2, "db",
+                                "SELECT COUNT(*) FROM t").scalar() == 10
+        eng.commit(reader2)
+
+    def test_own_writes_visible(self, eng):
+        txn = eng.begin()
+        eng.execute_sync(txn, "db", "UPDATE t SET v = 5 WHERE k = 1")
+        assert eng.execute_sync(txn, "db",
+                                "SELECT v FROM t WHERE k = 1").scalar() == 5
+        eng.execute_sync(txn, "db", "INSERT INTO t VALUES (50, 7)")
+        assert eng.execute_sync(txn, "db",
+                                "SELECT v FROM t WHERE k = 50").scalar() == 7
+        eng.abort(txn)
+
+    def test_seq_scan_sees_committed_images(self, eng):
+        writer = eng.begin()
+        eng.execute_sync(writer, "db", "UPDATE t SET v = 0")
+        reader = eng.begin()
+        total = eng.execute_sync(reader, "db",
+                                 "SELECT SUM(v) FROM t").scalar()
+        assert total == sum(k * 10 for k in range(10))
+        eng.commit(reader)
+        eng.abort(writer)
+
+    def test_reads_take_no_locks(self, eng):
+        reader = eng.begin()
+        eng.execute_sync(reader, "db", "SELECT SUM(v) FROM t")
+        assert eng.locks.held(reader.txn_id) == {}
+        eng.commit(reader)
+
+    def test_for_update_still_locks(self, eng):
+        txn1 = eng.begin()
+        eng.execute_sync(txn1, "db",
+                         "SELECT v FROM t WHERE k = 2 FOR UPDATE")
+        txn2 = eng.begin()
+        with pytest.raises(WouldBlockError):
+            eng.execute_sync(txn2, "db",
+                             "SELECT v FROM t WHERE k = 2 FOR UPDATE")
+        eng.abort(txn2)
+        eng.commit(txn1)
+
+    def test_writers_still_block_writers(self, eng):
+        txn1 = eng.begin()
+        eng.execute_sync(txn1, "db", "UPDATE t SET v = 1 WHERE k = 4")
+        txn2 = eng.begin()
+        with pytest.raises(WouldBlockError):
+            eng.execute_sync(txn2, "db", "UPDATE t SET v = 2 WHERE k = 4")
+        eng.abort(txn2)
+        eng.commit(txn1)
+
+    def test_dirty_map_cleared_on_finish(self, eng):
+        writer = eng.begin()
+        eng.execute_sync(writer, "db", "UPDATE t SET v = 1 WHERE k = 0")
+        assert eng.dirty
+        eng.commit(writer)
+        assert not eng.dirty
+        writer2 = eng.begin()
+        eng.execute_sync(writer2, "db", "UPDATE t SET v = 2 WHERE k = 0")
+        eng.abort(writer2)
+        assert not eng.dirty
+
+    def test_locking_mode_unchanged_by_default(self):
+        engine = Engine()  # default: locking reads
+        engine.create_database("db")
+        txn = engine.begin()
+        engine.execute_sync(txn, "db",
+                            "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (1, 1)")
+        engine.commit(txn)
+        writer = engine.begin()
+        engine.execute_sync(writer, "db", "UPDATE t SET v = 2 WHERE k = 1")
+        reader = engine.begin()
+        with pytest.raises(WouldBlockError):
+            engine.execute_sync(reader, "db", "SELECT v FROM t WHERE k = 1")
+        engine.abort(reader)
+        engine.commit(writer)

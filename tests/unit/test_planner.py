@@ -1,0 +1,197 @@
+"""Unit tests for binding and physical plan selection."""
+
+import pytest
+
+from repro.engine import planner as p
+from repro.engine.schema import Column, DatabaseSchema, IndexDef, TableSchema
+from repro.engine.sqlparse.parser import parse
+from repro.engine.types import SqlType
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema("shop")
+    item = TableSchema("item", [
+        Column("i_id", SqlType.INTEGER, nullable=False),
+        Column("i_title", SqlType.VARCHAR),
+        Column("i_a_id", SqlType.INTEGER),
+        Column("i_cost", SqlType.FLOAT),
+    ], primary_key=["i_id"])
+    item.add_index(IndexDef("item_a", ("i_a_id",)))
+    author = TableSchema("author", [
+        Column("a_id", SqlType.INTEGER, nullable=False),
+        Column("a_name", SqlType.VARCHAR),
+    ], primary_key=["a_id"])
+    schema.add_table(item)
+    schema.add_table(author)
+    return schema
+
+
+@pytest.fixture
+def planner(db):
+    return p.Planner(db)
+
+
+def plan_of(planner, sql):
+    return planner.plan_select(parse(sql))
+
+
+def unwrap(plan):
+    """Strip Project/Limit/Sort/Filter wrappers to the access path."""
+    while isinstance(plan, (p.Project, p.Limit, p.Sort, p.Filter,
+                            p.Distinct, p.Aggregate)):
+        plan = plan.child
+    return plan
+
+
+class TestAccessPaths:
+    def test_pk_point_lookup_uses_index(self, planner):
+        plan = plan_of(planner, "SELECT i_title FROM item WHERE i_id = 7")
+        access = unwrap(plan.root)
+        assert isinstance(access, p.IndexEqScan)
+        assert access.index.name == "__pk__"
+
+    def test_secondary_index_eq(self, planner):
+        plan = plan_of(planner, "SELECT i_title FROM item WHERE i_a_id = ?")
+        access = unwrap(plan.root)
+        assert isinstance(access, p.IndexEqScan)
+        assert access.index.name == "item_a"
+
+    def test_range_uses_index(self, planner):
+        plan = plan_of(planner, "SELECT i_id FROM item WHERE i_id > 5 AND i_id <= 10")
+        access = unwrap(plan.root)
+        assert isinstance(access, p.IndexRangeScan)
+        assert not access.lo_inclusive and access.hi_inclusive
+
+    def test_no_predicate_seq_scan(self, planner):
+        plan = plan_of(planner, "SELECT i_id FROM item")
+        assert isinstance(unwrap(plan.root), p.SeqScan)
+
+    def test_unindexed_predicate_filters_seq_scan(self, planner):
+        plan = plan_of(planner, "SELECT i_id FROM item WHERE i_cost > 5")
+        root = plan.root
+        assert isinstance(root, p.Project)
+        assert isinstance(root.child, p.Filter)
+        assert isinstance(root.child.child, p.SeqScan)
+
+    def test_eq_beats_range(self, planner):
+        plan = plan_of(planner,
+                       "SELECT i_id FROM item WHERE i_a_id = 1 AND i_id > 5")
+        access = unwrap(plan.root)
+        assert isinstance(access, p.IndexEqScan)
+
+
+class TestJoins:
+    def test_index_lookup_join(self, planner):
+        plan = plan_of(planner,
+                       "SELECT i_title, a_name FROM item, author "
+                       "WHERE i_a_id = a_id AND i_id = 3")
+        join = unwrap(plan.root)
+        assert isinstance(join, p.IndexLookupJoin)
+        assert isinstance(join.inner, p.IndexEqScan)
+        assert join.inner.index.name == "__pk__"
+
+    def test_explicit_join_syntax(self, planner):
+        plan = plan_of(planner,
+                       "SELECT i_title FROM item JOIN author ON i_a_id = a_id")
+        join = unwrap(plan.root)
+        assert isinstance(join, p.IndexLookupJoin)
+
+    def test_hash_join_without_inner_index(self, planner):
+        # join on a non-indexed inner column
+        plan = plan_of(planner,
+                       "SELECT a_name FROM author, item WHERE a_name = i_title")
+        join = unwrap(plan.root)
+        assert isinstance(join, p.HashJoin)
+
+    def test_cross_join_fallback(self, planner):
+        plan = plan_of(planner, "SELECT a_name, i_title FROM author, item")
+        join = unwrap(plan.root)
+        assert isinstance(join, p.CrossJoin)
+
+
+class TestBinding:
+    def test_unknown_column(self, planner):
+        with pytest.raises(SqlError, match="unknown column"):
+            plan_of(planner, "SELECT nope FROM item")
+
+    def test_unknown_table(self, planner):
+        with pytest.raises(Exception):
+            plan_of(planner, "SELECT 1 FROM missing")
+
+    def test_ambiguous_column(self, planner, db):
+        dup = TableSchema("item2", [Column("i_id", SqlType.INTEGER)])
+        db.add_table(dup)
+        with pytest.raises(SqlError, match="ambiguous"):
+            p.Planner(db).plan_select(
+                parse("SELECT i_id FROM item, item2"))
+
+    def test_qualified_resolution(self, planner):
+        plan = plan_of(planner, "SELECT i.i_id FROM item i")
+        assert plan.column_names == ["i_id"]
+
+    def test_select_star_column_names(self, planner):
+        plan = plan_of(planner, "SELECT * FROM author")
+        assert plan.column_names == ["a_id", "a_name"]
+
+    def test_duplicate_binding_rejected(self, planner):
+        with pytest.raises(SqlError, match="duplicate"):
+            plan_of(planner, "SELECT 1 FROM item x, author x")
+
+
+class TestAggregatesAndOrdering:
+    def test_aggregate_plan_layout(self, planner):
+        plan = plan_of(planner,
+                       "SELECT i_a_id, COUNT(*), AVG(i_cost) FROM item "
+                       "GROUP BY i_a_id")
+        assert isinstance(plan.root, p.Project)
+        agg = plan.root.child
+        assert isinstance(agg, p.Aggregate)
+        assert len(agg.group_exprs) == 1
+        assert [a.func for a in agg.aggs] == ["COUNT", "AVG"]
+
+    def test_order_by_alias(self, planner):
+        plan = plan_of(planner,
+                       "SELECT i_a_id, COUNT(*) cnt FROM item "
+                       "GROUP BY i_a_id ORDER BY cnt DESC")
+        assert isinstance(plan.root, p.Project)
+        assert isinstance(plan.root.child, p.Sort)
+
+    def test_non_grouped_select_item_rejected(self, planner):
+        with pytest.raises(SqlError):
+            plan_of(planner,
+                    "SELECT i_title, COUNT(*) FROM item GROUP BY i_a_id")
+
+
+class TestDmlPlans:
+    def test_update_point_plan(self, planner):
+        plan = planner.plan_update(
+            parse("UPDATE item SET i_cost = 5 WHERE i_id = 2"))
+        assert isinstance(plan, p.UpdatePlan)
+        assert isinstance(plan.source, p.IndexEqScan)
+        assert plan.source.lock_exclusive
+
+    def test_update_scan_is_exclusive(self, planner):
+        plan = planner.plan_update(parse("UPDATE item SET i_cost = 5"))
+        assert isinstance(plan.source, p.SeqScan)
+        assert plan.source.lock_exclusive
+
+    def test_delete_plan(self, planner):
+        plan = planner.plan_delete(parse("DELETE FROM item WHERE i_a_id = 1"))
+        assert isinstance(plan, p.DeletePlan)
+        assert plan.source.lock_exclusive
+
+    def test_insert_fills_missing_columns_with_null(self, planner):
+        plan = planner.plan_insert(
+            parse("INSERT INTO item (i_id, i_title) VALUES (1, 'x')"))
+        assert len(plan.rows[0]) == 4  # full row width
+
+    def test_insert_arity_mismatch(self, planner):
+        with pytest.raises(SqlError):
+            planner.plan_insert(parse("INSERT INTO item (i_id) VALUES (1, 2)"))
+
+    def test_insert_column_exprs_must_be_constant(self, planner):
+        with pytest.raises(SqlError):
+            planner.plan_insert(
+                parse("INSERT INTO item (i_id) VALUES (i_cost)"))

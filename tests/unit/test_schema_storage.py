@@ -1,0 +1,164 @@
+"""Unit tests for catalog objects and heap storage."""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.schema import Column, DatabaseSchema, IndexDef, TableSchema
+from repro.engine.storage import HeapTable, StoredDatabase
+from repro.engine.types import SqlType
+from repro.errors import ConstraintError, SchemaError
+
+
+def kv_schema():
+    return TableSchema("kv", [
+        Column("k", SqlType.INTEGER, nullable=False),
+        Column("v", SqlType.VARCHAR),
+    ], primary_key=["k"])
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SqlType.INTEGER),
+                              Column("a", SqlType.INTEGER)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SqlType.INTEGER)],
+                        primary_key=["nope"])
+
+    def test_pk_creates_index(self):
+        schema = kv_schema()
+        assert "__pk__" in schema.indexes
+        assert schema.indexes["__pk__"].columns == ("k",)
+
+    def test_column_positions(self):
+        schema = kv_schema()
+        assert schema.column_position("k") == 0
+        assert schema.column_position("v") == 1
+        with pytest.raises(SchemaError):
+            schema.column_position("missing")
+
+    def test_index_prefix_match(self):
+        schema = TableSchema("t", [Column("a", SqlType.INTEGER),
+                                   Column("b", SqlType.INTEGER),
+                                   Column("c", SqlType.INTEGER)])
+        schema.add_index(IndexDef("ab", ("a", "b")))
+        assert schema.index_on(["a"]).name == "ab"
+        assert schema.index_on(["a", "b"]).name == "ab"
+        assert schema.index_on(["b"]) is None
+
+    def test_duplicate_index_rejected(self):
+        schema = kv_schema()
+        schema.add_index(IndexDef("iv", ("v",)))
+        with pytest.raises(SchemaError):
+            schema.add_index(IndexDef("iv", ("v",)))
+
+
+class TestHeapTable:
+    @pytest.fixture
+    def table(self):
+        return HeapTable("db", kv_schema(), EngineConfig(rows_per_page=4))
+
+    def test_insert_and_get(self, table):
+        rid = table.insert((1, "one"))
+        assert table.get(rid) == (1, "one")
+        assert table.row_count == 1
+
+    def test_pk_uniqueness(self, table):
+        table.insert((1, "one"))
+        with pytest.raises(ConstraintError):
+            table.insert((1, "again"))
+
+    def test_not_null_enforced(self, table):
+        with pytest.raises(ConstraintError):
+            table.insert((None, "x"))
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(ConstraintError):
+            table.insert((1,))
+
+    def test_type_coercion_on_insert(self, table):
+        rid = table.insert(("5", 123))
+        assert table.get(rid) == (5, "123")
+
+    def test_delete_maintains_indexes(self, table):
+        rid = table.insert((1, "one"))
+        table.delete(rid)
+        assert table.lookup_pk((1,)) is None
+        table.insert((1, "anew"))  # pk free again
+
+    def test_delete_missing_rid(self, table):
+        with pytest.raises(ConstraintError):
+            table.delete(99)
+
+    def test_update_changes_index(self, table):
+        rid = table.insert((1, "one"))
+        table.update(rid, (2, "two"))
+        assert table.lookup_pk((1,)) is None
+        assert table.lookup_pk((2,)) == rid
+
+    def test_update_pk_collision_rejected(self, table):
+        table.insert((1, "one"))
+        rid2 = table.insert((2, "two"))
+        with pytest.raises(ConstraintError):
+            table.update(rid2, (1, "clash"))
+
+    def test_insert_at_restores_rid(self, table):
+        rid = table.insert((1, "one"))
+        before = table.delete(rid)
+        table.insert_at(rid, before)
+        assert table.get(rid) == (1, "one")
+
+    def test_insert_at_occupied_rejected(self, table):
+        rid = table.insert((1, "one"))
+        with pytest.raises(ConstraintError):
+            table.insert_at(rid, (2, "x"))
+
+    def test_page_accounting(self, table):
+        for k in range(10):
+            table.insert((k, "x"))
+        # 10 rows at 4 rows/page -> 3 pages
+        assert table.page_count == 3
+        assert table.heap_page(0)[-1] == 0
+        assert table.heap_page(5)[-1] == 1
+        assert len(list(table.heap_pages())) == 3
+
+    def test_index_pages_cover_levels(self, table):
+        for k in range(50):
+            table.insert((k, "x"))
+        pages = table.index_pages("__pk__", (25,))
+        assert len(pages) >= 1
+        assert pages[-1][4] == "leaf"
+
+    def test_scan_in_rid_order(self, table):
+        rids = [table.insert((k, "x")) for k in (5, 3, 9)]
+        scanned = [rid for rid, _ in table.scan()]
+        assert scanned == sorted(rids)
+
+    def test_estimated_bytes_scales(self, table):
+        assert table.estimated_bytes() == 0
+        table.insert((1, "abc"))
+        one = table.estimated_bytes()
+        table.insert((2, "abc"))
+        assert table.estimated_bytes() == 2 * one
+
+
+class TestStoredDatabase:
+    def test_add_and_get_table(self):
+        db = StoredDatabase(DatabaseSchema("app"), EngineConfig())
+        db.add_table(kv_schema())
+        assert db.table("kv").row_count == 0
+        with pytest.raises(SchemaError):
+            db.table("missing")
+
+    def test_estimated_mb(self):
+        db = StoredDatabase(DatabaseSchema("app"), EngineConfig())
+        db.add_table(kv_schema())
+        for k in range(100):
+            db.table("kv").insert((k, "payload" * 4))
+        assert db.estimated_mb() > 0

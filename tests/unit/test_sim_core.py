@@ -1,0 +1,264 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, Simulator,
+                       SimulationError, Timeout)
+
+
+class TestEvent:
+    def test_event_starts_untriggered(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_callback_after_processed_still_runs(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestTimeoutAndClock:
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(5)
+            return sim.now
+
+        assert sim.run_process(proc()) == 5.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+
+        def waiter(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(waiter(3, "c"))
+        sim.process(waiter(1, "a"))
+        sim.process(waiter(2, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+
+        def waiter(tag):
+            yield sim.timeout(1)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(waiter(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_clock(self, sim):
+        def proc():
+            yield sim.timeout(100)
+
+        sim.process(proc())
+        sim.run(until=10)
+        assert sim.now == 10
+
+    def test_run_until_past_raises(self, sim):
+        sim.now = 5
+        with pytest.raises(SimulationError):
+            sim.run(until=1)
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+
+    def test_exception_propagates(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_process(proc())
+
+    def test_yield_non_event_fails(self, sim):
+        def proc():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            sim.run_process(proc())
+
+    def test_wait_on_another_process(self, sim):
+        def inner():
+            yield sim.timeout(3)
+            return "inner-result"
+
+        def outer():
+            value = yield sim.process(inner())
+            return value, sim.now
+
+        assert sim.run_process(outer()) == ("inner-result", 3.0)
+
+    def test_failed_event_throws_into_waiter(self, sim):
+        event = sim.event()
+
+        def failer():
+            yield sim.timeout(1)
+            event.fail(RuntimeError("bad"))
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError as exc:
+                return f"caught:{exc}"
+
+        sim.process(failer())
+        assert sim.run_process(waiter()) == "caught:bad"
+
+    def test_interrupt_cancels_wait(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+                return "slept"
+            except Interrupt as exc:
+                return f"interrupted:{exc.cause}"
+
+        proc = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(2)
+            proc.interrupt("reason")
+
+        sim.process(killer())
+        sim.run()
+        assert proc.value == "interrupted:reason"
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt("late")  # must not raise
+        sim.run()
+
+    def test_unhandled_interrupt_fails_quietly(self, sim):
+        def sleeper():
+            yield sim.timeout(100)
+
+        proc = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(1)
+            proc.interrupt("kill")
+
+        sim.process(killer())
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, Interrupt)
+
+    def test_unobserved_process_failure_raises_at_step(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise KeyError("unobserved")
+
+        sim.process(bad())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_defused_failure_does_not_crash(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise KeyError("defused")
+
+        proc = sim.process(bad())
+        proc.defused = True
+        sim.run()
+        assert not proc.ok
+
+    def test_starved_process_detected(self, sim):
+        def stuck():
+            yield sim.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="starved"):
+            sim.run_process(stuck())
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        def proc():
+            yield sim.any_of([sim.timeout(5), sim.timeout(2)])
+            return sim.now
+
+        assert sim.run_process(proc()) == 2.0
+
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            result = yield sim.all_of([sim.timeout(5, "a"), sim.timeout(2, "b")])
+            return sorted(result.values()), sim.now
+
+        assert sim.run_process(proc()) == (["a", "b"], 5.0)
+
+    def test_empty_all_of_succeeds_immediately(self, sim):
+        def proc():
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_any_of_fails_on_first_failure(self, sim):
+        event = sim.event()
+
+        def failer():
+            yield sim.timeout(1)
+            event.fail(ValueError("first"))
+
+        def proc():
+            try:
+                yield sim.any_of([event, sim.timeout(10)])
+            except ValueError:
+                return "failed"
+
+        sim.process(failer())
+        assert sim.run_process(proc()) == "failed"
+
+    def test_all_of_with_already_processed_member(self, sim):
+        t1 = sim.timeout(1, "early")
+
+        def proc():
+            yield t1
+            result = yield sim.all_of([t1, sim.timeout(4, "late")])
+            return sim.now, len(result)
+
+        assert sim.run_process(proc()) == (5.0, 2)

@@ -1,0 +1,126 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.count == 2
+
+    def test_release_grants_next_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r3 = res.request()
+        res.release(r1)
+        assert r2.triggered
+        assert not r3.triggered
+
+    def test_release_queued_request_cancels_it(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # cancel while queued
+        res.release(r1)
+        assert res.count == 0
+
+    def test_use_serializes_work(self, sim):
+        res = Resource(sim, capacity=1)
+        finished = []
+
+        def worker(tag):
+            yield from res.use(10)
+            finished.append((tag, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert finished == [("a", 10.0), ("b", 20.0)]
+
+    def test_parallel_capacity(self, sim):
+        res = Resource(sim, capacity=3)
+        finished = []
+
+        def worker(tag):
+            yield from res.use(10)
+            finished.append(sim.now)
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert finished == [10.0, 10.0, 10.0]
+
+    def test_busy_time_accounting(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def worker(duration):
+            yield from res.use(duration)
+
+        sim.process(worker(5))
+        sim.process(worker(7))
+        sim.run()
+        assert res.busy_time == pytest.approx(12.0)
+        assert res.utilization(elapsed=7.0) == pytest.approx(12.0 / 14.0)
+
+    def test_utilization_zero_elapsed(self, sim):
+        res = Resource(sim)
+        assert res.utilization(0) == 0.0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        assert len(store) == 1
+
+        def getter():
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(getter()) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def getter():
+            item = yield store.get()
+            return item, sim.now
+
+        def putter():
+            yield sim.timeout(4)
+            store.put("late")
+
+        proc = sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert proc.value == ("late", 4.0)
+
+    def test_fifo_order_for_items_and_getters(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter(tag):
+            item = yield store.get()
+            results.append((tag, item))
+
+        sim.process(getter("g1"))
+        sim.process(getter("g2"))
+
+        def putter():
+            yield sim.timeout(1)
+            store.put("first")
+            store.put("second")
+
+        sim.process(putter())
+        sim.run()
+        assert results == [("g1", "first"), ("g2", "second")]

@@ -1,0 +1,80 @@
+"""Unit tests for seeded RNG helpers and the zipfian generator."""
+
+import pytest
+
+from repro.sim.rng import SeededRNG, ZipfGenerator
+
+
+class TestSeededRNG:
+    def test_determinism(self):
+        a = SeededRNG(42)
+        b = SeededRNG(42)
+        assert [a.randint(0, 100) for _ in range(10)] == \
+            [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRNG(1)
+        b = SeededRNG(2)
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != \
+            [b.randint(0, 10 ** 9) for _ in range(5)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = SeededRNG(7)
+        f1 = base.fork("stream-a")
+        f2 = SeededRNG(7).fork("stream-a")
+        assert f1.randint(0, 10 ** 9) == f2.randint(0, 10 ** 9)
+        assert base.fork("x").randint(0, 10 ** 9) != \
+            SeededRNG(7).fork("y").randint(0, 10 ** 9)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = SeededRNG(3)
+        picks = [rng.weighted_choice(["a", "b"], [0.95, 0.05])
+                 for _ in range(500)]
+        assert picks.count("a") > 400
+
+    def test_string_length_and_alphabet(self):
+        rng = SeededRNG(0)
+        s = rng.string(12)
+        assert len(s) == 12
+        assert s.islower()
+
+
+class TestZipf:
+    def test_invalid_parameters(self):
+        rng = SeededRNG(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, -0.5, rng)
+
+    def test_ranks_in_support(self):
+        z = ZipfGenerator(50, 1.0, SeededRNG(1))
+        for _ in range(200):
+            assert 1 <= z.sample_rank() <= 50
+
+    def test_zero_skew_is_roughly_uniform(self):
+        z = ZipfGenerator(10, 0.0, SeededRNG(2))
+        mean = sum(z.sample_rank() for _ in range(5000)) / 5000
+        assert 5.0 < mean < 6.0  # uniform over 1..10 has mean 5.5
+
+    def test_higher_skew_concentrates_low_ranks(self):
+        low = ZipfGenerator(100, 0.4, SeededRNG(3))
+        high = ZipfGenerator(100, 2.0, SeededRNG(3))
+        low_mean = sum(low.sample_rank() for _ in range(3000)) / 3000
+        high_mean = sum(high.sample_rank() for _ in range(3000)) / 3000
+        assert high_mean < low_mean
+
+    def test_sample_in_range_bounds(self):
+        z = ZipfGenerator(32, 1.2, SeededRNG(4))
+        for _ in range(200):
+            v = z.sample_in_range(200.0, 1000.0)
+            assert 200.0 <= v <= 1000.0
+
+    def test_sample_in_range_empty_range_rejected(self):
+        z = ZipfGenerator(8, 1.0, SeededRNG(5))
+        with pytest.raises(ValueError):
+            z.sample_in_range(10, 5)
+
+    def test_single_rank_maps_to_low(self):
+        z = ZipfGenerator(1, 1.0, SeededRNG(6))
+        assert z.sample_in_range(3.0, 9.0) == 3.0

@@ -1,0 +1,89 @@
+"""Unit tests for the runtime SLA monitor."""
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.cluster.recovery import RecoveryRecord
+from repro.sla.model import Sla
+from repro.sla.monitor import (SlaMonitor, observed_availability_inputs,
+                               predicted_rejected_fraction)
+
+
+def metrics_with(db: str, committed: int, rejected: int) -> MetricsCollector:
+    metrics = MetricsCollector()
+    for _ in range(committed):
+        metrics.record_commit(db, 0.0)
+    for _ in range(rejected):
+        metrics.record_rejection(db, 0.0)
+    return metrics
+
+
+class TestSlaMonitor:
+    def test_compliant_database(self):
+        monitor = SlaMonitor({"db": Sla(1.0, 0.01)})
+        metrics = metrics_with("db", committed=100, rejected=0)
+        (report,) = monitor.check(metrics, window_s=10.0)
+        assert report.compliant
+        assert report.measured_tps == 10.0
+        assert "OK" in report.summary()
+
+    def test_throughput_violation(self):
+        monitor = SlaMonitor({"db": Sla(50.0, 0.01)})
+        metrics = metrics_with("db", committed=100, rejected=0)
+        (report,) = monitor.check(metrics, window_s=10.0)
+        assert not report.throughput_ok
+        assert not report.compliant
+        assert "VIOLATION" in report.summary()
+
+    def test_availability_violation(self):
+        monitor = SlaMonitor({"db": Sla(1.0, 0.001)})
+        metrics = metrics_with("db", committed=90, rejected=10)
+        (report,) = monitor.check(metrics, window_s=10.0)
+        assert report.throughput_ok
+        assert not report.availability_ok
+
+    def test_violations_filter(self):
+        monitor = SlaMonitor({
+            "good": Sla(1.0, 0.5),
+            "bad": Sla(1000.0, 0.5),
+        })
+        metrics = metrics_with("good", 100, 0)
+        for _ in range(10):
+            metrics.record_commit("bad", 0.0)
+        bad_only = monitor.violations(metrics, window_s=10.0)
+        assert [r.db for r in bad_only] == ["bad"]
+
+    def test_missing_metrics_means_zero(self):
+        monitor = SlaMonitor({"silent": Sla(1.0, 0.01)})
+        (report,) = monitor.check(MetricsCollector(), window_s=10.0)
+        assert report.measured_tps == 0.0
+        assert not report.throughput_ok
+
+    def test_bad_window_rejected(self):
+        monitor = SlaMonitor({})
+        with pytest.raises(ValueError):
+            monitor.check(MetricsCollector(), window_s=0)
+
+
+class TestObservedAvailability:
+    def test_inputs_from_recovery_records(self):
+        records = [
+            RecoveryRecord("db", "m1", "m2", 10.0, 130.0, 1000, True),
+            RecoveryRecord("db", "m2", "m3", 200.0, 280.0, 1000, True),
+            RecoveryRecord("other", "m1", "m2", 0.0, 5.0, 10, True),
+            RecoveryRecord("db", "m1", "m2", 0.0, 99.0, 10, False),
+        ]
+        inputs = observed_availability_inputs(
+            "db", records, failures_observed=2, window_s=3600.0,
+            write_mix=0.2, period_s=30 * 24 * 3600.0)
+        assert inputs.recovery_time_s == pytest.approx((120.0 + 80.0) / 2)
+        assert inputs.machine_failure_rate == pytest.approx(2 * 720.0)
+        bound = predicted_rejected_fraction(inputs, 30 * 24 * 3600.0)
+        assert bound > 0
+
+    def test_no_records_zero_recovery_time(self):
+        inputs = observed_availability_inputs(
+            "db", [], failures_observed=0, window_s=100.0,
+            write_mix=0.5, period_s=1000.0)
+        assert inputs.recovery_time_s == 0.0
+        assert inputs.machine_failure_rate == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for the streaming top-k optimization (sort elision)."""
+
+import pytest
+
+from repro.engine import Engine
+
+
+@pytest.fixture
+def eng():
+    engine = Engine()
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, "
+                        "name VARCHAR(20), v INTEGER)")
+    engine.execute_sync(txn, "db", "CREATE INDEX t_name ON t (name)")
+    for k in range(100):
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?, ?)",
+                            (k, f"n{k:04d}", k % 7))
+    engine.commit(txn)
+    return engine
+
+
+def row_locks_held(engine, txn):
+    return [r for r in engine.locks.held(txn.txn_id) if r[0] == "row"]
+
+
+class TestSortElision:
+    def test_limit_bounds_lock_footprint(self, eng):
+        txn = eng.begin()
+        result = eng.execute_sync(
+            txn, "db",
+            "SELECT name FROM t WHERE name >= ? AND name <= ? "
+            "ORDER BY name LIMIT 5", ("n0010", "n0090"))
+        assert [r[0] for r in result.rows] == [f"n{k:04d}"
+                                               for k in range(10, 15)]
+        assert len(row_locks_held(eng, txn)) <= 7
+        eng.commit(txn)
+
+    def test_without_limit_results_still_ordered(self, eng):
+        txn = eng.begin()
+        result = eng.execute_sync(
+            txn, "db",
+            "SELECT name FROM t WHERE name >= ? ORDER BY name", ("n0095",))
+        assert [r[0] for r in result.rows] == [f"n{k:04d}"
+                                               for k in range(95, 100)]
+        eng.commit(txn)
+
+    def test_descending_still_sorts(self, eng):
+        txn = eng.begin()
+        result = eng.execute_sync(
+            txn, "db",
+            "SELECT name FROM t WHERE name >= ? ORDER BY name DESC LIMIT 3",
+            ("n0000",))
+        assert [r[0] for r in result.rows] == ["n0099", "n0098", "n0097"]
+        eng.commit(txn)
+
+    def test_order_by_other_column_still_sorts(self, eng):
+        txn = eng.begin()
+        result = eng.execute_sync(
+            txn, "db",
+            "SELECT k, v FROM t WHERE k >= 0 AND k <= 20 ORDER BY v, k "
+            "LIMIT 4")
+        rows = result.rows
+        assert rows == sorted(rows, key=lambda r: (r[1], r[0]))[:4]
+        eng.commit(txn)
+
+    def test_filtered_range_preserves_order(self, eng):
+        txn = eng.begin()
+        result = eng.execute_sync(
+            txn, "db",
+            "SELECT name FROM t WHERE name >= ? AND v = 0 ORDER BY name "
+            "LIMIT 3", ("n0000",))
+        names = [r[0] for r in result.rows]
+        assert names == sorted(names)
+        assert len(names) == 3
+        eng.commit(txn)
+
+    def test_elision_matches_full_sort_results(self, eng):
+        txn = eng.begin()
+        streamed = eng.execute_sync(
+            txn, "db",
+            "SELECT name FROM t WHERE name >= ? ORDER BY name LIMIT 50",
+            ("n0025",)).rows
+        # Equivalent query forced through a real sort (order by pk).
+        full = eng.execute_sync(
+            txn, "db",
+            "SELECT name FROM t WHERE name >= ? ORDER BY k", ("n0025",)).rows
+        assert streamed == sorted(full)[:50]
+        eng.commit(txn)

@@ -1,0 +1,205 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.engine.sqlparse import TokenType, parse, parse_expression, tokenize
+from repro.engine.sqlparse import nodes as n
+from repro.errors import SqlError
+
+
+class TestLexer:
+    def test_keywords_uppercase(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercase(self):
+        tokens = tokenize("MyTable my_col2")
+        assert [t.value for t in tokens[:-1]] == ["mytable", "my_col2"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.14 and isinstance(tokens[1].value, float)
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_params_and_operators(self):
+        tokens = tokenize("a <= ? <> !=")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["a", "<=", "?", "<>", "!="]
+
+    def test_qualified_name_dots(self):
+        tokens = tokenize("t1.col")
+        assert [t.value for t in tokens[:-1]] == ["t1", ".", "col"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestSelectParsing:
+    def test_simple_select_star(self):
+        stmt = parse("SELECT * FROM item")
+        assert isinstance(stmt, n.Select)
+        assert stmt.star
+        assert stmt.tables[0].table == "item"
+
+    def test_select_items_and_aliases(self):
+        stmt = parse("SELECT a, b AS bee, COUNT(*) cnt FROM t")
+        assert [i.alias for i in stmt.items] == [None, "bee", "cnt"]
+
+    def test_comma_join_with_aliases(self):
+        stmt = parse("SELECT * FROM item i, author a WHERE i.i_a_id = a.a_id")
+        assert [t.binding for t in stmt.tables] == ["i", "a"]
+        assert isinstance(stmt.where, n.BinaryOp)
+
+    def test_explicit_join(self):
+        stmt = parse("SELECT * FROM item JOIN author ON i_a_id = a_id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].table.table == "author"
+
+    def test_group_order_limit_offset(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a "
+                     "ORDER BY a DESC LIMIT 5 OFFSET 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t garbage garbage")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, b")
+
+
+class TestDmlParsing:
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_full_row(self):
+        stmt = parse("INSERT INTO t VALUES (?, ?)")
+        assert stmt.columns == []
+        assert isinstance(stmt.rows[0][0], n.Param)
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE k = 3")
+        assert [c for c, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a < 5")
+        assert stmt.table == "t"
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDdlParsing:
+    def test_create_table_inline_pk(self):
+        stmt = parse("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(10))")
+        assert stmt.primary_key == ["id"]
+        assert not stmt.columns[0].nullable
+
+    def test_create_table_composite_pk(self):
+        stmt = parse("CREATE TABLE t (a INT NOT NULL, b INT NOT NULL, "
+                     "PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_both_pk_styles_rejected(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (a INT PRIMARY KEY, PRIMARY KEY (a))")
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX idx ON t (a, b)")
+        assert stmt.columns == ["a", "b"]
+        assert not stmt.unique
+
+    def test_create_unique_index(self):
+        assert parse("CREATE UNIQUE INDEX idx ON t (a)").unique
+
+    def test_type_length_spec_ignored(self):
+        stmt = parse("CREATE TABLE t (a NUMERIC(12, 2))")
+        assert stmt.columns[0].type_name == "numeric"
+
+
+class TestExpressions:
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_arith_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, n.UnaryOp) and expr.op == "NEG"
+
+    def test_not_in(self):
+        expr = parse_expression("a NOT IN (1, 2)")
+        assert isinstance(expr, n.InList) and expr.negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, n.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 5").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_like_and_not_like(self):
+        like = parse_expression("a LIKE 'x%'")
+        assert isinstance(like, n.BinaryOp) and like.op == "LIKE"
+        not_like = parse_expression("a NOT LIKE 'x%'")
+        assert isinstance(not_like, n.UnaryOp) and not_like.op == "NOT"
+
+    def test_params_indexed_in_order(self):
+        stmt = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        params = []
+
+        def walk(expr):
+            if isinstance(expr, n.Param):
+                params.append(expr.index)
+            elif isinstance(expr, n.BinaryOp):
+                walk(expr.left)
+                walk(expr.right)
+
+        walk(stmt.where)
+        assert params == [0, 1]
+
+    def test_aggregates(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.star
+        expr = parse_expression("SUM(DISTINCT a)")
+        assert expr.distinct and expr.name == "SUM"
+
+    def test_neq_normalized(self):
+        expr = parse_expression("a != 1")
+        assert expr.op == "<>"

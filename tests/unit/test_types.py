@@ -1,0 +1,99 @@
+"""Unit tests for SQL value types and NULL-aware semantics."""
+
+import pytest
+
+from repro.engine.types import (SqlType, coerce, like_match, sql_compare,
+                                sql_eq)
+
+
+class TestSqlType:
+    @pytest.mark.parametrize("name,expected", [
+        ("INT", SqlType.INTEGER), ("integer", SqlType.INTEGER),
+        ("BIGINT", SqlType.INTEGER), ("FLOAT", SqlType.FLOAT),
+        ("NUMERIC", SqlType.FLOAT), ("decimal", SqlType.FLOAT),
+        ("VARCHAR", SqlType.VARCHAR), ("char", SqlType.VARCHAR),
+        ("TEXT", SqlType.VARCHAR), ("DATE", SqlType.DATE),
+        ("DATETIME", SqlType.DATE),
+    ])
+    def test_aliases(self, name, expected):
+        assert SqlType.from_name(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            SqlType.from_name("BLOB")
+
+
+class TestCoerce:
+    def test_null_passes_through(self):
+        assert coerce(None, SqlType.INTEGER) is None
+
+    def test_integer_coercions(self):
+        assert coerce(5, SqlType.INTEGER) == 5
+        assert coerce(5.0, SqlType.INTEGER) == 5
+        assert coerce("7", SqlType.INTEGER) == 7
+        assert coerce(True, SqlType.INTEGER) == 1
+
+    def test_integer_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            coerce(5.5, SqlType.INTEGER)
+
+    def test_float_coercions(self):
+        assert coerce(5, SqlType.FLOAT) == 5.0
+        assert isinstance(coerce(5, SqlType.FLOAT), float)
+        assert coerce("2.5", SqlType.FLOAT) == 2.5
+
+    def test_varchar_coercions(self):
+        assert coerce("abc", SqlType.VARCHAR) == "abc"
+        assert coerce(12, SqlType.VARCHAR) == "12"
+
+
+class TestComparisons:
+    def test_eq_null_is_unknown(self):
+        assert sql_eq(None, 1) is None
+        assert sql_eq(1, None) is None
+
+    def test_eq_values(self):
+        assert sql_eq(1, 1) is True
+        assert sql_eq(1, 2) is False
+        assert sql_eq(1, 1.0) is True
+        assert sql_eq("a", "a") is True
+
+    def test_eq_mixed_kinds_false(self):
+        assert sql_eq(1, "1") is False
+
+    def test_compare_null_is_unknown(self):
+        assert sql_compare(None, 5) is None
+        assert sql_compare(5, None) is None
+
+    def test_compare_orders(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+        assert sql_compare("a", "b") == -1
+
+    def test_compare_mixed_kinds_raises(self):
+        with pytest.raises(TypeError):
+            sql_compare(1, "a")
+
+
+class TestLike:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%llo", True),
+        ("hello", "h_llo", True),
+        ("hello", "h_o", False),
+        ("hello", "%", True),
+        ("", "%", True),
+        ("", "_", False),
+        ("abc", "a%c", True),
+        ("abc", "a%%c", True),
+        ("abcdef", "%cd%", True),
+        ("abcdef", "%dc%", False),
+        ("title42", "title4%", True),
+    ])
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_null_value_is_unknown(self):
+        assert like_match(None, "%") is None

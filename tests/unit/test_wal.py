@@ -1,0 +1,80 @@
+"""Unit tests for the write-ahead log."""
+
+from repro.engine.wal import RecordType, WriteAheadLog, analyze
+
+
+class TestWal:
+    def test_lsns_monotonic(self):
+        wal = WriteAheadLog()
+        r1 = wal.append(1, RecordType.BEGIN)
+        r2 = wal.append(1, RecordType.INSERT, db="d", table="t", rid=0,
+                        after=(1, 2))
+        assert r2.lsn == r1.lsn + 1
+
+    def test_unflushed_records_not_durable(self):
+        wal = WriteAheadLog()
+        wal.append(1, RecordType.BEGIN)
+        assert wal.durable_records() == []
+        wal.flush()
+        assert len(wal.durable_records()) == 1
+
+    def test_flush_horizon(self):
+        wal = WriteAheadLog()
+        wal.append(1, RecordType.BEGIN)
+        wal.flush()
+        wal.append(1, RecordType.COMMIT)
+        durable = wal.durable_records()
+        assert [r.kind for r in durable] == [RecordType.BEGIN]
+
+    def test_stats(self):
+        wal = WriteAheadLog()
+        wal.append(1, RecordType.BEGIN)
+        wal.flush()
+        wal.flush()
+        assert wal.stats.records == 1
+        assert wal.stats.flushes == 2
+
+
+class TestAnalyze:
+    def _records(self, *specs):
+        wal = WriteAheadLog()
+        for txn, kind in specs:
+            wal.append(txn, kind)
+        wal.flush()
+        return wal.durable_records()
+
+    def test_committed(self):
+        state = analyze(self._records((1, RecordType.BEGIN),
+                                      (1, RecordType.COMMIT)))
+        assert state.committed == [1]
+        assert state.in_doubt == []
+
+    def test_prepared_is_in_doubt(self):
+        state = analyze(self._records((1, RecordType.BEGIN),
+                                      (1, RecordType.PREPARE)))
+        assert state.in_doubt == [1]
+
+    def test_prepared_then_committed(self):
+        state = analyze(self._records((1, RecordType.BEGIN),
+                                      (1, RecordType.PREPARE),
+                                      (1, RecordType.COMMIT)))
+        assert state.committed == [1]
+        assert state.in_doubt == []
+
+    def test_active_discarded(self):
+        state = analyze(self._records((1, RecordType.BEGIN)))
+        assert state.discarded == [1]
+
+    def test_aborted_discarded(self):
+        state = analyze(self._records((1, RecordType.BEGIN),
+                                      (1, RecordType.ABORT)))
+        assert state.discarded == [1]
+
+    def test_mixed_transactions(self):
+        state = analyze(self._records(
+            (1, RecordType.BEGIN), (2, RecordType.BEGIN),
+            (3, RecordType.BEGIN), (1, RecordType.COMMIT),
+            (2, RecordType.PREPARE)))
+        assert state.committed == [1]
+        assert state.in_doubt == [2]
+        assert state.discarded == [3]
