@@ -3,15 +3,25 @@
 These measure the Python engine's raw statement rates — useful when
 tuning experiment scales, and a regression guard for the executor and
 index paths that every simulated experiment leans on.
+
+Two modes:
+
+* ``pytest benchmarks/bench_engine_micro.py --benchmark-only`` — the
+  pytest-benchmark suite (per-op statistics);
+* ``python benchmarks/bench_engine_micro.py`` — plain mode: runs every
+  group against a compiled-plans engine and an interpreter engine and
+  writes ``BENCH_engine_micro.json`` (statements/sec per group, compiled
+  vs interpreted) at the repository root, so the repo's perf trajectory
+  is machine-readable. Rates are best-of-N to shrug off scheduler noise.
 """
 
 import pytest
 
-from repro.engine import Engine
+from repro.engine import Engine, EngineConfig
 
 
-def make_engine(rows: int = 2000):
-    engine = Engine("micro")
+def make_engine(rows: int = 2000, config: EngineConfig = None):
+    engine = Engine("micro", config=config)
     engine.create_database("db")
     txn = engine.begin()
     engine.execute_sync(txn, "db",
@@ -99,3 +109,123 @@ def test_aggregate_group_by(benchmark, engine):
     result = benchmark(op)
     engine.commit(txn)
     assert len(result.rows) == 10
+
+
+# -- plain mode ---------------------------------------------------------------
+
+
+def _plain_groups():
+    """(name, inner-loop size, statement runner factory) per group.
+
+    Each factory takes an engine and returns a zero-argument op running
+    one statement; read-only groups share one long-lived transaction the
+    way the pytest variants do.
+    """
+
+    def query(engine, sql, params=()):
+        txn = engine.begin()
+
+        def op():
+            return engine.execute_sync(txn, "db", sql, params)
+
+        return op
+
+    def update_cycle(engine):
+        counter = [0]
+
+        def op():
+            counter[0] += 1
+            txn = engine.begin()
+            engine.execute_sync(txn, "db", "UPDATE t SET v = ? WHERE k = ?",
+                                (counter[0] % 100, counter[0] % 500))
+            engine.commit(txn)
+
+        return op
+
+    return [
+        ("point_select", 1500,
+         lambda e: query(e, "SELECT v FROM t WHERE k = ?", (777,))),
+        ("secondary_index_select", 400,
+         lambda e: query(e, "SELECT COUNT(*) FROM t WHERE v = ?", (7,))),
+        ("range_scan", 300,
+         lambda e: query(e, "SELECT k FROM t WHERE k >= ? AND k < ? "
+                            "ORDER BY k", (100, 200))),
+        ("update_commit_cycle", 300, update_cycle),
+        ("aggregate_group_by", 40,
+         lambda e: query(e, "SELECT v, COUNT(*) FROM t "
+                            "GROUP BY v ORDER BY v LIMIT 10")),
+    ]
+
+
+def run_plain(repeats: int = 5):
+    """Measure statements/sec per group, compiled vs interpreted.
+
+    The two modes are interleaved repeat-by-repeat (not run back to
+    back) so a CPU-frequency or scheduler shift mid-run skews both
+    sides equally instead of poisoning the speedup ratio.
+    """
+    import time
+
+    rates = {}
+    for name, inner, factory in _plain_groups():
+        rows = 500 if name == "update_commit_cycle" else 2000
+        ops = {}
+        for label, compiled in (("compiled", True), ("interpreted", False)):
+            engine = make_engine(rows,
+                                 config=EngineConfig(compile_plans=compiled))
+            ops[label] = factory(engine)
+            ops[label]()  # warm plan + compile caches
+        best = {"compiled": 0.0, "interpreted": 0.0}
+        for _ in range(repeats):
+            for label, op in ops.items():
+                start = time.perf_counter()
+                for _ in range(inner):
+                    op()
+                elapsed = time.perf_counter() - start
+                best[label] = max(best[label], inner / elapsed)
+        rates[name] = {label: round(rate, 1)
+                       for label, rate in best.items()}
+        rates[name]["speedup"] = round(
+            best["compiled"] / best["interpreted"], 2)
+    return rates
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import os
+    import platform
+
+    parser = argparse.ArgumentParser(
+        description="MiniSQL engine microbenchmark (plain mode)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats per group (best is kept)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    rates = run_plain(repeats=args.repeats)
+    payload = {
+        "benchmark": "engine_micro",
+        "unit": "statements_per_sec",
+        "python": platform.python_version(),
+        "groups": rates,
+    }
+    out = args.out or os.path.normpath(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_engine_micro.json"))
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    width = max(len(name) for name in rates)
+    print(f"{'group':<{width}}  {'compiled':>12}  {'interpreted':>12}  "
+          f"{'speedup':>7}")
+    for name, group in rates.items():
+        print(f"{name:<{width}}  {group['compiled']:>12.1f}  "
+              f"{group['interpreted']:>12.1f}  {group['speedup']:>6.2f}x")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,11 @@ class EngineConfig:
             dropping shared locks once a transaction is PREPARED. The
             paper's Table 1 anomaly requires this to be True (the default,
             as in real systems).
+        compile_plans: compile cached plans to Python closures (see
+            :mod:`repro.engine.compile`) instead of tree-walking them.
+            Behavior-identical to the interpreter — same rows, locks, and
+            cost counters — just faster; disable to debug lock semantics
+            against the reference interpreter.
         cpu_cost_per_row_us: simulated CPU microseconds charged per row
             examined by the executor.
         cpu_cost_per_statement_us: fixed per-statement overhead (parse,
@@ -39,6 +44,7 @@ class EngineConfig:
     buffer_pool_pages: int = 2048
     btree_order: int = 32
     release_read_locks_at_prepare: bool = True
+    compile_plans: bool = True
     # InnoDB-style non-locking consistent reads: plain SELECTs take no
     # locks and see the last committed image of rows another transaction
     # is currently changing (read-committed via before-images). Writes,

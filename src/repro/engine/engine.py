@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.engine import compile as comp
 from repro.engine import executor as ex
 from repro.engine import planner as pl
 from repro.engine.config import EngineConfig
@@ -49,6 +50,8 @@ class Engine:
         self.history = history
         self._planners: Dict[str, pl.Planner] = {}
         self._plan_cache: Dict[Tuple[str, str], Any] = {}
+        # Compiled executors, keyed and invalidated exactly like plans.
+        self._compiled_cache: Dict[Tuple[str, str], Any] = {}
         self._local_txn_ids = itertools.count(1_000_000_000)
         self.transactions: Dict[int, Transaction] = {}
         # Uncommitted row changes, for non-locking consistent reads:
@@ -77,6 +80,10 @@ class Engine:
         self._planners.pop(name, None)
         self._plan_cache = {
             key: plan for key, plan in self._plan_cache.items()
+            if key[0] != name
+        }
+        self._compiled_cache = {
+            key: fn for key, fn in self._compiled_cache.items()
             if key[0] != name
         }
         self.buffer_pool.invalidate_prefix((name,))
@@ -175,6 +182,27 @@ class Engine:
         self._plan_cache[key] = plan
         return plan
 
+    def compiled(self, db_name: str, sql: str):
+        """Compiled executor for a statement, or None when interpreting.
+
+        Compilation happens once per cached plan; the artifact is
+        invalidated together with the plan on DDL. Returns None when
+        ``compile_plans`` is off or the plan has no compiled form (DDL).
+        """
+        if not self.config.compile_plans:
+            return None
+        key = (db_name, sql)
+        if key in self._compiled_cache:
+            return self._compiled_cache[key]
+        plan = self.plan(db_name, sql)
+        if isinstance(plan, (pl.SelectPlan, pl.InsertPlan, pl.UpdatePlan,
+                             pl.DeletePlan)):
+            compiled = comp.compile_statement(plan)
+        else:
+            compiled = None
+        self._compiled_cache[key] = compiled
+        return compiled
+
     def _planner(self, db_name: str) -> pl.Planner:
         if db_name not in self._planners:
             raise SchemaError(f"no database {db_name!r} on engine {self.name}")
@@ -187,6 +215,17 @@ class Engine:
         Yields :class:`LockRequest` on waits; returns :class:`ExecResult`.
         """
         txn.require(TxnState.ACTIVE)
+        # Compiled fast path: one cache lookup covers parse + plan +
+        # compile for every statement after the first.
+        compiled = (self._compiled_cache.get((db_name, sql))
+                    if self.config.compile_plans else None)
+        if compiled is not None:
+            txn.databases.add(db_name)
+            ctx = ex.ExecContext(txn, self.database(db_name), self.locks,
+                                 self.buffer_pool, self.wal, tuple(params),
+                                 history=self.history, dirty=self.dirty)
+            result = yield from compiled(ctx)
+            return result
         plan = self.plan(db_name, sql)
         txn.databases.add(db_name)
         if isinstance(plan, (n.CreateTable, n.CreateIndex)):
@@ -196,7 +235,10 @@ class Engine:
         ctx = ex.ExecContext(txn, self.database(db_name), self.locks,
                              self.buffer_pool, self.wal, tuple(params),
                              history=self.history, dirty=self.dirty)
-        if isinstance(plan, pl.SelectPlan):
+        compiled = self.compiled(db_name, sql)
+        if compiled is not None:
+            result = yield from compiled(ctx)
+        elif isinstance(plan, pl.SelectPlan):
             result = yield from ex.execute_select(plan, ctx)
         elif isinstance(plan, pl.InsertPlan):
             result = yield from ex.execute_insert(plan, ctx)
@@ -244,6 +286,10 @@ class Engine:
             table.indexes[stmt.name] = tree
         self._plan_cache = {
             key: plan for key, plan in self._plan_cache.items()
+            if key[0] != db_name
+        }
+        self._compiled_cache = {
+            key: fn for key, fn in self._compiled_cache.items()
             if key[0] != db_name
         }
         return ExecResult(rowcount=0)

@@ -80,6 +80,9 @@ class ExecResult:
 class ExecContext:
     """Mutable state threaded through one statement's execution."""
 
+    __slots__ = ("txn", "database", "locks", "pool", "wal", "params",
+                 "history", "cost", "dirty", "nonlocking_reads")
+
     def __init__(self, txn: Transaction, database: StoredDatabase,
                  locks: LockManager, pool: BufferPool,
                  wal: WriteAheadLog, params: Tuple[Any, ...],
@@ -513,7 +516,9 @@ class _AggState:
     def __init__(self, item: p.AggItem):
         self.item = item
         self.count = 0
-        self.total = 0.0
+        # Integer zero: SUM over INTEGER columns stays an int (as in
+        # MySQL); adding any FLOAT value promotes the total to float.
+        self.total = 0
         self.best: Any = None
         self.distinct_seen = set() if item.distinct else None
 

@@ -131,3 +131,18 @@ def explain(plan) -> str:
 
     walk(plan, 0)
     return "\n".join(lines)
+
+
+def explain_statement(engine, db_name: str, sql: str) -> str:
+    """Explain a statement as the engine would run it.
+
+    Renders the plan tree plus an execution-mode line: ``compiled`` when
+    the engine will run a closure-compiled executor for this statement
+    (see :mod:`repro.engine.compile`), ``interpreted`` when it will
+    tree-walk the plan (``EngineConfig.compile_plans`` off, or a
+    statement kind with no compiled form).
+    """
+    plan = engine.plan(db_name, sql)
+    mode = "compiled" if engine.compiled(db_name, sql) is not None \
+        else "interpreted"
+    return explain(plan) + f"\n[execution: {mode}]"

@@ -174,6 +174,23 @@ class LockManager:
     def waiting_request(self, txn_id: int) -> Optional[LockRequest]:
         return self._waiting.get(txn_id)
 
+    def try_reentrant(self, txn_id: int, resource: Resource,
+                      mode: LockMode) -> bool:
+        """Allocation-free re-acquire of an already-held lock.
+
+        True when ``txn_id`` already holds ``resource`` at least as
+        strongly as ``mode`` (the grant is counted exactly like the
+        re-entrant path of :meth:`acquire`); False means the caller must
+        go through :meth:`acquire`.
+        """
+        held_mode = self._held[txn_id].get(resource)
+        if (held_mode is not None
+                and _SUP[(held_mode, mode)] == held_mode
+                and txn_id not in self._waiting):
+            self.stats.acquired += 1
+            return True
+        return False
+
     # -- acquisition ----------------------------------------------------------
 
     def acquire(self, txn_id: int, resource: Resource,
@@ -189,16 +206,19 @@ class LockManager:
             raise RuntimeError(
                 f"txn {txn_id} already has a pending lock request"
             )
-        table = self._tables[resource]
         held_mode = self._held[txn_id].get(resource)
-        effective = mode if held_mode is None else supremum(held_mode, mode)
-        request = LockRequest(txn_id, resource, effective)
-
-        if held_mode is not None and supremum(held_mode, mode) == held_mode:
-            # Re-entrant: already strong enough.
+        if held_mode is not None and _SUP[(held_mode, mode)] == held_mode:
+            # Re-entrant fast path: already strong enough. Taken before
+            # the per-resource table is touched so repeated acquisitions
+            # (every statement of a transaction re-locking its rows) do
+            # no queue or compatibility work.
+            request = LockRequest(txn_id, resource, held_mode)
             request._grant()
             self.stats.acquired += 1
             return request
+        table = self._tables[resource]
+        effective = mode if held_mode is None else supremum(held_mode, mode)
+        request = LockRequest(txn_id, resource, effective)
 
         others_compatible = all(
             compatible(h, effective)

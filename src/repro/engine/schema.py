@@ -56,6 +56,12 @@ class TableSchema:
                     f"primary key column {key_col!r} not in table {name!r}"
                 )
         self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        # The primary key never changes after construction, so its column
+        # positions are computed once (pk_key runs per row on hot paths).
+        self._pk_positions: Tuple[int, ...] = tuple(
+            self._positions[c] for c in self.primary_key
+        )
+        self._index_positions: Dict[str, Tuple[int, ...]] = {}
         self.indexes: Dict[str, IndexDef] = {}
         if self.primary_key:
             self.indexes["__pk__"] = IndexDef("__pk__", self.primary_key, unique=True)
@@ -73,7 +79,15 @@ class TableSchema:
         return [c.name for c in self.columns]
 
     def pk_positions(self) -> Tuple[int, ...]:
-        return tuple(self._positions[c] for c in self.primary_key)
+        return self._pk_positions
+
+    def index_positions(self, index: IndexDef) -> Tuple[int, ...]:
+        """Column positions of an index's key, memoized by index name."""
+        positions = self._index_positions.get(index.name)
+        if positions is None:
+            positions = tuple(self._positions[c] for c in index.columns)
+            self._index_positions[index.name] = positions
+        return positions
 
     def add_index(self, index: IndexDef) -> None:
         if index.name in self.indexes:

@@ -29,6 +29,14 @@ class HeapTable:
         self.config = config
         self._rows: Dict[int, Row] = {}
         self._next_rid = 0
+        # Page-id prefixes are invariant per table; precomputing them keeps
+        # the per-row heap_page/index_pages calls to one tuple concat.
+        self._rows_per_page = config.rows_per_page
+        self._heap_prefix = (db_name, schema.name, "heap")
+        self._ix_prefix = (db_name, schema.name, "ix")
+        # index name -> (height, leaf_count, internal pages, leaf prefix);
+        # rebuilt whenever the tree's height or leaf count moves.
+        self._index_page_cache: Dict[str, Tuple] = {}
         self.indexes: Dict[str, BPlusTree] = {}
         for index in schema.indexes.values():
             self.indexes[index.name] = BPlusTree(order=config.btree_order)
@@ -57,7 +65,7 @@ class HeapTable:
             yield rid, self._rows[rid]
 
     def index_key(self, index: IndexDef, row: Row) -> Tuple[Any, ...]:
-        return tuple(row[self.schema.column_position(c)] for c in index.columns)
+        return tuple(row[p] for p in self.schema.index_positions(index))
 
     def pk_key(self, row: Row) -> Tuple[Any, ...]:
         return tuple(row[p] for p in self.schema.pk_positions())
@@ -65,13 +73,13 @@ class HeapTable:
     # -- page accounting ---------------------------------------------------
 
     def heap_page(self, rid: int) -> PageId:
-        return (self.db_name, self.schema.name, "heap",
-                rid // self.config.rows_per_page)
+        return self._heap_prefix + (rid // self._rows_per_page,)
 
     def heap_pages(self) -> Iterator[PageId]:
         """All heap pages, in order (a full table scan touches these)."""
+        prefix = self._heap_prefix
         for page_no in range(self.page_count):
-            yield (self.db_name, self.schema.name, "heap", page_no)
+            yield prefix + (page_no,)
 
     def index_pages(self, index_name: str, key: Tuple[Any, ...]) -> List[PageId]:
         """Pages a point traversal of ``index_name`` touches for ``key``.
@@ -81,15 +89,17 @@ class HeapTable:
         leaf level is spread over ``leaf_count`` pages by key hash.
         """
         tree = self.indexes[index_name]
-        pages: List[PageId] = []
-        for level in range(max(0, tree.height - 1)):
-            pages.append((self.db_name, self.schema.name, "ix",
-                          index_name, "i", level))
-        leaf_count = max(1, len(tree) // self.config.rows_per_page)
-        bucket = hash(key) % leaf_count
-        pages.append((self.db_name, self.schema.name, "ix",
-                      index_name, "leaf", bucket))
-        return pages
+        leaf_count = max(1, len(tree) // self._rows_per_page)
+        cached = self._index_page_cache.get(index_name)
+        if (cached is None or cached[0] != tree.height
+                or cached[1] != leaf_count):
+            prefix = self._ix_prefix
+            internal = [prefix + (index_name, "i", level)
+                        for level in range(max(0, tree.height - 1))]
+            cached = (tree.height, leaf_count, internal,
+                      prefix + (index_name, "leaf"))
+            self._index_page_cache[index_name] = cached
+        return cached[2] + [cached[3] + (hash(key) % leaf_count,)]
 
     # -- mutation -----------------------------------------------------------
 

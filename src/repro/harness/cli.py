@@ -94,13 +94,25 @@ def cmd_table1(args) -> None:
     print(table)
 
 
+EXPERIMENTS = [
+    ("table1", "serializability matrix for the read/write policy options"),
+    ("table2", "SLA-driven placement vs optimal bin packing"),
+    ("fig2", "TPC-W shopping-mix throughput across replication options"),
+    ("fig3", "TPC-W browsing-mix throughput across replication options"),
+    ("fig4", "TPC-W ordering-mix throughput across replication options"),
+    ("fig8-9", "recovery throughput/rejections by copy granularity"),
+    ("all", "every experiment above, quick settings"),
+]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.harness",
         description="Regenerate the paper's evaluation tables")
-    parser.add_argument("experiment",
-                        choices=["table1", "table2", "fig2", "fig3", "fig4",
-                                 "fig8-9", "all"])
+    parser.add_argument("experiment", nargs="?",
+                        choices=[name for name, _ in EXPERIMENTS])
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
     parser.add_argument("--duration", type=float, default=12.0,
                         help="simulated seconds per run")
     parser.add_argument("--clients", type=int, default=4,
@@ -109,6 +121,14 @@ def main(argv=None) -> int:
                         help="tenant databases for placement experiments")
     parser.add_argument("--seed", type=int, default=3)
     args = parser.parse_args(argv)
+
+    if args.list:
+        width = max(len(name) for name, _ in EXPERIMENTS)
+        for name, description in EXPERIMENTS:
+            print(f"{name:<{width}}  {description}")
+        return 0
+    if args.experiment is None:
+        parser.error("the following arguments are required: experiment")
 
     chosen = args.experiment
     if chosen in ("table1", "all"):

@@ -1,0 +1,221 @@
+"""Unit tests for the plan-compilation layer (repro.engine.compile)."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+
+
+def make_engine(compile_plans=True):
+    engine = Engine(config=EngineConfig(compile_plans=compile_plans))
+    engine.create_database("db")
+    txn = engine.begin()
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE t (k INTEGER PRIMARY KEY, "
+                        "v INTEGER, s VARCHAR(20))")
+    for k, v, s in [(1, 10, "alpha"), (2, None, "beta"), (3, 30, "gamma"),
+                    (4, 10, "alps"), (5, -5, None)]:
+        engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?, ?)",
+                            (k, v, s))
+    engine.commit(txn)
+    return engine
+
+
+def query(engine, sql, params=()):
+    txn = engine.begin()
+    try:
+        return engine.execute_sync(txn, "db", sql, params)
+    finally:
+        engine.commit(txn)
+
+
+@pytest.fixture
+def eng():
+    return make_engine()
+
+
+class TestCompiledExpressions:
+    """Semantics of compiled predicates (SQL three-valued logic)."""
+
+    def test_null_comparison_filters_row(self, eng):
+        # v = 10 is UNKNOWN for the NULL row: excluded, not an error.
+        rows = query(eng, "SELECT k FROM t WHERE v = 10 ORDER BY k").rows
+        assert rows == [(1,), (4,)]
+
+    def test_not_of_unknown_stays_unknown(self, eng):
+        rows = query(eng, "SELECT k FROM t WHERE NOT (v = 10) ORDER BY k").rows
+        assert rows == [(3,), (5,)]  # NULL row excluded from both sides
+
+    def test_or_with_null_short_circuit(self, eng):
+        rows = query(eng, "SELECT k FROM t "
+                          "WHERE v > 100 OR v IS NULL").rows
+        assert rows == [(2,)]
+
+    def test_like_translates_wildcards(self, eng):
+        rows = query(eng, "SELECT k FROM t WHERE s LIKE 'al%' ORDER BY k").rows
+        assert rows == [(1,), (4,)]
+        rows = query(eng, "SELECT k FROM t WHERE s LIKE '_eta'").rows
+        assert rows == [(2,)]
+
+    def test_between_and_negation(self, eng):
+        rows = query(eng, "SELECT k FROM t WHERE v BETWEEN 0 AND 20 "
+                          "ORDER BY k").rows
+        assert rows == [(1,), (4,)]
+        rows = query(eng, "SELECT k FROM t WHERE v NOT BETWEEN 0 AND 20 "
+                          "ORDER BY k").rows
+        assert rows == [(3,), (5,)]  # NULL row: UNKNOWN either way
+
+    def test_division_by_zero_yields_null(self, eng):
+        rows = query(eng, "SELECT v / 0 FROM t WHERE k = 1").rows
+        assert rows == [(None,)]
+
+    def test_in_list_with_null_semantics(self, eng):
+        # k IN (1, NULL) is TRUE for k=1, UNKNOWN (not FALSE) otherwise.
+        rows = query(eng, "SELECT k FROM t WHERE k IN (1, NULL)").rows
+        assert rows == [(1,)]
+
+    def test_constant_fold_does_not_hoist_errors(self, eng):
+        # 1/0 folds to NULL at row time, exactly like the interpreter.
+        rows = query(eng, "SELECT k FROM t WHERE 1 / 0 = 1").rows
+        assert rows == []
+
+    def test_unbound_parameter_message(self, eng):
+        from repro.errors import SqlError
+        with pytest.raises(SqlError, match="parameter"):
+            query(eng, "SELECT k FROM t WHERE v = ?", ())
+
+
+class TestAggregateResultTypes:
+    """SUM/MIN/MAX over INTEGER columns stay integers (like MySQL)."""
+
+    @pytest.mark.parametrize("compile_plans", [True, False])
+    def test_sum_over_integer_is_int(self, compile_plans):
+        engine = make_engine(compile_plans)
+        total = query(engine, "SELECT SUM(v) FROM t").scalar()
+        assert total == 45
+        assert type(total) is int
+
+    @pytest.mark.parametrize("compile_plans", [True, False])
+    def test_min_max_preserve_int(self, compile_plans):
+        engine = make_engine(compile_plans)
+        low, high = query(engine, "SELECT MIN(v), MAX(v) FROM t").rows[0]
+        assert (low, high) == (-5, 30)
+        assert type(low) is int and type(high) is int
+
+    @pytest.mark.parametrize("compile_plans", [True, False])
+    def test_avg_is_float(self, compile_plans):
+        engine = make_engine(compile_plans)
+        avg = query(engine, "SELECT AVG(v) FROM t").scalar()
+        assert avg == 45 / 4
+        assert type(avg) is float
+
+    @pytest.mark.parametrize("compile_plans", [True, False])
+    def test_count_ignores_null_distinct_dedupes(self, compile_plans):
+        engine = make_engine(compile_plans)
+        row = query(engine,
+                    "SELECT COUNT(*), COUNT(v), COUNT(DISTINCT v) "
+                    "FROM t").rows[0]
+        assert row == (5, 4, 3)
+
+    @pytest.mark.parametrize("compile_plans", [True, False])
+    def test_empty_aggregates_are_null(self, compile_plans):
+        engine = make_engine(compile_plans)
+        query(engine, "DELETE FROM t")
+        row = query(engine,
+                    "SELECT COUNT(*), SUM(v), AVG(v), MIN(v) FROM t").rows[0]
+        assert row == (0, None, None, None)
+
+
+class TestCompiledPlanParity:
+    """Compiled artifacts behave exactly like the interpreter."""
+
+    def _pair(self):
+        return make_engine(True), make_engine(False)
+
+    def test_desc_sort_puts_nulls_last(self):
+        for engine in self._pair():
+            rows = query(engine, "SELECT k, v FROM t ORDER BY v DESC, k").rows
+            assert rows == [(3, 30), (1, 10), (4, 10), (5, -5), (2, None)]
+
+    def test_asc_sort_puts_nulls_first(self):
+        for engine in self._pair():
+            rows = query(engine, "SELECT k FROM t ORDER BY v, k").rows
+            assert [r[0] for r in rows] == [2, 5, 1, 4, 3]
+
+    def test_having_filters_groups(self):
+        for engine in self._pair():
+            rows = query(engine,
+                         "SELECT v, COUNT(*) FROM t GROUP BY v "
+                         "HAVING COUNT(*) > 1 ORDER BY v").rows
+            assert rows == [(10, 2)]
+
+    def test_for_update_takes_same_locks(self):
+        footprints = []
+        for engine in self._pair():
+            txn = engine.begin()
+            engine.execute_sync(txn, "db",
+                                "SELECT k FROM t WHERE k = 1 FOR UPDATE")
+            footprints.append(dict(engine.locks.held(txn.txn_id)))
+            engine.commit(txn)
+        assert footprints[0] == footprints[1]
+        assert any(mode.name == "X" for mode in footprints[0].values())
+
+    def test_dml_rowcounts_match(self):
+        for engine in self._pair():
+            assert query(engine, "UPDATE t SET v = 0 "
+                                 "WHERE v > 5").rowcount == 3
+            assert query(engine, "DELETE FROM t WHERE v = 0").rowcount == 3
+            assert query(engine, "INSERT INTO t VALUES (9, 9, 'x')"
+                         ).rowcount == 1
+            assert query(engine, "SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_cost_reports_match(self):
+        results = [query(engine, "SELECT k FROM t WHERE v = 10 ORDER BY k")
+                   for engine in self._pair()]
+        assert results[0].cost == results[1].cost
+        assert results[0].cost.rows_scanned == 5
+        assert results[0].cost.rows_returned == 2
+
+
+class TestCompiledCache:
+    def test_statement_compiles_once(self, eng):
+        first = eng.compiled("db", "SELECT k FROM t WHERE k = ?")
+        second = eng.compiled("db", "SELECT k FROM t WHERE k = ?")
+        assert first is not None
+        assert second is first
+
+    def test_ddl_invalidates_compiled_cache(self, eng):
+        sql = "SELECT k FROM t WHERE v = 1"
+        before = eng.compiled("db", sql)
+        assert before is not None
+        # The B+Tree cannot index NULL keys; clear them before the DDL.
+        query(eng, "DELETE FROM t WHERE v IS NULL")
+        query(eng, "CREATE INDEX t_v ON t (v)")
+        after = eng.compiled("db", sql)
+        assert after is not None
+        assert after is not before
+        # The recompiled artifact runs against the new physical plan.
+        assert query(eng, sql).rows == []
+
+    def test_ddl_in_other_database_keeps_cache(self, eng):
+        sql = "SELECT k FROM t"
+        before = eng.compiled("db", sql)
+        eng.create_database("other")
+        txn = eng.begin()
+        eng.execute_sync(txn, "other",
+                         "CREATE TABLE x (a INTEGER PRIMARY KEY)")
+        eng.commit(txn)
+        assert eng.compiled("db", sql) is before
+
+    def test_ddl_has_no_compiled_form(self, eng):
+        assert eng.compiled("db", "CREATE TABLE y "
+                                  "(a INTEGER PRIMARY KEY)") is None
+
+    def test_compile_plans_off_disables_cache(self):
+        engine = make_engine(compile_plans=False)
+        assert engine.compiled("db", "SELECT k FROM t") is None
+        assert query(engine, "SELECT COUNT(*) FROM t").scalar() == 5
+
+    def test_drop_database_clears_cache(self, eng):
+        eng.compiled("db", "SELECT k FROM t")
+        eng.drop_database("db")
+        assert not any(db == "db" for db, _ in eng._compiled_cache)

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.engine import Engine
-from repro.engine.explain import explain
+from repro.engine import Engine, EngineConfig
+from repro.engine.explain import explain, explain_statement
 
 
 @pytest.fixture
@@ -72,3 +72,21 @@ class TestExplain:
                                       "WHERE i_id > 5 AND i_id <= 10"))
         assert "IndexRangeScan" in text
         assert "(" in text and "]" in text
+
+
+class TestExplainStatement:
+    def test_reports_compiled_mode(self, eng):
+        text = explain_statement(eng, "db",
+                                 "SELECT i_title FROM item WHERE i_id = 1")
+        assert "IndexEqScan item.__pk__" in text
+        assert text.endswith("[execution: compiled]")
+
+    def test_reports_interpreted_when_compilation_off(self):
+        engine = Engine(config=EngineConfig(compile_plans=False))
+        engine.create_database("db")
+        txn = engine.begin()
+        engine.execute_sync(txn, "db",
+                            "CREATE TABLE x (a INT PRIMARY KEY)")
+        engine.commit(txn)
+        text = explain_statement(engine, "db", "SELECT a FROM x")
+        assert text.endswith("[execution: interpreted]")
