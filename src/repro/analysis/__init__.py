@@ -8,18 +8,34 @@
   (Bernstein/Hadzilacos/Goodman, as cited in Section 3.1).
 * :mod:`repro.analysis.metrics` — throughput/abort/rejection counters and
   time-windowed series used by the benchmark harness.
+* :mod:`repro.analysis.trace` — ring-buffered, sim-time-stamped event
+  trace of the cluster's replication/2PC machinery (JSONL exportable).
+* :mod:`repro.analysis.invariants` — trace-driven checker for the 2PC and
+  re-replication invariants the controller design promises.
 """
 
 from repro.analysis.history import GlobalHistory, SiteHistory
+from repro.analysis.invariants import (InvariantChecker, Violation,
+                                       check_controller, check_trace)
 from repro.analysis.metrics import MetricsCollector, TimeSeries
 from repro.analysis.serialization_graph import (SerializationGraph,
                                                 check_one_copy_serializable)
+from repro.analysis.trace import (LatencyHistogram, TraceEvent, Tracer,
+                                  load_jsonl)
 
 __all__ = [
     "GlobalHistory",
+    "InvariantChecker",
+    "LatencyHistogram",
     "MetricsCollector",
     "SerializationGraph",
     "SiteHistory",
     "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "Violation",
+    "check_controller",
     "check_one_copy_serializable",
+    "check_trace",
+    "load_jsonl",
 ]

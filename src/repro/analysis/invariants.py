@@ -1,0 +1,301 @@
+"""Trace-driven 2PC / replication invariant checker.
+
+Replays a cluster trace (:mod:`repro.analysis.trace`) and asserts the
+correctness properties the paper's controller design promises:
+
+* **decision-unique** — a prepared transaction reaches at most one
+  decision: never two commit decisions, never commit *and* abort; in
+  strict mode every prepared transaction must reach a terminal state.
+* **decision-before-commit** — no COMMIT message leaves the coordinator
+  before the commit decision is logged (mirrored to the process-pair
+  backup when one is attached).
+* **conservative-all-acked** — under the conservative write policy a
+  commit decision is only taken once every issued replica write has been
+  acknowledged (or its machine has failed).
+* **poisoned-never-commits** — an aggressive-mode transaction whose
+  background write failed (poisoned) never reaches a commit decision.
+* **deadlock-aborts-everywhere** — a transaction that saw a deadlock or
+  lock-wait timeout on any replica write never commits; it must abort on
+  every replica (no surviving replica keeps the write).
+* **rereplication-restores-factor** — (with ``expect_recovery_complete``)
+  every database queued for re-replication after a machine failure ends
+  with a successful copy restoring the replication factor.
+
+Usable three ways: :func:`check_controller` on a live controller (what
+the test suites call), :func:`check_trace` on a list of events, or as a
+CLI over a JSONL dump::
+
+    python -m repro.analysis.invariants trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.analysis.trace import TraceEvent, load_jsonl
+
+#: Write-failure error types that mean "deadlock class" (the InnoDB rule:
+#: these roll the whole local branch back, so commit must be impossible).
+DEADLOCK_ERRORS = {"DeadlockError", "LockTimeoutError"}
+
+#: Terminal per-transaction events.
+_TERMINAL_KINDS = {"committed", "abort", "rollback",
+                   "takeover_commit", "takeover_abort"}
+
+
+@dataclass
+class Violation:
+    """One broken invariant, anchored to the event that exposed it."""
+
+    rule: str
+    message: str
+    txn: Optional[int] = None
+    db: Optional[str] = None
+    seq: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.txn is not None:
+            where.append(f"txn {self.txn}")
+        if self.db is not None:
+            where.append(f"db {self.db!r}")
+        if self.seq is not None:
+            where.append(f"seq {self.seq}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        return f"{self.rule}: {self.message}{suffix}"
+
+
+@dataclass
+class _TxnAudit:
+    """Checker-side state of one traced transaction."""
+
+    db: Optional[str] = None
+    prepared: bool = False
+    decision_seq: Optional[int] = None
+    terminal_kinds: List[str] = field(default_factory=list)
+    poisoned_seq: Optional[int] = None
+    deadlock_seq: Optional[int] = None
+    # Outstanding (issued - resolved) writes per machine at current seq.
+    outstanding: Dict[str, int] = field(default_factory=dict)
+
+
+class InvariantChecker:
+    """Single-pass auditor over a cluster event trace."""
+
+    def __init__(self, write_policy: Optional[str] = None,
+                 replication_factor: Optional[int] = None,
+                 expect_recovery_complete: bool = False,
+                 strict: bool = False, dropped: int = 0):
+        self.write_policy = write_policy
+        self.replication_factor = replication_factor
+        self.expect_recovery_complete = expect_recovery_complete
+        self.strict = strict
+        # Events lost to ring-buffer overflow: cross-event rules that need
+        # a complete view (conservative acks, recovery completion, strict
+        # termination) are skipped on truncated traces.
+        self.dropped = dropped
+        self.violations: List[Violation] = []
+        self.in_flight: Set[int] = set()
+
+    # -- entry point -----------------------------------------------------------
+
+    def check(self, events: Sequence[TraceEvent]) -> List[Violation]:
+        txns: Dict[int, _TxnAudit] = {}
+        failed_machines: Set[str] = set()
+        # db -> seq of the latest re-replication enqueue (rule 6).
+        queued: Dict[str, int] = {}
+        recovered: Dict[str, TraceEvent] = {}
+        truncated = self.dropped > 0
+
+        def audit(txn_id: Optional[int]) -> Optional[_TxnAudit]:
+            if txn_id is None:
+                return None
+            return txns.setdefault(txn_id, _TxnAudit())
+
+        for e in events:
+            if e.kind == "trace_meta":
+                if self.write_policy is None:
+                    self.write_policy = e.extra.get("write_policy")
+                if self.replication_factor is None:
+                    self.replication_factor = e.extra.get(
+                        "replication_factor")
+                continue
+            state = audit(e.txn)
+            if state is not None and state.db is None and e.db is not None:
+                state.db = e.db
+
+            if e.kind == "write_issued":
+                state.outstanding[e.machine] = (
+                    state.outstanding.get(e.machine, 0) + 1)
+            elif e.kind in ("write_acked", "write_failed"):
+                state.outstanding[e.machine] = (
+                    state.outstanding.get(e.machine, 0) - 1)
+                if e.kind == "write_failed" and \
+                        e.extra.get("error") in DEADLOCK_ERRORS:
+                    if state.deadlock_seq is None:
+                        state.deadlock_seq = e.seq
+            elif e.kind == "poisoned":
+                if state.poisoned_seq is None:
+                    state.poisoned_seq = e.seq
+            elif e.kind in ("prepare", "prepare_failed"):
+                state.prepared = state.prepared or e.kind == "prepare"
+            elif e.kind == "decision_logged":
+                self._on_decision(e, state, failed_machines, truncated)
+            elif e.kind == "commit_sent":
+                if state.decision_seq is None:
+                    self.violations.append(Violation(
+                        "decision-before-commit",
+                        "COMMIT sent before the decision was logged",
+                        txn=e.txn, db=e.db, seq=e.seq))
+            elif e.kind in _TERMINAL_KINDS:
+                if e.kind in ("abort", "rollback", "takeover_abort") and \
+                        state.decision_seq is not None:
+                    self.violations.append(Violation(
+                        "decision-unique",
+                        f"{e.kind} after a logged commit decision",
+                        txn=e.txn, db=e.db, seq=e.seq))
+                state.terminal_kinds.append(e.kind)
+            elif e.kind == "machine_failed":
+                failed_machines.add(e.machine)
+            elif e.kind == "rereplication_queued":
+                queued[e.db] = e.seq
+                recovered.pop(e.db, None)
+            elif e.kind == "rereplication_done":
+                recovered[e.db] = e
+            elif e.kind == "rereplication_skipped":
+                if e.extra.get("reason") == "already-replicated":
+                    recovered[e.db] = e
+
+        self._finish(txns, queued, recovered, truncated)
+        return self.violations
+
+    # -- per-rule helpers -------------------------------------------------------
+
+    def _on_decision(self, e: TraceEvent, state: _TxnAudit,
+                     failed_machines: Set[str], truncated: bool) -> None:
+        if state.decision_seq is not None:
+            self.violations.append(Violation(
+                "decision-unique", "second commit decision logged",
+                txn=e.txn, db=e.db, seq=e.seq))
+        if any(k in ("abort", "rollback", "takeover_abort")
+               for k in state.terminal_kinds):
+            self.violations.append(Violation(
+                "decision-unique", "commit decision after an abort",
+                txn=e.txn, db=e.db, seq=e.seq))
+        state.decision_seq = e.seq
+        if state.poisoned_seq is not None:
+            self.violations.append(Violation(
+                "poisoned-never-commits",
+                "poisoned transaction reached a commit decision",
+                txn=e.txn, db=e.db, seq=e.seq))
+        if state.deadlock_seq is not None:
+            self.violations.append(Violation(
+                "deadlock-aborts-everywhere",
+                "transaction with a deadlocked replica write committed",
+                txn=e.txn, db=e.db, seq=e.seq))
+        if self.write_policy == "conservative" and not truncated:
+            stragglers = sorted(
+                machine for machine, count in state.outstanding.items()
+                if count > 0 and machine not in failed_machines)
+            if stragglers:
+                self.violations.append(Violation(
+                    "conservative-all-acked",
+                    "commit decision with unacknowledged writes on "
+                    f"{', '.join(stragglers)}",
+                    txn=e.txn, db=e.db, seq=e.seq))
+
+    def _finish(self, txns: Dict[int, _TxnAudit], queued: Dict[str, int],
+                recovered: Dict[str, TraceEvent], truncated: bool) -> None:
+        for txn_id, state in txns.items():
+            if not state.terminal_kinds:
+                if state.prepared or state.decision_seq is not None:
+                    self.in_flight.add(txn_id)
+                    if self.strict and not truncated:
+                        self.violations.append(Violation(
+                            "decision-unique",
+                            "prepared transaction never reached a "
+                            "terminal state", txn=txn_id, db=state.db))
+        if self.expect_recovery_complete and not truncated:
+            for db, queue_seq in sorted(queued.items()):
+                done = recovered.get(db)
+                if done is None or done.seq < queue_seq:
+                    self.violations.append(Violation(
+                        "rereplication-restores-factor",
+                        "database queued for re-replication was never "
+                        "restored", db=db, seq=queue_seq))
+                    continue
+                replicas = done.extra.get("replicas")
+                if (done.kind == "rereplication_done"
+                        and self.replication_factor is not None
+                        and replicas is not None
+                        and replicas < self.replication_factor):
+                    self.violations.append(Violation(
+                        "rereplication-restores-factor",
+                        f"re-replication finished with {replicas} < "
+                        f"{self.replication_factor} replicas",
+                        db=db, seq=done.seq))
+
+
+def check_trace(events: Sequence[TraceEvent], **kwargs: Any
+                ) -> List[Violation]:
+    """Audit a list of trace events; returns the violations found."""
+    return InvariantChecker(**kwargs).check(events)
+
+
+def check_controller(controller, expect_recovery_complete: bool = False,
+                     strict: bool = False) -> List[Violation]:
+    """Audit a live :class:`~repro.cluster.controller.ClusterController`.
+
+    Policy and replication factor are taken from the controller's
+    configuration; the trace comes from its attached tracer.
+    """
+    checker = InvariantChecker(
+        write_policy=controller.config.write_policy.value,
+        replication_factor=controller.config.replication_factor,
+        expect_recovery_complete=expect_recovery_complete,
+        strict=strict, dropped=controller.trace.dropped)
+    return checker.check(controller.trace.events())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.invariants",
+        description="Audit a JSONL cluster trace for 2PC/replication "
+                    "invariant violations")
+    parser.add_argument("traces", nargs="+", help="JSONL trace file(s)")
+    parser.add_argument("--write-policy",
+                        choices=["conservative", "aggressive"],
+                        help="override the policy recorded in the trace")
+    parser.add_argument("--replication-factor", type=int)
+    parser.add_argument("--expect-recovery-complete", action="store_true",
+                        help="require every queued re-replication to have "
+                             "finished")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on prepared transactions left in flight")
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for path in args.traces:
+        events, dropped = load_jsonl(path)
+        checker = InvariantChecker(
+            write_policy=args.write_policy,
+            replication_factor=args.replication_factor,
+            expect_recovery_complete=args.expect_recovery_complete,
+            strict=args.strict, dropped=dropped)
+        violations = checker.check(events)
+        status = "OK" if not violations else f"{len(violations)} VIOLATED"
+        note = f", {dropped} dropped" if dropped else ""
+        print(f"{path}: {len(events)} events{note}, "
+              f"{len(checker.in_flight)} in flight -> {status}")
+        for violation in violations:
+            print(f"  {violation}")
+        if violations:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.trace import LatencyHistogram
+
 
 @dataclass
 class DbCounters:
@@ -20,13 +22,14 @@ class DbCounters:
     committed: int = 0
     deadlocks: int = 0
     rejected: int = 0          # proactive rejections (Algorithm 1 / failures)
-    other_aborts: int = 0
+    rollbacks: int = 0         # voluntary client rollbacks
+    other_aborts: int = 0      # platform-initiated failure aborts
     response_time_total: float = 0.0
 
     @property
     def total_finished(self) -> int:
         return (self.committed + self.deadlocks + self.rejected
-                + self.other_aborts)
+                + self.rollbacks + self.other_aborts)
 
     @property
     def mean_response_time(self) -> float:
@@ -78,6 +81,10 @@ class MetricsCollector:
         self.commits_over_time = TimeSeries(window)
         self.rejections_over_time = TimeSeries(window)
         self.deadlocks_over_time = TimeSeries(window)
+        # Per-phase latency distributions fed by the cluster controller
+        # ("write" = replica write ack, "prepare" = 2PC phase 1,
+        # "commit" = 2PC phase 2, "txn" = begin-to-commit).
+        self.phase_latencies: Dict[str, LatencyHistogram] = {}
 
     def db(self, name: str) -> DbCounters:
         if name not in self.per_db:
@@ -99,8 +106,23 @@ class MetricsCollector:
         self.db(db).rejected += 1
         self.rejections_over_time.add(when)
 
+    def record_rollback(self, db: str) -> None:
+        """A voluntary client ROLLBACK (not a failure abort)."""
+        self.db(db).rollbacks += 1
+
     def record_other_abort(self, db: str) -> None:
         self.db(db).other_aborts += 1
+
+    def record_phase_latency(self, phase: str, seconds: float) -> None:
+        histogram = self.phase_latencies.get(phase)
+        if histogram is None:
+            histogram = self.phase_latencies[phase] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def latency_summary(self) -> Dict[str, Dict[str, float]]:
+        """{phase: {count, mean, p50, p95, p99}} for every observed phase."""
+        return {phase: histogram.summary()
+                for phase, histogram in sorted(self.phase_latencies.items())}
 
     # -- aggregates -----------------------------------------------------------
 

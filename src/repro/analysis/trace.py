@@ -1,0 +1,288 @@
+"""Structured cluster event tracing (the observability layer).
+
+The cluster controller, machines, recovery, migration, and the process
+pair all emit typed, sim-time-stamped :class:`TraceEvent` records into a
+shared ring-buffered :class:`Tracer`. The trace is the ground truth the
+2PC invariant checker (:mod:`repro.analysis.invariants`) audits, and is
+exportable as JSONL (``python -m repro.harness <experiment> --trace``).
+
+Event taxonomy (the ``kind`` field):
+
+================== ==========================================================
+kind               emitted when
+================== ==========================================================
+trace_meta         tracer attached; carries policy/replication configuration
+txn_begin          a connection opens a new transaction
+write_issued       a write statement is fanned out to one replica
+write_acked        that replica finished the write
+write_failed       that replica's write errored (``error`` names the type)
+poisoned           an aggressive-mode background write failure was recorded
+prepare            2PC phase 1 succeeded on one participant
+prepare_failed     2PC phase 1 errored on one participant
+decision_logged    the coordinator decided commit (after mirroring to the
+                   process-pair backup when one is attached)
+commit_sent        a COMMIT message left the coordinator for one machine
+committed          the transaction finished committing
+decision_cleared   the backup's mirrored decision was retired
+abort              the transaction was rolled back by the platform
+rollback           the client voluntarily rolled back
+machine_failed     a machine died (``affected`` lists databases that lost
+                   a replica)
+copy_abandoned     a live copy lost its source or target to a failure
+rereplication_*    queued / start / done / abandoned / skipped, from the
+                   recovery manager
+migration_*        start / done / abandoned, from the migration manager
+takeover*          process-pair takeover and its per-transaction outcomes
+================== ==========================================================
+
+Adding an event: call ``tracer.emit(kind, db=..., txn=..., machine=...,
+**extra)`` at the site; unknown kinds are accepted (the taxonomy above is
+the audited core set, listed in :data:`EVENT_KINDS`). If the checker
+should understand it, teach :mod:`repro.analysis.invariants` the kind.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    TextIO, Union)
+
+#: The documented core event kinds (informational; ``emit`` accepts any).
+EVENT_KINDS = frozenset({
+    "trace_meta",
+    "txn_begin",
+    "write_issued", "write_acked", "write_failed", "poisoned",
+    "prepare", "prepare_failed",
+    "decision_logged", "commit_sent", "committed", "decision_cleared",
+    "abort", "rollback",
+    "machine_failed", "copy_abandoned",
+    "rereplication_queued", "rereplication_start", "rereplication_done",
+    "rereplication_abandoned", "rereplication_skipped",
+    "migration_start", "migration_done", "migration_abandoned",
+    "takeover", "takeover_commit", "takeover_abort",
+})
+
+
+@dataclass
+class TraceEvent:
+    """One sim-time-stamped occurrence in the cluster.
+
+    ``seq`` is a tracer-assigned monotone counter: events emitted at the
+    same simulated time keep their emission order under ``(t, seq)``.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    db: Optional[str] = None
+    txn: Optional[int] = None
+    machine: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"seq": self.seq, "t": self.t,
+                                  "kind": self.kind}
+        if self.db is not None:
+            record["db"] = self.db
+        if self.txn is not None:
+            record["txn"] = self.txn
+        if self.machine is not None:
+            record["machine"] = self.machine
+        if self.extra:
+            record["extra"] = self.extra
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        return cls(seq=record["seq"], t=record["t"], kind=record["kind"],
+                   db=record.get("db"), txn=record.get("txn"),
+                   machine=record.get("machine"),
+                   extra=dict(record.get("extra", {})))
+
+
+class LatencyHistogram:
+    """Exact-percentile latency accumulator for one phase.
+
+    Simulated runs produce at most a few hundred thousand samples, so we
+    keep them all and sort on demand (cached until the next observation).
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return (sum(self._samples) / len(self._samples)
+                if self._samples else 0.0)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(1, int(round(p / 100.0 * len(self._sorted) + 0.5)))
+        return self._sorted[min(rank, len(self._sorted)) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": float(self.count), "mean": self.mean,
+                "p50": self.p50, "p95": self.p95, "p99": self.p99}
+
+
+class Tracer:
+    """Ring-buffered event trace shared by one cluster's components.
+
+    The buffer holds the most recent ``capacity`` events; older ones are
+    dropped (counted in :attr:`dropped`) so long soaks cannot exhaust
+    memory. The invariant checker weakens cross-event rules when a trace
+    is truncated.
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 clock: Optional[Callable[[], float]] = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.clock = clock or (lambda: 0.0)
+        self._events: List[TraceEvent] = []
+        self._start = 0          # ring head index into _events
+        self._seq = itertools.count()
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, kind: str, db: Optional[str] = None,
+             txn: Optional[int] = None, machine: Optional[str] = None,
+             **extra: Any) -> TraceEvent:
+        event = TraceEvent(seq=next(self._seq), t=self.clock(), kind=kind,
+                           db=db, txn=txn, machine=machine, extra=extra)
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            # Overwrite the oldest slot; the ring never reallocates.
+            self._events[self._start] = event
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+        return event
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def events(self, kind: Optional[str] = None, db: Optional[str] = None,
+               txn: Optional[int] = None,
+               machine: Optional[str] = None) -> List[TraceEvent]:
+        """Events in emission order, optionally filtered."""
+        ordered = (self._events[self._start:] + self._events[:self._start]
+                   if self.dropped else list(self._events))
+        return [e for e in ordered
+                if (kind is None or e.kind == kind)
+                and (db is None or e.db == db)
+                and (txn is None or e.txn == txn)
+                and (machine is None or e.machine == machine)]
+
+    def phase_latencies(self) -> Dict[str, LatencyHistogram]:
+        """Per-phase latency histograms derived from the event stream.
+
+        Phases: ``write`` (write_issued -> acked, per machine),
+        ``prepare`` (first prepare/prepare_failed -> decision_logged) and
+        ``commit`` (decision_logged -> committed), per transaction.
+        """
+        write_issue: Dict[tuple, List[float]] = {}
+        first_prepare: Dict[int, float] = {}
+        decision_at: Dict[int, float] = {}
+        out = {"write": LatencyHistogram(), "prepare": LatencyHistogram(),
+               "commit": LatencyHistogram()}
+        for e in self.events():
+            if e.kind == "write_issued":
+                write_issue.setdefault((e.txn, e.machine), []).append(e.t)
+            elif e.kind == "write_acked":
+                queue = write_issue.get((e.txn, e.machine))
+                if queue:
+                    out["write"].observe(e.t - queue.pop(0))
+            elif e.kind in ("prepare", "prepare_failed"):
+                first_prepare.setdefault(e.txn, e.t)
+            elif e.kind == "decision_logged":
+                decision_at[e.txn] = e.t
+                if e.txn in first_prepare:
+                    out["prepare"].observe(e.t - first_prepare[e.txn])
+            elif e.kind == "committed" and e.txn in decision_at:
+                out["commit"].observe(e.t - decision_at[e.txn])
+        return out
+
+    # -- JSONL export / import -------------------------------------------------
+
+    def dump_jsonl(self, target: Union[str, TextIO]) -> int:
+        """Write the trace as JSON Lines; returns the event count.
+
+        The first line is a ``trace_dump`` header carrying the ring's
+        capacity and dropped-event count, so consumers of a truncated
+        trace know it is truncated.
+        """
+        events = self.events()
+        header = {"kind": "trace_dump", "events": len(events),
+                  "capacity": self.capacity, "dropped": self.dropped}
+
+        def write_all(fh: TextIO) -> None:
+            fh.write(json.dumps(header) + "\n")
+            for event in events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                write_all(fh)
+        else:
+            write_all(target)
+        return len(events)
+
+
+def load_jsonl(source: Union[str, TextIO, Iterable[str]]
+               ) -> tuple:
+    """Read a trace dump; returns ``(events, dropped_count)``."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events: List[TraceEvent] = []
+    dropped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") == "trace_dump":
+            dropped = int(record.get("dropped", 0))
+            continue
+        events.append(TraceEvent.from_dict(record))
+    events.sort(key=lambda e: (e.t, e.seq))
+    return events, dropped

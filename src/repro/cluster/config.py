@@ -50,3 +50,6 @@ class ClusterConfig:
     # Record operation histories for serializability checking (adds
     # overhead; enable in correctness experiments).
     record_history: bool = False
+    # Ring-buffer size of the cluster event trace (repro.analysis.trace);
+    # the most recent events are kept, older ones dropped and counted.
+    trace_capacity: int = 65536

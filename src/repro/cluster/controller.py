@@ -31,6 +31,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.history import GlobalHistory
 from repro.analysis.metrics import MetricsCollector
+from repro.analysis.trace import Tracer
 from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Machine
 from repro.cluster.replica_map import ReplicaMap
@@ -41,7 +42,7 @@ from repro.engine.sqlparse.parser import parse
 from repro.errors import (DeadlockError, LockTimeoutError, MachineFailedError,
                           NoReplicaError, PlatformError,
                           ProactiveRejectionError, TransactionError)
-from repro.sim import Process, Simulator
+from repro.sim import Event, Process, Simulator
 
 
 class TransactionAborted(PlatformError):
@@ -78,6 +79,9 @@ class CopyState:
     copied_tables: Set[str] = field(default_factory=set)
     # Database-granularity copy: every table counts as "being copied".
     copying_all: bool = False
+    # The machine being copied *from*; lets fail_machine abandon copies
+    # whose source died, not just copies whose target died.
+    source: Optional[str] = None
 
 
 class Connection:
@@ -126,6 +130,12 @@ class ClusterController:
         self.replica_map = ReplicaMap()
         self.router = ReadRouter(self.config.read_option)
         self.metrics = MetricsCollector()
+        self.trace = Tracer(capacity=self.config.trace_capacity,
+                            clock=lambda: self.sim.now)
+        self.trace.emit("trace_meta", cluster=name,
+                        write_policy=self.config.write_policy.value,
+                        read_option=self.config.read_option.value,
+                        replication_factor=self.config.replication_factor)
         self.history: Optional[GlobalHistory] = (
             GlobalHistory() if self.config.record_history else None)
         self.copy_states: Dict[str, CopyState] = {}
@@ -249,6 +259,7 @@ class ClusterController:
     def _ensure_txn(self, conn: Connection) -> _TxnState:
         if conn.txn is None or conn.txn.finished:
             conn.txn = _TxnState(next(self._txn_ids), conn.db, self.sim.now)
+            self.trace.emit("txn_begin", db=conn.db, txn=conn.txn.txn_id)
         return conn.txn
 
     def _finish(self, conn: Connection, txn: _TxnState) -> None:
@@ -256,12 +267,15 @@ class ClusterController:
         self.router.forget(txn.txn_id)
         conn.txn = None
 
-    def _abort_everywhere(self, conn: Connection, txn: _TxnState) -> None:
+    def _abort_everywhere(self, conn: Connection, txn: _TxnState,
+                          kind: str = "abort",
+                          reason: str = "connection closed") -> None:
         """Immediately roll the transaction back on every touched machine."""
         for name in txn.touched:
             machine = self.machines.get(name)
             if machine is not None:
                 machine.abort_local(txn.txn_id)
+        self.trace.emit(kind, db=txn.db, txn=txn.txn_id, reason=reason)
         self._finish(conn, txn)
 
     def _record_failure(self, txn: _TxnState, exc: BaseException) -> None:
@@ -282,7 +296,8 @@ class ClusterController:
         txn = self._ensure_txn(conn)
         if txn.poisoned is not None:
             exc = txn.poisoned
-            self._abort_everywhere(conn, txn)
+            self._abort_everywhere(
+                conn, txn, reason=f"deferred:{type(exc).__name__}")
             self._record_failure(txn, exc)
             raise TransactionAborted(
                 f"transaction aborted: deferred write failure ({exc})",
@@ -296,7 +311,7 @@ class ClusterController:
                                                         params, table)
         except (DeadlockError, LockTimeoutError, ProactiveRejectionError,
                 NoReplicaError, MachineFailedError) as exc:
-            self._abort_everywhere(conn, txn)
+            self._abort_everywhere(conn, txn, reason=type(exc).__name__)
             self._record_failure(txn, exc)
             raise TransactionAborted(str(exc), cause=exc) from exc
         return result
@@ -347,7 +362,7 @@ class ClusterController:
                        params: Tuple[Any, ...],
                        table: Optional[str]) -> Generator:
         targets = self._write_targets(conn.db, table)
-        procs: List[Process] = []
+        writes: List[Tuple[str, Process]] = []
         for name in targets:
             machine = self.machines[name]
             proc = machine.submit(
@@ -359,29 +374,48 @@ class ClusterController:
             # in _watch_writes); pre-defuse so an early failure on one
             # replica cannot crash the kernel before we reach its yield.
             proc.defused = True
-            procs.append(proc)
+            writes.append((name, proc))
             txn.touched.add(name)
             txn.write_participants.add(name)
+            self.trace.emit("write_issued", db=txn.db, txn=txn.txn_id,
+                            machine=name)
         txn.wrote = True
         txn.write_log.append((sql, params))
         if self.config.write_policy is WritePolicy.CONSERVATIVE:
-            result = yield from self._await_all_writes(txn, procs)
+            result = yield from self._await_all_writes(txn, writes)
         else:
-            result = yield from self._await_first_write(txn, procs)
+            result = yield from self._await_first_write(txn, writes)
         return result
 
+    def _write_settled(self, txn: _TxnState, name: str, proc: Process,
+                       issued_at: float) -> None:
+        """Trace one replica write outcome and its latency."""
+        if not proc.triggered:
+            return  # generator torn down mid-wait; nothing settled
+        if proc.ok:
+            self.trace.emit("write_acked", db=txn.db, txn=txn.txn_id,
+                            machine=name)
+            self.metrics.record_phase_latency("write",
+                                              self.sim.now - issued_at)
+        else:
+            self.trace.emit("write_failed", db=txn.db, txn=txn.txn_id,
+                            machine=name, error=type(proc.value).__name__)
+
     def _await_all_writes(self, txn: _TxnState,
-                          procs: List[Process]) -> Generator:
+                          writes: List[Tuple[str, Process]]) -> Generator:
         """Conservative policy: every replica must finish the write."""
+        issued_at = self.sim.now
         result = None
         failure: Optional[BaseException] = None
-        for proc in procs:
+        for name, proc in writes:
             try:
                 result = yield proc
             except MachineFailedError:
                 continue  # replica lost; survivors carry the write
             except (DeadlockError, LockTimeoutError) as exc:
                 failure = exc
+            finally:
+                self._write_settled(txn, name, proc, issued_at)
         if failure is not None:
             raise failure
         if result is None:
@@ -389,31 +423,33 @@ class ClusterController:
         return result
 
     def _await_first_write(self, txn: _TxnState,
-                           procs: List[Process]) -> Generator:
+                           writes: List[Tuple[str, Process]]) -> Generator:
         """Aggressive policy: return on the first acknowledgement.
 
         Remaining replicas are watched in the background; a failure there
         poisons the transaction so its next operation aborts (the paper's
         description of the aggressive controller).
         """
-        pending = list(procs)
+        issued_at = self.sim.now
+        # Register exactly one settlement event per process, up front.
+        # (AnyOf over the raw processes would fail fast and lose the
+        # distinction between a dead replica and a real error; fresh
+        # callbacks on every wait round would pile up on long writes.)
+        pending: List[Tuple[str, Process, Event]] = []
+        for name, proc in writes:
+            settled = self.sim.event()
+            proc.add_callback(lambda p, e=settled: e.succeed(p))
+            pending.append((name, proc, settled))
         result = None
         while pending and result is None:
-            # Wait until at least one write settles, success or failure
-            # (AnyOf over the raw processes would fail fast and lose the
-            # distinction between a dead replica and a real error).
-            settled = []
-            for proc in pending:
-                ev = self.sim.event()
-                proc.add_callback(lambda p, e=ev: e.succeed(p))
-                settled.append(ev)
-            yield self.sim.any_of(settled)
+            yield self.sim.any_of([settled for _, _, settled in pending])
             still_pending = []
             failure: Optional[BaseException] = None
-            for proc in pending:
+            for name, proc, settled in pending:
                 if not proc.processed:
-                    still_pending.append(proc)
+                    still_pending.append((name, proc, settled))
                     continue
+                self._write_settled(txn, name, proc, issued_at)
                 if proc.ok:
                     if result is None:
                         result = proc.value
@@ -427,13 +463,17 @@ class ClusterController:
         if result is None:
             raise NoReplicaError(f"all replicas of {txn.db!r} failed mid-write")
         if pending:
-            self.sim.process(self._watch_writes(txn, pending),
-                             name=f"watch:{txn.txn_id}")
+            self.sim.process(
+                self._watch_writes(txn, [(name, proc)
+                                         for name, proc, _ in pending],
+                                   issued_at),
+                name=f"watch:{txn.txn_id}")
         return result
 
     def _watch_writes(self, txn: _TxnState,
-                      pending: List[Process]) -> Generator:
-        for proc in pending:
+                      pending: List[Tuple[str, Process]],
+                      issued_at: float) -> Generator:
+        for name, proc in pending:
             try:
                 yield proc
             except MachineFailedError:
@@ -441,9 +481,17 @@ class ClusterController:
             except (DeadlockError, LockTimeoutError) as exc:
                 if not txn.finished and txn.poisoned is None:
                     txn.poisoned = exc
+                    self.trace.emit("poisoned", db=txn.db, txn=txn.txn_id,
+                                    machine=name,
+                                    error=type(exc).__name__)
             except Exception as exc:  # replica divergence and the like
                 if not txn.finished and txn.poisoned is None:
                     txn.poisoned = exc
+                    self.trace.emit("poisoned", db=txn.db, txn=txn.txn_id,
+                                    machine=name,
+                                    error=type(exc).__name__)
+            finally:
+                self._write_settled(txn, name, proc, issued_at)
 
     # -- commit / rollback (the 2PC coordinator) ------------------------------------------
 
@@ -453,7 +501,8 @@ class ClusterController:
         txn = conn.txn
         if txn.poisoned is not None:
             exc = txn.poisoned
-            self._abort_everywhere(conn, txn)
+            self._abort_everywhere(
+                conn, txn, reason=f"deferred:{type(exc).__name__}")
             self._record_failure(txn, exc)
             raise TransactionAborted(
                 f"commit refused: deferred write failure ({exc})", cause=exc)
@@ -473,10 +522,15 @@ class ClusterController:
                     continue
             self.metrics.record_commit(txn.db, self.sim.now,
                                        self.sim.now - txn.started_at)
+            self.metrics.record_phase_latency(
+                "txn", self.sim.now - txn.started_at)
+            self.trace.emit("committed", db=txn.db, txn=txn.txn_id,
+                            readonly=True)
             self._finish(conn, txn)
             return True
 
         # Phase 1: PREPARE on every write participant.
+        phase1_at = self.sim.now
         participants = sorted(txn.write_participants)
         prepared: List[str] = []
         failure: Optional[BaseException] = None
@@ -489,15 +543,20 @@ class ClusterController:
                                      machine.prepare_body(txn.txn_id),
                                      label="prepare")
                 prepared.append(name)
+                self.trace.emit("prepare", db=txn.db, txn=txn.txn_id,
+                                machine=name)
             except MachineFailedError:
                 continue
             except Exception as exc:
+                self.trace.emit("prepare_failed", db=txn.db, txn=txn.txn_id,
+                                machine=name, error=type(exc).__name__)
                 failure = exc
                 break
         if failure is not None or not prepared:
             exc = failure or NoReplicaError(
                 f"no surviving write participant for {txn.db!r}")
-            self._abort_everywhere(conn, txn)
+            self._abort_everywhere(
+                conn, txn, reason=f"prepare:{type(exc).__name__}")
             self._record_failure(txn, exc)
             raise TransactionAborted(f"2PC prepare failed: {exc}", cause=exc)
 
@@ -506,6 +565,11 @@ class ClusterController:
         if self.backup is not None:
             self.backup.log_decision(txn.txn_id, "commit",
                                      sorted(set(prepared) | txn.touched))
+        decision_at = self.sim.now
+        self.trace.emit("decision_logged", db=txn.db, txn=txn.txn_id,
+                        decision="commit", mirrored=self.backup is not None,
+                        participants=prepared)
+        self.metrics.record_phase_latency("prepare", decision_at - phase1_at)
 
         # Phase 2: COMMIT on all touched machines (read locks too).
         for name in sorted(txn.touched):
@@ -513,6 +577,8 @@ class ClusterController:
             if machine is None or not machine.alive:
                 continue
             try:
+                self.trace.emit("commit_sent", db=txn.db, txn=txn.txn_id,
+                                machine=name)
                 yield machine.submit(txn.txn_id,
                                      machine.commit_body(txn.txn_id),
                                      label="commit")
@@ -520,8 +586,12 @@ class ClusterController:
                 continue
         if self.backup is not None:
             self.backup.clear_decision(txn.txn_id)
+            self.trace.emit("decision_cleared", db=txn.db, txn=txn.txn_id)
         self.metrics.record_commit(txn.db, self.sim.now,
                                    self.sim.now - txn.started_at)
+        self.metrics.record_phase_latency("commit", self.sim.now - decision_at)
+        self.metrics.record_phase_latency("txn", self.sim.now - txn.started_at)
+        self.trace.emit("committed", db=txn.db, txn=txn.txn_id)
         for hook in self.commit_hooks:
             hook(txn.db, txn.txn_id, list(txn.write_log))
         self._finish(conn, txn)
@@ -531,8 +601,11 @@ class ClusterController:
         if conn.txn is None or conn.txn.finished:
             return None
         txn = conn.txn
-        self._abort_everywhere(conn, txn)
-        self.metrics.record_other_abort(txn.db)
+        # A voluntary client rollback is not a failure abort: count it
+        # separately so abort metrics reflect platform behaviour only.
+        self._abort_everywhere(conn, txn, kind="rollback",
+                               reason="client rollback")
+        self.metrics.record_rollback(txn.db)
         return True
         yield  # pragma: no cover - generator marker
 
@@ -550,10 +623,19 @@ class ClusterController:
             raise ValueError(f"unknown machine {name!r}")
         machine.fail()
         affected = self.replica_map.remove_machine(name)
-        # Abandon copy targets that lived on the failed machine.
+        self.trace.emit("machine_failed", machine=name,
+                        affected=sorted(affected))
+        # Abandon in-flight copies that lost either endpoint: a dead
+        # target obviously ends the copy, and a dead *source* dooms it
+        # too — dropping the state immediately lifts Algorithm 1's write
+        # rejection window (the copy driver cleans the partial replica
+        # off a surviving target when its next operation fails).
         for db, state in list(self.copy_states.items()):
-            if state.target == name:
+            if state.target == name or state.source == name:
                 del self.copy_states[db]
+                role = "target" if state.target == name else "source"
+                self.trace.emit("copy_abandoned", db=db, machine=name,
+                                role=role, target=state.target)
         if self.recovery is not None:
             self.recovery.schedule_databases(affected)
         return affected

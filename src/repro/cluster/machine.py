@@ -91,6 +91,18 @@ class Machine:
     def forget_txn(self, txn_id: int) -> None:
         self._tails.pop(txn_id, None)
 
+    def run_copy(self, body: Generator, label: str = "") -> Process:
+        """Run a copy-tool step (dump/load) bound to this machine.
+
+        The process is tracked like transactional work, so ``fail()``
+        interrupts an in-flight dump or load instead of letting it keep
+        streaming data off a powered-down machine.
+        """
+        proc = self.sim.process(body, name=f"{self.name}:{label}")
+        self._active.add(proc)
+        proc.add_callback(lambda _e: self._active.discard(proc))
+        return proc
+
     # -- engine operations ----------------------------------------------------------
 
     def _engine_txn(self, txn_id: int) -> Transaction:
@@ -201,7 +213,12 @@ class Machine:
                 f"cannot prepare txn {txn_id} on {self.name}: "
                 f"branch is not active")
         self.engine.prepare(txn)
-        yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)
+        try:
+            yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)
+        except Interrupt as exc:
+            # Died mid-flush: surface the machine failure, not the raw
+            # interrupt, so the coordinator's 2PC handling sees it.
+            raise MachineFailedError(self.name) from exc
         self._check_alive()
         return True
 
@@ -211,7 +228,13 @@ class Machine:
         if txn is None or txn.finished:
             return True
         self.engine.commit(txn)
-        yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)
+        try:
+            yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)
+        except Interrupt as exc:
+            # Died mid-flush: the coordinator must keep delivering the
+            # decided COMMIT to the surviving participants, so this must
+            # arrive as the MachineFailedError its phase-2 loop skips.
+            raise MachineFailedError(self.name) from exc
         self.forget_txn(txn_id)
         return True
 

@@ -131,19 +131,21 @@ class MigrationManager:
             target.engine.execute_sync(setup, db, statement)
         target.engine.commit(setup)
 
-        state = CopyState(db, target_name)
+        state = CopyState(db, target_name, source=source_name)
         controller.copy_states[db] = state
+        controller.trace.emit("migration_start", db=db, machine=target_name,
+                              source=source_name)
         total = 0
         try:
             if self.granularity is CopyGranularity.DATABASE:
                 state.copying_all = True
-                dumps = yield self.sim.process(
-                    source.dump_database_body(db), name=f"mdump:{db}")
+                dumps = yield source.run_copy(
+                    source.dump_database_body(db), label=f"mdump:{db}")
                 for dump in dumps:
                     yield from self._transfer(dump.bytes_estimate)
-                    yield self.sim.process(
+                    yield target.run_copy(
                         target.load_rows_body(db, dump.table, dump.rows),
-                        name=f"mload:{db}.{dump.table}")
+                        label=f"mload:{db}.{dump.table}")
                     total += dump.bytes_estimate
                 for dump in dumps:
                     state.copied_tables.add(dump.table)
@@ -151,21 +153,27 @@ class MigrationManager:
             else:
                 for table_name in sorted(source.engine.database(db).tables):
                     state.copying_table = table_name
-                    dump = yield self.sim.process(
+                    dump = yield source.run_copy(
                         source.dump_table_body(db, table_name),
-                        name=f"mdump:{db}.{table_name}")
+                        label=f"mdump:{db}.{table_name}")
                     yield from self._transfer(dump.bytes_estimate)
-                    yield self.sim.process(
+                    yield target.run_copy(
                         target.load_rows_body(db, table_name, dump.rows),
-                        name=f"mload:{db}.{table_name}")
+                        label=f"mload:{db}.{table_name}")
                     state.copying_table = None
                     state.copied_tables.add(table_name)
                     total += dump.bytes_estimate
-        except Exception:
+        except Exception as exc:
             # Source or target died: abandon; recovery (if attached)
             # will restore the replication factor.
+            partial_dropped = False
             if target.alive and target.engine.hosts(db):
                 target.engine.drop_database(db)
+                partial_dropped = True
+            controller.trace.emit("migration_abandoned", db=db,
+                                  machine=target_name,
+                                  error=type(exc).__name__,
+                                  partial_dropped=partial_dropped)
             raise
         finally:
             controller.copy_states.pop(db, None)
@@ -176,6 +184,9 @@ class MigrationManager:
         replicas.remove(source_name)
         controller.replica_map.drop_database(db)
         controller.replica_map.add_database(db, replicas)
+        controller.trace.emit(
+            "migration_done", db=db, machine=target_name, source=source_name,
+            replicas=controller.replica_map.replica_count(db), bytes=total)
 
         record = MigrationRecord(db, source_name, target_name, started,
                                  self.sim.now, total)

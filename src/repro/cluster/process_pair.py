@@ -62,6 +62,11 @@ class ProcessPairBackup:
         objects raise on further use and clients must reconnect.
         """
         self.took_over = True
+        trace = self.controller.trace
+        trace.emit("takeover",
+                   decided=sorted(txn_id for txn_id, d in
+                                  self.decisions.items()
+                                  if d.decision == "commit"))
         # Phase 1: finish decided commits.
         for txn_id, decision in sorted(self.decisions.items()):
             if decision.decision != "commit":
@@ -75,6 +80,7 @@ class ProcessPairBackup:
                     machine.engine.commit(txn)
                 machine.forget_txn(txn_id)
             self.completed_on_takeover.append(txn_id)
+            trace.emit("takeover_commit", txn=txn_id)
         self.decisions.clear()
 
         # Phase 2: presumed abort for everything else in flight.
@@ -87,5 +93,6 @@ class ProcessPairBackup:
                 machine.forget_txn(txn_id)
                 if txn_id not in self.aborted_on_takeover:
                     self.aborted_on_takeover.append(txn_id)
+                    trace.emit("takeover_abort", txn=txn_id)
         return (list(self.completed_on_takeover),
                 list(self.aborted_on_takeover))

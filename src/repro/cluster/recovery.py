@@ -89,6 +89,7 @@ class RecoveryManager:
             if self.controller.replica_map.replica_count(db) >= want:
                 continue
             self.in_progress.add(db)
+            self.controller.trace.emit("rereplication_queued", db=db)
             self.queue.put(db)
 
     def _worker(self) -> Generator:
@@ -142,9 +143,14 @@ class RecoveryManager:
         controller = self.controller
         replicas = controller.live_replicas(db)
         if not replicas:
-            return  # all replicas lost; nothing to copy from
+            # All replicas lost; nothing to copy from.
+            controller.trace.emit("rereplication_skipped", db=db,
+                                  reason="no-source")
+            return
         if controller.replica_map.replica_count(db) >= \
                 controller.config.replication_factor:
+            controller.trace.emit("rereplication_skipped", db=db,
+                                  reason="already-replicated")
             return
         source_name = replicas[-1]  # spare the Option-1 primary
         target_name = self._choose_target(db)
@@ -161,8 +167,10 @@ class RecoveryManager:
             target.engine.execute_sync(setup, db, statement)
         target.engine.commit(setup)
 
-        state = CopyState(db, target_name)
+        state = CopyState(db, target_name, source=source_name)
         controller.copy_states[db] = state
+        controller.trace.emit("rereplication_start", db=db,
+                              machine=target_name, source=source_name)
         try:
             if self.granularity is CopyGranularity.DATABASE:
                 copied_bytes = yield from self._copy_database(
@@ -170,7 +178,19 @@ class RecoveryManager:
             else:
                 copied_bytes = yield from self._copy_tables(
                     db, state, source, target)
-        except Exception:
+        except Exception as exc:
+            # Clean the partial replica off a surviving target here, with
+            # the target still in hand: when the *source* died,
+            # fail_machine has already dropped the CopyState, so the
+            # worker's state-based cleanup cannot find the target.
+            partial_dropped = False
+            if target.alive and target.engine.hosts(db):
+                target.engine.drop_database(db)
+                partial_dropped = True
+            controller.trace.emit("rereplication_abandoned", db=db,
+                                  machine=target_name,
+                                  error=type(exc).__name__,
+                                  partial_dropped=partial_dropped)
             self.records.append(RecoveryRecord(
                 db, source_name, target_name, started, self.sim.now,
                 copied_bytes, succeeded=False))
@@ -179,6 +199,10 @@ class RecoveryManager:
             controller.copy_states.pop(db, None)
 
         controller.replica_map.add_replica(db, target_name)
+        controller.trace.emit(
+            "rereplication_done", db=db, machine=target_name,
+            replicas=controller.replica_map.replica_count(db),
+            bytes=copied_bytes)
         self.records.append(RecoveryRecord(
             db, source_name, target_name, started, self.sim.now,
             copied_bytes, succeeded=True))
@@ -190,13 +214,13 @@ class RecoveryManager:
         table_names = sorted(source.engine.database(db).tables)
         for table_name in table_names:
             state.copying_table = table_name
-            dump = yield self.sim.process(
+            dump = yield source.run_copy(
                 source.dump_table_body(db, table_name),
-                name=f"dump:{db}.{table_name}")
+                label=f"dump:{db}.{table_name}")
             yield from self._transfer(dump.bytes_estimate)
-            yield self.sim.process(
+            yield target.run_copy(
                 target.load_rows_body(db, table_name, dump.rows),
-                name=f"load:{db}.{table_name}")
+                label=f"load:{db}.{table_name}")
             state.copying_table = None
             state.copied_tables.add(table_name)
             total += dump.bytes_estimate
@@ -206,14 +230,14 @@ class RecoveryManager:
                        target) -> Generator:
         """Database-granularity copy: everything rejects for the duration."""
         state.copying_all = True
-        dumps = yield self.sim.process(source.dump_database_body(db),
-                                       name=f"dump:{db}")
+        dumps = yield source.run_copy(source.dump_database_body(db),
+                                      label=f"dump:{db}")
         total = 0
         for dump in dumps:
             yield from self._transfer(dump.bytes_estimate)
-            yield self.sim.process(
+            yield target.run_copy(
                 target.load_rows_body(db, dump.table, dump.rows),
-                name=f"load:{db}.{dump.table}")
+                label=f"load:{db}.{dump.table}")
             total += dump.bytes_estimate
         # Tables become visible to writes only when the whole copy is done.
         for dump in dumps:

@@ -6,11 +6,15 @@ Usage::
     python -m repro.harness table2
     python -m repro.harness fig2 | fig3 | fig4        # throughput figures
     python -m repro.harness fig8 | fig9               # recovery figures
+    python -m repro.harness faults --trace t.jsonl    # fault soak + trace
     python -m repro.harness all                       # everything quick
 
-The figure benchmarks under ``benchmarks/`` are the authoritative
-regenerators (with shape assertions); this CLI is the quick interactive
-way to eyeball a table without pytest.
+``--trace PATH`` exports the cluster event trace of every run as JSONL
+and audits it with the 2PC invariant checker; any violated invariant
+makes the command exit non-zero. The figure benchmarks under
+``benchmarks/`` are the authoritative regenerators (with shape
+assertions); this CLI is the quick interactive way to eyeball a table
+without pytest.
 """
 
 from __future__ import annotations
@@ -18,12 +22,39 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.invariants import check_controller
 from repro.cluster import CopyGranularity, ReadOption, WritePolicy
 from repro.harness.reporting import format_table
-from repro.harness.runner import (run_recovery_experiment, run_sla_placement,
-                                  run_tpcw_cluster)
+from repro.harness.runner import (run_fault_soak, run_recovery_experiment,
+                                  run_sla_placement, run_tpcw_cluster)
 from repro.sla.model import ResourceVector
 from repro.workloads.tpcw import TpcwScale
+
+
+def _trace_path(base: str, label: str) -> str:
+    """Insert a per-run label before the extension of ``base``."""
+    if not label:
+        return base
+    if "." in base.rsplit("/", 1)[-1]:
+        stem, ext = base.rsplit(".", 1)
+        return f"{stem}.{label}.{ext}"
+    return f"{base}.{label}"
+
+
+def _export_trace(controller, args, label: str = "",
+                  expect_recovery_complete: bool = False) -> int:
+    """Dump one run's trace and audit it; returns the violation count."""
+    if not getattr(args, "trace", None):
+        return 0
+    path = _trace_path(args.trace, label)
+    count = controller.trace.dump_jsonl(path)
+    violations = check_controller(
+        controller, expect_recovery_complete=expect_recovery_complete)
+    status = "OK" if not violations else f"{len(violations)} VIOLATED"
+    print(f"trace: {count} events -> {path}; invariants: {status}")
+    for violation in violations[:20]:
+        print(f"  {violation}")
+    return len(violations)
 
 
 def cmd_table2(args) -> None:
@@ -43,8 +74,9 @@ def cmd_table2(args) -> None:
          "# of Machines Used", "Optimal Solution"], rows))
 
 
-def cmd_throughput(mix: str, args) -> None:
+def cmd_throughput(mix: str, args) -> int:
     rows = []
+    violations = 0
     configs = [("no-replication", 1, ReadOption.OPTION_1),
                ("option-1", 2, ReadOption.OPTION_1),
                ("option-2", 2, ReadOption.OPTION_2),
@@ -59,12 +91,16 @@ def cmd_throughput(mix: str, args) -> None:
             think_time_s=0.02, buffer_pool_pages=256)
         rows.append([label, result.throughput_tps, result.buffer_hit_rate,
                      result.deadlocks])
+        violations += _export_trace(result.controller, args,
+                                    label=f"{mix}-{label}")
     print(format_table(["configuration", "throughput (tps)",
                         "buffer hit rate", "deadlocks"], rows))
+    return violations
 
 
-def cmd_recovery(args) -> None:
+def cmd_recovery(args) -> int:
     rows = []
+    violations = 0
     for granularity in (CopyGranularity.TABLE, CopyGranularity.DATABASE):
         for threads in (1, 2, 4):
             result = run_recovery_experiment(
@@ -77,9 +113,35 @@ def cmd_recovery(args) -> None:
                          result.throughput_before_tps,
                          result.throughput_during_tps,
                          result.throughput_after_tps])
+            violations += _export_trace(
+                result.controller, args,
+                label=f"{granularity.value}-{threads}")
     print(format_table(
         ["copy granularity", "recovery threads", "rejections/db",
          "tps before", "tps during", "tps after"], rows))
+    return violations
+
+
+def cmd_faults(args) -> int:
+    """MTBF-driven failure soak; the flagship --trace demonstration."""
+    result = run_fault_soak(duration_s=args.duration * 2,
+                            drain_s=args.duration, mtbf_s=args.mtbf,
+                            seed=args.seed)
+    print(format_table(
+        ["failures", "committed", "aborted", "rejected", "tps",
+         "recoveries"],
+        [[len(result.failures), result.committed, result.aborted,
+          result.rejections, result.throughput_tps,
+          sum(1 for r in result.recovery_records if r.succeeded)]]))
+    latencies = result.metrics.latency_summary()
+    if latencies:
+        print(format_table(
+            ["phase", "count", "mean (s)", "p50 (s)", "p95 (s)", "p99 (s)"],
+            [[phase, int(stats["count"]), stats["mean"], stats["p50"],
+              stats["p95"], stats["p99"]]
+             for phase, stats in latencies.items()]))
+    return _export_trace(result.controller, args,
+                         expect_recovery_complete=True)
 
 
 def cmd_table1(args) -> None:
@@ -101,6 +163,7 @@ EXPERIMENTS = [
     ("fig3", "TPC-W browsing-mix throughput across replication options"),
     ("fig4", "TPC-W ordering-mix throughput across replication options"),
     ("fig8-9", "recovery throughput/rejections by copy granularity"),
+    ("faults", "MTBF failure soak with recovery (trace/invariant demo)"),
     ("all", "every experiment above, quick settings"),
 ]
 
@@ -120,6 +183,13 @@ def main(argv=None) -> int:
     parser.add_argument("--databases", type=int, default=20,
                         help="tenant databases for placement experiments")
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--trace", metavar="PATH",
+                        help="export each run's event trace as JSONL and "
+                             "audit it with the 2PC invariant checker "
+                             "(non-zero exit on violations)")
+    parser.add_argument("--mtbf", type=float, default=8.0,
+                        help="mean time between failures for the faults "
+                             "experiment (simulated seconds)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -131,6 +201,7 @@ def main(argv=None) -> int:
         parser.error("the following arguments are required: experiment")
 
     chosen = args.experiment
+    violations = 0
     if chosen in ("table1", "all"):
         print("== Table 1: serializability matrix ==")
         cmd_table1(args)
@@ -141,10 +212,16 @@ def main(argv=None) -> int:
                      ("fig4", "ordering")):
         if chosen in (fig, "all"):
             print(f"\n== {fig.upper()}: throughput, {mix} mix ==")
-            cmd_throughput(mix, args)
+            violations += cmd_throughput(mix, args)
     if chosen in ("fig8-9", "all"):
         print("\n== Figures 8-9: recovery ==")
-        cmd_recovery(args)
+        violations += cmd_recovery(args)
+    if chosen in ("faults", "all"):
+        print("\n== Fault soak: MTBF failures with recovery ==")
+        violations += cmd_faults(args)
+    if violations:
+        print(f"\n{violations} invariant violation(s) detected")
+        return 1
     return 0
 
 

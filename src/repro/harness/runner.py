@@ -1,11 +1,13 @@
 """Reusable experiment drivers behind the figure/table benchmarks.
 
-Three drivers cover the paper's whole evaluation section:
+Four drivers cover the paper's evaluation section plus the fault soak:
 
 * :func:`run_tpcw_cluster` — multi-tenant TPC-W on one cluster under a
   chosen read option / write policy / replication factor (Figures 2-7);
 * :func:`run_recovery_experiment` — induce a machine failure mid-run and
   measure rejections and throughput during re-replication (Figures 8-9);
+* :func:`run_fault_soak` — MTBF-driven random machine failures with
+  background recovery, the trace/invariant-checker demonstration run;
 * :func:`run_sla_placement` — zipf-skewed SLA demands packed by
   First-Fit vs. the exact optimum (Table 2).
 """
@@ -19,12 +21,14 @@ from repro.analysis.metrics import MetricsCollector
 from repro.cluster import (ClusterConfig, ClusterController, CopyGranularity,
                            ReadOption, RecoveryManager, WritePolicy)
 from repro.cluster.recovery import RecoveryRecord
+from repro.harness.faults import FailureEvent, FailureInjector
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG, ZipfGenerator
 from repro.sla.model import ResourceVector
 from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
 from repro.sla.optimal import optimal_machine_count
 from repro.sla.profiler import estimate_requirements
+from repro.workloads.microbench import KeyValueWorkload, KvStats
 from repro.workloads.tpcw import (MIXES, TpcwClient, TpcwDatabase, TpcwScale)
 from repro.workloads.tpcw.schema import TPCW_DDL
 
@@ -151,6 +155,7 @@ class RecoveryExperimentResult:
     recovery_complete_time: Optional[float]
     throughput_series: List[Tuple[float, float]]
     metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
 
 
 def run_recovery_experiment(
@@ -234,6 +239,94 @@ def run_recovery_experiment(
         recovery_complete_time=recovery_end,
         throughput_series=metrics.commits_over_time.rate_series(duration_s),
         metrics=metrics,
+        controller=controller,
+    )
+
+
+@dataclass
+class FaultSoakResult:
+    """Outcome of one MTBF-driven failure soak."""
+
+    sim_seconds: float
+    failures: List[FailureEvent]
+    committed: int
+    aborted: int
+    rejections: int
+    throughput_tps: float
+    recovery_records: List[RecoveryRecord]
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def run_fault_soak(
+    machines: int = 6,
+    n_databases: int = 3,
+    replicas: int = 2,
+    keys_per_db: int = 30,
+    clients_per_db: int = 2,
+    duration_s: float = 45.0,
+    drain_s: float = 30.0,
+    mtbf_s: float = 10.0,
+    recovery_threads: int = 2,
+    granularity: CopyGranularity = CopyGranularity.TABLE,
+    write_policy: WritePolicy = WritePolicy.CONSERVATIVE,
+    seed: int = 3,
+    think_time_s: float = 0.2,
+    copy_bytes_factor: float = 1000.0,
+    min_live_machines: int = 3,
+) -> FaultSoakResult:
+    """Sustained Poisson machine failures under a key-value workload.
+
+    Failures stop at ``duration_s``; the run continues ``drain_s`` more
+    simulated seconds so background re-replication finishes — the state
+    the invariant checker's recovery rule is checked against.
+    """
+    sim = Simulator()
+    config = ClusterConfig(write_policy=write_policy,
+                           replication_factor=replicas,
+                           recovery_threads=recovery_threads,
+                           lock_wait_timeout_s=2.0)
+    config.machine.copy_bytes_factor = copy_bytes_factor
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    workloads = []
+    for i in range(n_databases):
+        workload = KeyValueWorkload(controller, db_name=f"kv{i}",
+                                    keys=keys_per_db, seed=seed + i)
+        workload.install(replicas=replicas)
+        workloads.append(workload)
+    recovery = RecoveryManager(controller, granularity=granularity,
+                               threads=recovery_threads, retry_delay_s=1.0)
+    recovery.start()
+    injector = FailureInjector(controller, mtbf_s=mtbf_s, seed=seed,
+                               min_live_machines=min_live_machines)
+    injector.start()
+
+    stats = [KvStats() for _ in range(n_databases * clients_per_db)]
+    idx = 0
+    for workload in workloads:
+        for cid in range(clients_per_db):
+            proc = sim.process(workload.client(
+                cid, transactions=10 ** 9, think_time_s=think_time_s,
+                stats=stats[idx]))
+            proc.defused = True
+            idx += 1
+
+    sim.run(until=duration_s)
+    injector.stop()
+    sim.run(until=duration_s + drain_s)
+
+    metrics = controller.metrics
+    return FaultSoakResult(
+        sim_seconds=duration_s + drain_s,
+        failures=list(injector.events),
+        committed=metrics.total_committed(),
+        aborted=sum(s.aborted for s in stats),
+        rejections=metrics.total_rejected(),
+        throughput_tps=metrics.throughput(duration_s),
+        recovery_records=recovery.records,
+        metrics=metrics,
+        controller=controller,
     )
 
 

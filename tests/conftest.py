@@ -63,3 +63,11 @@ def read_table(controller: ClusterController, machine_name: str, db: str,
         return engine.execute_sync(txn, db, sql).rows
     finally:
         engine.commit(txn)
+
+
+def assert_no_violations(controller: ClusterController, **kwargs) -> None:
+    """Run the 2PC invariant checker over the controller's trace."""
+    from repro.analysis.invariants import check_controller
+
+    violations = check_controller(controller, **kwargs)
+    assert not violations, "\n".join(str(v) for v in violations)

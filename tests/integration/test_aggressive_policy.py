@@ -5,7 +5,8 @@ import pytest
 from repro.cluster import ReadOption, WritePolicy
 from repro.cluster.controller import TransactionAborted
 from repro.workloads.microbench import KeyValueWorkload, KvStats
-from tests.conftest import make_kv_cluster, read_table
+from tests.conftest import (assert_no_violations, make_kv_cluster,
+                            read_table)
 
 
 class TestAggressiveWrites:
@@ -117,3 +118,4 @@ class TestAggressiveWrites:
                              "SELECT k, v FROM kv ORDER BY k")
                   for m in replicas]
         assert states[0] == states[1]
+        assert_no_violations(controller, strict=True)

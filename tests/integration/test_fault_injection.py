@@ -9,7 +9,7 @@ import pytest
 from repro.cluster import CopyGranularity, RecoveryManager
 from repro.harness.faults import FailureInjector
 from repro.workloads.microbench import KeyValueWorkload, KvStats
-from tests.conftest import make_cluster, read_table
+from tests.conftest import assert_no_violations, make_cluster, read_table
 
 
 class TestFaultInjection:
@@ -50,6 +50,10 @@ class TestFaultInjection:
                   for name in live]
         assert states[0] == states[1]
         assert len(states[0]) == 30
+
+        # The whole soak must satisfy the 2PC/replication invariants,
+        # including every queued re-replication having completed.
+        assert_no_violations(controller, expect_recovery_complete=True)
 
     def test_injector_spares_last_replicas(self, sim):
         controller = make_cluster(sim, machines=3)

@@ -6,7 +6,8 @@ from repro.cluster import CopyGranularity
 from repro.cluster.controller import TransactionAborted
 from repro.cluster.migration import MigrationError, MigrationManager
 from repro.errors import ProactiveRejectionError
-from tests.conftest import make_kv_cluster, read_table
+from tests.conftest import (assert_no_violations, make_kv_cluster,
+                            read_table)
 
 
 class TestMigrateReplica:
@@ -66,6 +67,7 @@ class TestMigrateReplica:
                              "SELECT k, v FROM kv ORDER BY k")
                   for m in replicas]
         assert states[0] == states[1]
+        assert_no_violations(controller, strict=True)
 
     def test_database_granularity_rejects_writes_during_move(self, sim):
         controller = make_kv_cluster(sim, machines=3, keys=30)

@@ -13,6 +13,7 @@ from repro.cluster import ClusterConfig, ClusterController, ReadOption, WritePol
 from repro.cluster.controller import TransactionAborted
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG
+from tests.conftest import assert_no_violations
 
 
 def build(option, policy, release_at_prepare=True, machines=2, keys=2):
@@ -89,6 +90,7 @@ class TestAdversarialPair:
         adversarial_pair(sim, controller)
         ok, cycle = check_one_copy_serializable(controller.history)
         assert ok, f"unexpected cycle {cycle} for {option}/{policy}"
+        assert_no_violations(controller, strict=True)
 
     @pytest.mark.parametrize("option,policy", ANOMALOUS_COMBOS)
     def test_anomalous_combinations_produce_cycle(self, option, policy):
@@ -115,6 +117,7 @@ class TestRandomizedStress:
         stress(sim, controller, seed=seed)
         ok, cycle = check_one_copy_serializable(controller.history)
         assert ok, f"cycle {cycle} for {option}/{policy} seed {seed}"
+        assert_no_violations(controller, strict=True)
 
     def test_aggressive_option2_stress_eventually_breaks(self):
         # At least one seed must surface the anomaly — the paper's claim

@@ -1,0 +1,61 @@
+"""Property test: the 2PC invariant checker passes on randomized
+fault-injection runs.
+
+Whatever failure schedule the injector draws and whichever transactions
+it cuts down mid-flight, the trace the cluster emits must satisfy every
+2PC/replication invariant — under both write policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.invariants import check_controller
+from repro.cluster import (ClusterConfig, ClusterController,
+                           CopyGranularity, ReadOption, RecoveryManager,
+                           WritePolicy)
+from repro.harness.faults import FailureInjector
+from repro.sim import Simulator
+from repro.workloads.microbench import KeyValueWorkload, KvStats
+
+
+def run_soak(seed, write_policy, mtbf_s):
+    sim = Simulator()
+    config = ClusterConfig(read_option=ReadOption.OPTION_1,
+                           write_policy=write_policy,
+                           lock_wait_timeout_s=1.0)
+    controller = ClusterController(sim, config)
+    controller.add_machines(5)
+    controller.config.machine.copy_bytes_factor = 500.0
+    workload = KeyValueWorkload(controller, db_name="app", keys=15,
+                                seed=seed)
+    workload.install(replicas=2)
+    recovery = RecoveryManager(controller,
+                               granularity=CopyGranularity.TABLE,
+                               threads=2, retry_delay_s=0.5)
+    recovery.start()
+    injector = FailureInjector(controller, mtbf_s=mtbf_s, seed=seed,
+                               min_live_machines=3)
+    injector.start()
+
+    stats = [KvStats() for _ in range(3)]
+    for cid in range(3):
+        proc = sim.process(workload.client(cid, transactions=40,
+                                           think_time_s=0.1,
+                                           stats=stats[cid]))
+        proc.defused = True
+    sim.run(until=15.0)
+    injector.stop()
+    sim.run(until=40.0)  # drain recovery and in-flight clients
+    return controller, stats
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       policy=st.sampled_from([WritePolicy.CONSERVATIVE,
+                               WritePolicy.AGGRESSIVE]),
+       mtbf_s=st.sampled_from([4.0, 8.0]))
+def test_random_fault_soak_audits_clean(seed, policy, mtbf_s):
+    controller, stats = run_soak(seed, policy, mtbf_s)
+    assert sum(s.committed for s in stats) > 0
+    violations = check_controller(controller,
+                                  expect_recovery_complete=True)
+    assert not violations, "\n".join(str(v) for v in violations)

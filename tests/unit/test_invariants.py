@@ -1,0 +1,295 @@
+"""Unit tests for the 2PC invariant checker, plus controller regression
+tests for the bugfix sweep (rollback accounting, aggressive-wait
+callback registration)."""
+
+import pytest
+
+from repro.analysis.invariants import (InvariantChecker, check_trace,
+                                       check_controller)
+from repro.analysis.trace import TraceEvent
+from repro.cluster import WritePolicy
+from repro.cluster.controller import _TxnState
+from repro.errors import MachineFailedError
+from tests.conftest import make_kv_cluster
+
+
+def trace(*specs):
+    """Build a synthetic event list from (kind, fields...) tuples."""
+    events = []
+    for seq, spec in enumerate(specs):
+        kind, fields = spec[0], (spec[1] if len(spec) > 1 else {})
+        known = {k: fields.pop(k, None) for k in ("db", "txn", "machine")}
+        events.append(TraceEvent(seq=seq, t=float(seq), kind=kind,
+                                 extra=fields, **known))
+    return events
+
+
+def committed_txn(txn=1, machines=("m0", "m1")):
+    """A well-formed conservative commit for one transaction."""
+    steps = [("txn_begin", {"db": "kv", "txn": txn})]
+    for m in machines:
+        steps.append(("write_issued", {"db": "kv", "txn": txn,
+                                       "machine": m}))
+    for m in machines:
+        steps.append(("write_acked", {"db": "kv", "txn": txn,
+                                      "machine": m}))
+    for m in machines:
+        steps.append(("prepare", {"db": "kv", "txn": txn, "machine": m}))
+    steps.append(("decision_logged", {"db": "kv", "txn": txn,
+                                      "decision": "commit"}))
+    for m in machines:
+        steps.append(("commit_sent", {"db": "kv", "txn": txn,
+                                      "machine": m}))
+    steps.append(("committed", {"db": "kv", "txn": txn}))
+    return steps
+
+
+def rules(violations):
+    return sorted({v.rule for v in violations})
+
+
+class TestCheckerRules:
+    def test_clean_commit_passes(self):
+        violations = check_trace(trace(*committed_txn()),
+                                 write_policy="conservative")
+        assert violations == []
+
+    def test_decision_before_commit(self):
+        violations = check_trace(trace(
+            ("txn_begin", {"db": "kv", "txn": 1}),
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("commit_sent", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ))
+        assert rules(violations) == ["decision-before-commit"]
+
+    def test_double_decision_is_flagged(self):
+        violations = check_trace(trace(
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ))
+        assert rules(violations) == ["decision-unique"]
+
+    def test_abort_after_decision_is_flagged(self):
+        violations = check_trace(trace(
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("abort", {"db": "kv", "txn": 1}),
+        ))
+        assert rules(violations) == ["decision-unique"]
+
+    def test_conservative_requires_all_acks(self):
+        violations = check_trace(trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("write_acked", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ), write_policy="conservative")
+        assert rules(violations) == ["conservative-all-acked"]
+        assert "m1" in violations[0].message
+
+    def test_failed_machine_excused_from_acks(self):
+        violations = check_trace(trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("write_acked", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("machine_failed", {"machine": "m1", "affected": ["kv"]}),
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ), write_policy="conservative")
+        assert violations == []
+
+    def test_aggressive_policy_skips_ack_rule(self):
+        violations = check_trace(trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("write_acked", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ), write_policy="aggressive")
+        assert violations == []
+
+    def test_poisoned_never_commits(self):
+        violations = check_trace(trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("poisoned", {"db": "kv", "txn": 1, "machine": "m1",
+                          "error": "MachineFailedError"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ), write_policy="aggressive")
+        assert rules(violations) == ["poisoned-never-commits"]
+
+    def test_deadlocked_write_must_not_commit(self):
+        violations = check_trace(trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("write_acked", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_failed", {"db": "kv", "txn": 1, "machine": "m1",
+                              "error": "DeadlockError"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ), write_policy="conservative")
+        assert "deadlock-aborts-everywhere" in rules(violations)
+
+    def test_deadlocked_write_that_aborts_is_fine(self):
+        violations = check_trace(trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("write_acked", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_failed", {"db": "kv", "txn": 1, "machine": "m1",
+                              "error": "DeadlockError"}),
+            ("abort", {"db": "kv", "txn": 1,
+                       "reason": "DeadlockError"}),
+        ), write_policy="conservative")
+        assert violations == []
+
+    def test_strict_flags_in_flight_prepared_txns(self):
+        events = trace(
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+        )
+        relaxed = InvariantChecker(strict=False)
+        assert relaxed.check(events) == []
+        assert relaxed.in_flight == {1}
+        strict = InvariantChecker(strict=True)
+        assert rules(strict.check(events)) == ["decision-unique"]
+
+    def test_trace_meta_supplies_policy(self):
+        violations = check_trace(trace(
+            ("trace_meta", {"write_policy": "conservative",
+                            "replication_factor": 2}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("write_acked", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ))
+        assert rules(violations) == ["conservative-all-acked"]
+
+
+class TestRecoveryRule:
+    def test_unrecovered_database_flagged(self):
+        violations = check_trace(trace(
+            ("machine_failed", {"machine": "m1", "affected": ["kv"]}),
+            ("rereplication_queued", {"db": "kv"}),
+        ), expect_recovery_complete=True)
+        assert rules(violations) == ["rereplication-restores-factor"]
+
+    def test_completed_recovery_passes(self):
+        violations = check_trace(trace(
+            ("machine_failed", {"machine": "m1", "affected": ["kv"]}),
+            ("rereplication_queued", {"db": "kv"}),
+            ("rereplication_done", {"db": "kv", "machine": "m2",
+                                    "replicas": 2}),
+        ), expect_recovery_complete=True, replication_factor=2)
+        assert violations == []
+
+    def test_under_factor_recovery_flagged(self):
+        violations = check_trace(trace(
+            ("rereplication_queued", {"db": "kv"}),
+            ("rereplication_done", {"db": "kv", "machine": "m2",
+                                    "replicas": 1}),
+        ), expect_recovery_complete=True, replication_factor=2)
+        assert rules(violations) == ["rereplication-restores-factor"]
+
+    def test_already_replicated_skip_satisfies(self):
+        violations = check_trace(trace(
+            ("rereplication_queued", {"db": "kv"}),
+            ("rereplication_skipped", {"db": "kv",
+                                       "reason": "already-replicated"}),
+        ), expect_recovery_complete=True)
+        assert violations == []
+
+    def test_no_source_skip_does_not_satisfy(self):
+        violations = check_trace(trace(
+            ("rereplication_queued", {"db": "kv"}),
+            ("rereplication_skipped", {"db": "kv", "reason": "no-source"}),
+        ), expect_recovery_complete=True)
+        assert rules(violations) == ["rereplication-restores-factor"]
+
+    def test_truncated_trace_weakens_cross_event_rules(self):
+        events = trace(
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m1"}),
+            ("decision_logged", {"db": "kv", "txn": 1}),
+            ("committed", {"db": "kv", "txn": 1}),
+            ("rereplication_queued", {"db": "kv"}),
+        )
+        complete = check_trace(events, write_policy="conservative",
+                               expect_recovery_complete=True)
+        assert len(complete) == 2
+        truncated = check_trace(events, write_policy="conservative",
+                                expect_recovery_complete=True, dropped=5)
+        assert truncated == []
+
+
+def run_client(sim, gen):
+    proc = sim.process(gen)
+    sim.run()
+    if not proc.ok:
+        proc.defused = True
+        raise proc.value
+    return proc.value
+
+
+class TestRollbackAccounting:
+    """Satellite 1: client ROLLBACK must not count as a failure abort."""
+
+    def test_rollback_counted_separately(self, sim):
+        controller = make_kv_cluster(sim)
+
+        def client():
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 9 WHERE k = 0")
+            yield conn.rollback()
+
+        run_client(sim, client())
+        counters = controller.metrics.db("kv")
+        assert counters.rollbacks == 1
+        assert counters.other_aborts == 0
+        assert counters.total_finished == 1
+        assert len(controller.trace.events(kind="rollback")) == 1
+        assert controller.trace.events(kind="abort") == []
+        assert check_controller(controller, strict=True) == []
+
+
+class TestAggressiveWaitRegistration:
+    """Satellite 2: one settlement callback per write, not one per round."""
+
+    def test_no_callback_pileup_on_slow_write(self, sim):
+        controller = make_kv_cluster(
+            sim, write_policy=WritePolicy.AGGRESSIVE)
+        txn = _TxnState(1, "kv", 0.0)
+
+        never = sim.event()
+
+        def slow():
+            yield never
+
+        def fail_after(delay):
+            yield sim.timeout(delay)
+            raise MachineFailedError("replica died")
+
+        p_slow = sim.process(slow(), name="slow-write")
+        p_fail1 = sim.process(fail_after(0.1), name="fail1")
+        p_fail2 = sim.process(fail_after(0.2), name="fail2")
+        for proc in (p_slow, p_fail1, p_fail2):
+            proc.defused = True
+
+        waiter = sim.process(controller._await_first_write(
+            txn, [("m0", p_slow), ("m1", p_fail1), ("m2", p_fail2)]))
+        waiter.defused = True
+        sim.run(until=0.3)
+
+        # Two wait rounds have fired (the two failures); the still-pending
+        # slow write must carry exactly the one settlement callback that
+        # was registered up front. The pre-fix code added a fresh callback
+        # every round, so this list grew with every settlement.
+        assert p_slow.callbacks is not None
+        assert len(p_slow.callbacks) == 1
