@@ -20,6 +20,17 @@ correctness properties the paper's controller design promises:
 * **rereplication-restores-factor** — (with ``expect_recovery_complete``)
   every database queued for re-replication after a machine failure ends
   with a successful copy restoring the replication factor.
+* **no-split-brain** — after the process-pair backup's take-over, the
+  old primary never logs another decision or sends another COMMIT; and
+  at most one take-over happens per trace.
+* **fenced-replica-never-serves** — between ``machine_fenced`` and
+  readmission/repair, no write, PREPARE, or COMMIT is issued to the
+  machine and it is never a re-replication source or target (its state
+  is stale by construction).
+* **suspicion-eventually-resolves** — every ``machine_suspected`` is
+  eventually followed by ``machine_unsuspected`` (it answered again) or
+  ``machine_declared`` (it was fenced); no suspicion dangles at the end
+  of a complete trace.
 
 Usable three ways: :func:`check_controller` on a live controller (what
 the test suites call), :func:`check_trace` on a list of events, or as a
@@ -109,6 +120,9 @@ class InvariantChecker:
         queued: Dict[str, int] = {}
         recovered: Dict[str, TraceEvent] = {}
         truncated = self.dropped > 0
+        fenced: Set[str] = set()
+        suspected_at: Dict[str, int] = {}   # machine -> suspicion seq
+        takeover_seq: Optional[int] = None
 
         def audit(txn_id: Optional[int]) -> Optional[_TxnAudit]:
             if txn_id is None:
@@ -127,6 +141,14 @@ class InvariantChecker:
             if state is not None and state.db is None and e.db is not None:
                 state.db = e.db
 
+            if (e.kind in ("write_issued", "write_acked", "prepare",
+                           "commit_sent")
+                    and e.machine is not None and e.machine in fenced):
+                self.violations.append(Violation(
+                    "fenced-replica-never-serves",
+                    f"{e.kind} on fenced machine {e.machine}",
+                    txn=e.txn, db=e.db, seq=e.seq))
+
             if e.kind == "write_issued":
                 state.outstanding[e.machine] = (
                     state.outstanding.get(e.machine, 0) + 1)
@@ -144,11 +166,22 @@ class InvariantChecker:
                 state.prepared = state.prepared or e.kind == "prepare"
             elif e.kind == "decision_logged":
                 self._on_decision(e, state, failed_machines, truncated)
+                if (takeover_seq is not None
+                        and e.extra.get("actor", "primary") == "primary"):
+                    self.violations.append(Violation(
+                        "no-split-brain",
+                        "old primary logged a decision after take-over",
+                        txn=e.txn, db=e.db, seq=e.seq))
             elif e.kind == "commit_sent":
                 if state.decision_seq is None:
                     self.violations.append(Violation(
                         "decision-before-commit",
                         "COMMIT sent before the decision was logged",
+                        txn=e.txn, db=e.db, seq=e.seq))
+                if takeover_seq is not None:
+                    self.violations.append(Violation(
+                        "no-split-brain",
+                        "old primary sent COMMIT after take-over",
                         txn=e.txn, db=e.db, seq=e.seq))
             elif e.kind in _TERMINAL_KINDS:
                 if e.kind in ("abort", "rollback", "takeover_abort") and \
@@ -160,6 +193,36 @@ class InvariantChecker:
                 state.terminal_kinds.append(e.kind)
             elif e.kind == "machine_failed":
                 failed_machines.add(e.machine)
+            elif e.kind == "machine_crashed":
+                failed_machines.add(e.machine)
+            elif e.kind == "machine_declared":
+                failed_machines.add(e.machine)
+                suspected_at.pop(e.machine, None)
+            elif e.kind == "machine_fenced":
+                fenced.add(e.machine)
+            elif e.kind in ("machine_readmitted", "machine_repaired"):
+                fenced.discard(e.machine)
+                suspected_at.pop(e.machine, None)
+                failed_machines.discard(e.machine)
+            elif e.kind == "machine_suspected":
+                suspected_at.setdefault(e.machine, e.seq)
+            elif e.kind == "machine_unsuspected":
+                suspected_at.pop(e.machine, None)
+            elif e.kind == "takeover":
+                if takeover_seq is not None:
+                    self.violations.append(Violation(
+                        "no-split-brain",
+                        "second take-over in one trace", seq=e.seq))
+                else:
+                    takeover_seq = e.seq
+            elif e.kind == "rereplication_start":
+                for role, name in (("target", e.machine),
+                                   ("source", e.extra.get("source"))):
+                    if name is not None and name in fenced:
+                        self.violations.append(Violation(
+                            "fenced-replica-never-serves",
+                            f"re-replication {role} {name} is fenced",
+                            db=e.db, seq=e.seq))
             elif e.kind == "rereplication_queued":
                 queued[e.db] = e.seq
                 recovered.pop(e.db, None)
@@ -169,7 +232,7 @@ class InvariantChecker:
                 if e.extra.get("reason") == "already-replicated":
                     recovered[e.db] = e
 
-        self._finish(txns, queued, recovered, truncated)
+        self._finish(txns, queued, recovered, truncated, suspected_at)
         return self.violations
 
     # -- per-rule helpers -------------------------------------------------------
@@ -208,7 +271,14 @@ class InvariantChecker:
                     txn=e.txn, db=e.db, seq=e.seq))
 
     def _finish(self, txns: Dict[int, _TxnAudit], queued: Dict[str, int],
-                recovered: Dict[str, TraceEvent], truncated: bool) -> None:
+                recovered: Dict[str, TraceEvent], truncated: bool,
+                suspected_at: Optional[Dict[str, int]] = None) -> None:
+        if suspected_at and not truncated:
+            for machine, seq in sorted(suspected_at.items()):
+                self.violations.append(Violation(
+                    "suspicion-eventually-resolves",
+                    f"machine {machine} still suspected at end of trace",
+                    seq=seq))
         for txn_id, state in txns.items():
             if not state.terminal_kinds:
                 if state.prepared or state.decision_seq is not None:

@@ -42,6 +42,22 @@ class DbCounters:
         return self.rejected / total if total else 0.0
 
 
+@dataclass
+class NetworkCounters:
+    """Fabric-level delivery and failure-detector accounting."""
+
+    messages_sent: int = 0
+    messages_dropped: int = 0      # random loss
+    messages_cut: int = 0          # lost to a partition
+    rpc_timeouts: int = 0          # controller-side per-message timeouts
+    rpc_retries: int = 0           # retransmissions after a timeout
+    false_suspicions: int = 0      # suspected or declared, but alive
+
+    @property
+    def delivered(self) -> int:
+        return self.messages_sent - self.messages_dropped - self.messages_cut
+
+
 class TimeSeries:
     """Events bucketed into fixed windows of simulated time."""
 
@@ -85,6 +101,11 @@ class MetricsCollector:
         # ("write" = replica write ack, "prepare" = 2PC phase 1,
         # "commit" = 2PC phase 2, "txn" = begin-to-commit).
         self.phase_latencies: Dict[str, LatencyHistogram] = {}
+        # Network-fabric accounting (only populated when the simulated
+        # unreliable fabric is enabled): delivery counters plus observed
+        # one-way latency per directed link ("src->dst").
+        self.network = NetworkCounters()
+        self.link_latencies: Dict[str, LatencyHistogram] = {}
 
     def db(self, name: str) -> DbCounters:
         if name not in self.per_db:
@@ -123,6 +144,48 @@ class MetricsCollector:
         """{phase: {count, mean, p50, p95, p99}} for every observed phase."""
         return {phase: histogram.summary()
                 for phase, histogram in sorted(self.phase_latencies.items())}
+
+    # -- network fabric --------------------------------------------------------
+
+    def record_message_sent(self) -> None:
+        self.network.messages_sent += 1
+
+    def record_message_dropped(self, cut: bool = False) -> None:
+        if cut:
+            self.network.messages_cut += 1
+        else:
+            self.network.messages_dropped += 1
+
+    def record_rpc_timeout(self, retry: bool = False) -> None:
+        self.network.rpc_timeouts += 1
+        if retry:
+            self.network.rpc_retries += 1
+
+    def record_false_suspicion(self) -> None:
+        self.network.false_suspicions += 1
+
+    def record_link_latency(self, src: str, dst: str,
+                            seconds: float) -> None:
+        key = f"{src}->{dst}"
+        histogram = self.link_latencies.get(key)
+        if histogram is None:
+            histogram = self.link_latencies[key] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def network_summary(self) -> Dict[str, object]:
+        """Fabric counters plus per-link one-way latency percentiles."""
+        return {
+            "messages_sent": self.network.messages_sent,
+            "messages_dropped": self.network.messages_dropped,
+            "messages_cut": self.network.messages_cut,
+            "delivered": self.network.delivered,
+            "rpc_timeouts": self.network.rpc_timeouts,
+            "rpc_retries": self.network.rpc_retries,
+            "false_suspicions": self.network.false_suspicions,
+            "links": {link: histogram.summary()
+                      for link, histogram in
+                      sorted(self.link_latencies.items())},
+        }
 
     # -- aggregates -----------------------------------------------------------
 

@@ -33,6 +33,17 @@ rereplication_*    queued / start / done / abandoned / skipped, from the
                    recovery manager
 migration_*        start / done / abandoned, from the migration manager
 takeover*          process-pair takeover and its per-transaction outcomes
+machine_crashed    a machine powered off silently (detector must notice)
+machine_suspected  K consecutive heartbeats went unanswered
+machine_unsuspected a suspected machine answered again (false suspicion)
+machine_declared   the detector declared a silent machine dead
+machine_fenced     a declared machine was fenced (serves nothing stale)
+machine_readmitted a fenced machine rejoined as a blank spare
+machine_repaired   a failed machine was repaired into a blank spare
+link_cut/healed    one fabric link was cut / healed by fault injection
+net_partition      the fabric was split into disconnected groups
+net_heal_all       every cut fabric link was healed
+primary_crashed    the acting primary controller crashed (process pair)
 ================== ==========================================================
 
 Adding an event: call ``tracer.emit(kind, db=..., txn=..., machine=...,
@@ -62,6 +73,11 @@ EVENT_KINDS = frozenset({
     "rereplication_abandoned", "rereplication_skipped",
     "migration_start", "migration_done", "migration_abandoned",
     "takeover", "takeover_commit", "takeover_abort",
+    "machine_crashed", "machine_suspected", "machine_unsuspected",
+    "machine_declared", "machine_fenced", "machine_readmitted",
+    "machine_repaired",
+    "link_cut", "link_healed", "net_partition", "net_heal_all",
+    "primary_crashed",
 })
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.config import EngineConfig
+from repro.cluster.network import NetworkConfig
 from repro.cluster.routing import ReadOption, WritePolicy
 
 
@@ -24,7 +25,10 @@ class MachineConfig:
     disk_mb: float = 200_000.0
     disk_bandwidth_mbps: float = 60.0     # copy read/write throughput
     network_mbps: float = 100.0           # rack network per machine
-    network_latency_s: float = 0.0002     # same-rack round trip
+    # Same-rack round trip for bulk copy streams. Per-message latency
+    # lives on the network fabric (ClusterConfig.network.latency_s);
+    # this survives for the copy-transfer charge of recovery/migration.
+    network_latency_s: float = 0.0002
     # Scale factor applied to copied bytes when charging copy I/O and
     # network transfer. The simulated data generator produces rows ~3
     # orders of magnitude smaller than the paper's 200 MB-1 GB databases;
@@ -53,3 +57,16 @@ class ClusterConfig:
     # Ring-buffer size of the cluster event trace (repro.analysis.trace);
     # the most recent events are kept, older ones dropped and counted.
     trace_capacity: int = 65536
+    # Simulated unreliable network fabric (repro.cluster.network). When
+    # ``network.enabled`` is False (default) messages are delivered
+    # directly with no latency, loss, or timeouts — the pre-fabric
+    # behaviour — and the heartbeat failure detector is unavailable.
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    # Heartbeat failure detection (requires the fabric): the controller
+    # pings every machine each interval; a machine is *suspected* after
+    # ``suspect_after_misses`` consecutive misses and *declared* dead
+    # (fenced, removed from the replica map, recovery scheduled) after
+    # ``declare_after_misses``.
+    heartbeat_interval_s: float = 0.5
+    suspect_after_misses: int = 2
+    declare_after_misses: int = 5

@@ -34,15 +34,23 @@ from repro.analysis.metrics import MetricsCollector
 from repro.analysis.trace import Tracer
 from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Machine
+from repro.cluster.network import CONTROLLER, NetworkFabric
 from repro.cluster.replica_map import ReplicaMap
 from repro.cluster.routing import ReadOption, ReadRouter, WritePolicy
 from repro.engine.schema import DatabaseSchema
 from repro.engine.sqlparse import nodes as n
 from repro.engine.sqlparse.parser import parse
-from repro.errors import (DeadlockError, LockTimeoutError, MachineFailedError,
+from repro.errors import (ControllerFailedError, DeadlockError,
+                          LockTimeoutError, MachineFailedError,
                           NoReplicaError, PlatformError,
-                          ProactiveRejectionError, TransactionError)
-from repro.sim import Event, Process, Simulator
+                          ProactiveRejectionError, RPCTimeoutError,
+                          TransactionError)
+from repro.sim import Event, Interrupt, Process, Simulator
+
+
+# Sentinel: an RPC attempt produced silence (drop, partition, dead or
+# fenced machine, or an over-deadline execution) rather than an answer.
+_RPC_TIMED_OUT = object()
 
 
 class TransactionAborted(PlatformError):
@@ -67,6 +75,9 @@ class _TxnState:
     finished: bool = False
     # Write statements in issue order, for async cross-colo shipping.
     write_log: List[Tuple[str, Tuple[Any, ...]]] = field(default_factory=list)
+    # Write statements *sent* per machine; PREPARE carries the count so a
+    # replica whose branch missed a dropped write refuses to prepare.
+    writes_sent: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -113,7 +124,10 @@ class Connection:
             self.controller._rollback(self), name=f"conn:{self.db}:rollback")
 
     def close(self) -> None:
-        if self.txn is not None and not self.txn.finished:
+        if (self.txn is not None and not self.txn.finished
+                and self.controller.primary_alive):
+            # With a dead primary there is nobody to send the aborts;
+            # the backup's take-over presumed-aborts undecided branches.
             self.controller._abort_everywhere(self, self.txn)
         self.closed = True
 
@@ -130,8 +144,11 @@ class ClusterController:
         self.replica_map = ReplicaMap()
         self.router = ReadRouter(self.config.read_option)
         self.metrics = MetricsCollector()
+        self.fabric = NetworkFabric(sim, self.config.network,
+                                    metrics=self.metrics)
         self.trace = Tracer(capacity=self.config.trace_capacity,
                             clock=lambda: self.sim.now)
+        self.fabric.trace = self.trace
         self.trace.emit("trace_meta", cluster=name,
                         write_policy=self.config.write_policy.value,
                         read_option=self.config.read_option.value,
@@ -153,6 +170,17 @@ class ClusterController:
         # machine; should return a fresh Machine (from the colo free
         # pool) or None.
         self.free_machine_hook = None
+        # Failure-detector state (heartbeats over the fabric).
+        self.suspected: Dict[str, float] = {}   # name -> suspected-at time
+        self.declared_dead: Set[str] = set()
+        self.fenced: Set[str] = set()
+        self._hb_misses: Dict[str, int] = {}
+        self._detector_proc: Optional[Process] = None
+        # False until the primary controller is "crashed" by a fault
+        # injector; the process-pair backup then takes over and this flag
+        # fences the old primary (no decision/COMMIT may leave it).
+        self.primary_alive = True
+        self._msg_ids = itertools.count(1)
 
     # -- cluster membership ----------------------------------------------------
 
@@ -170,11 +198,13 @@ class ClusterController:
         return [self.add_machine() for _ in range(count)]
 
     def live_machines(self) -> List[Machine]:
-        return [m for m in self.machines.values() if m.alive]
+        return [m for m in self.machines.values()
+                if m.alive and not m.fenced]
 
     def live_replicas(self, db: str) -> List[str]:
         return [name for name in self.replica_map.replicas(db)
-                if name in self.machines and self.machines[name].alive]
+                if name in self.machines and self.machines[name].alive
+                and not self.machines[name].fenced]
 
     # -- database lifecycle -------------------------------------------------------
 
@@ -270,13 +300,64 @@ class ClusterController:
     def _abort_everywhere(self, conn: Connection, txn: _TxnState,
                           kind: str = "abort",
                           reason: str = "connection closed") -> None:
-        """Immediately roll the transaction back on every touched machine."""
+        """Roll the transaction back on every touched machine.
+
+        Direct path: immediate local aborts (pre-fabric behaviour). With
+        the fabric enabled, ABORT is a message like any other: sent in
+        the background with retries, idempotent, and lost to dead or
+        fenced machines (whose state dies with them anyway).
+        """
         for name in txn.touched:
             machine = self.machines.get(name)
-            if machine is not None:
+            if machine is None:
+                continue
+            if self.fabric.enabled:
+                if machine.alive and not machine.fenced:
+                    proc = self.sim.process(
+                        self._rpc(machine,
+                                  lambda m=machine: m.abort_body(txn.txn_id),
+                                  txn_id=txn.txn_id, label="abort"),
+                        name=f"rpc:abort:{txn.txn_id}:{name}")
+                    proc.defused = True
+            else:
                 machine.abort_local(txn.txn_id)
         self.trace.emit(kind, db=txn.db, txn=txn.txn_id, reason=reason)
         self._finish(conn, txn)
+
+    def _spawn_redelivery(self, db: str, txn_id: int, name: str) -> Process:
+        """Background COMMIT redelivery to an unreachable participant."""
+        proc = self.sim.process(self._redeliver_commit(db, txn_id, name),
+                                name=f"redeliver:{txn_id}:{name}")
+        proc.defused = True
+        return proc
+
+    def _redeliver_commit(self, db: str, txn_id: int,
+                          name: str) -> Generator:
+        """Redrive a decided COMMIT until the participant acks, dies, is
+        fenced, or this controller stops being primary (the take-over
+        path redrives mirrored decisions itself)."""
+        net = self.config.network
+        for round_no in range(1, 33):
+            yield self.sim.timeout(min(net.rpc_backoff_max_s * round_no,
+                                       30.0))
+            machine = self.machines.get(name)
+            if (machine is None or not machine.alive or machine.fenced
+                    or not self.primary_alive):
+                return
+            try:
+                yield from self._rpc(machine,
+                                     lambda m=machine: m.commit_body(txn_id),
+                                     txn_id=txn_id, label="commit-redeliver")
+            except RPCTimeoutError:
+                continue
+            except Exception:
+                return  # dead, fenced, or already resolved machine-side
+            self.trace.emit("commit_sent", db=db, txn=txn_id, machine=name,
+                            redelivered=True)
+            # The mirrored decision is left in place: another participant
+            # of the same transaction may still owe an ack, and a stale
+            # "commit" decision is harmless to redrive (idempotent).
+            return
 
     def _record_failure(self, txn: _TxnState, exc: BaseException) -> None:
         if isinstance(exc, (DeadlockError, LockTimeoutError)):
@@ -287,12 +368,107 @@ class ClusterController:
         else:
             self.metrics.record_other_abort(txn.db)
 
+    # -- RPC layer (messages over the network fabric) ----------------------------------
+
+    def _call(self, machine: Machine, make_body, *, txn_id: int, label: str,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None) -> Generator:
+        """Run one logical RPC against ``machine``.
+
+        With the fabric disabled (default) this is exactly the pre-fabric
+        direct submit — no extra simulation events, identical
+        interleavings. With it enabled, each attempt is a request leg and
+        a response leg over the fabric plus a deadline; timed-out
+        attempts are retransmitted with exponential backoff under one
+        stable message id, so the machine-side dedup cache makes the
+        whole logical call at-most-once.
+        """
+        if not self.fabric.enabled:
+            result = yield machine.submit(txn_id, make_body(), label=label)
+            return result
+        result = yield from self._rpc(machine, make_body, txn_id=txn_id,
+                                      label=label, timeout=timeout,
+                                      retries=retries)
+        return result
+
+    def _rpc(self, machine: Machine, make_body, *, txn_id: int, label: str,
+             timeout: Optional[float] = None,
+             retries: Optional[int] = None) -> Generator:
+        net = self.config.network
+        timeout = net.rpc_timeout_s if timeout is None else timeout
+        retries = net.rpc_max_retries if retries is None else retries
+        msg_id = next(self._msg_ids)  # stable across retransmissions
+        attempt = 0
+        while True:
+            attempt += 1
+            outcome = yield from self._rpc_attempt(machine, make_body, msg_id,
+                                                   txn_id, label, timeout)
+            if outcome is not _RPC_TIMED_OUT:
+                ok, value = outcome
+                if ok:
+                    return value
+                raise value
+            if attempt > retries:
+                self.metrics.record_rpc_timeout()
+                raise RPCTimeoutError(
+                    f"{label} to {machine.name} timed out "
+                    f"after {attempt} attempts")
+            self.metrics.record_rpc_timeout(retry=True)
+            yield self.sim.timeout(self.fabric.backoff_delay(attempt))
+
+    def _rpc_attempt(self, machine: Machine, make_body, msg_id: int,
+                     txn_id: int, label: str, timeout: float) -> Generator:
+        """One send/execute/reply round. Returns ``_RPC_TIMED_OUT`` or
+        ``(ok, value)``; a machine that is dead or fenced answers with
+        silence, never an error (the caller cannot tell the difference)."""
+        started = self.sim.now
+
+        def wait_out_deadline():
+            remaining = started + timeout - self.sim.now
+            if remaining > 0:
+                yield self.sim.timeout(remaining)
+
+        delivered = yield from self.fabric.deliver(CONTROLLER, machine.name)
+        if not delivered or not machine.alive or machine.fenced:
+            yield from wait_out_deadline()
+            return _RPC_TIMED_OUT
+        proc = machine.submit_rpc(msg_id, txn_id, make_body, label=label)
+        proc.defused = True
+        if not proc.triggered:
+            settled = self.sim.event()
+            proc.add_callback(lambda p, e=settled: e.succeed(p))
+            deadline = self.sim.timeout(max(0.0,
+                                            started + timeout - self.sim.now))
+            yield self.sim.any_of([settled, deadline])
+            if not proc.triggered:
+                # Still executing at the deadline. Execution continues
+                # server-side; the retransmission finds its cached result.
+                return _RPC_TIMED_OUT
+        if not machine.alive or machine.fenced:
+            # Finished (or was interrupted) but the machine can no longer
+            # answer: silence.
+            yield from wait_out_deadline()
+            return _RPC_TIMED_OUT
+        delivered = yield from self.fabric.deliver(machine.name, CONTROLLER)
+        if not delivered:
+            yield from wait_out_deadline()
+            return _RPC_TIMED_OUT
+        if proc.ok:
+            return (True, proc.value)
+        exc = proc.value
+        if isinstance(exc, Interrupt):
+            cause = exc.cause
+            exc = (cause if isinstance(cause, BaseException)
+                   else MachineFailedError(machine.name))
+        return (False, exc)
+
     # -- statement execution -----------------------------------------------------------
 
     def _execute(self, conn: Connection, sql: str,
                  params: Tuple[Any, ...]) -> Generator:
         if conn.closed:
             raise TransactionError("connection is closed")
+        self._check_primary()
         txn = self._ensure_txn(conn)
         if txn.poisoned is not None:
             exc = txn.poisoned
@@ -319,21 +495,34 @@ class ClusterController:
     def _execute_read(self, conn: Connection, txn: _TxnState, sql: str,
                       params: Tuple[Any, ...]) -> Generator:
         attempts = 0
+        excluded: Set[str] = set()  # replicas whose RPCs timed out
         while True:
             replicas = self.live_replicas(conn.db)
-            if not replicas:
+            candidates = [r for r in replicas if r not in excluded]
+            if not candidates:
+                if excluded:
+                    raise NoReplicaError(
+                        f"no reachable replica of {conn.db!r}")
                 raise NoReplicaError(f"no live replica of {conn.db!r}")
-            choice = self.router.choose(txn.txn_id, replicas)
+            choice = self.router.choose(txn.txn_id, candidates)
             machine = self.machines[choice]
-            proc = machine.submit(
-                txn.txn_id,
-                machine.statement_body(txn.txn_id, conn.db, sql, params,
-                                       self.config.lock_wait_timeout_s),
-                label=f"r:{sql[:24]}")
             txn.touched.add(choice)
             try:
-                result = yield proc
+                result = yield from self._call(
+                    machine,
+                    lambda m=machine: m.statement_body(
+                        txn.txn_id, conn.db, sql, params,
+                        self.config.lock_wait_timeout_s),
+                    txn_id=txn.txn_id, label=f"r:{sql[:24]}")
                 return result
+            except RPCTimeoutError:
+                # Unreachable (maybe alive): don't route this read there
+                # again, try another replica.
+                excluded.add(choice)
+                attempts += 1
+                if attempts > len(self.machines):
+                    raise
+                continue
             except MachineFailedError:
                 attempts += 1
                 if attempts > len(self.machines):
@@ -365,11 +554,23 @@ class ClusterController:
         writes: List[Tuple[str, Process]] = []
         for name in targets:
             machine = self.machines[name]
-            proc = machine.submit(
-                txn.txn_id,
-                machine.statement_body(txn.txn_id, conn.db, sql, params,
-                                       self.config.lock_wait_timeout_s),
-                label=f"w:{sql[:24]}")
+            if self.fabric.enabled:
+                # Count executed writes machine-side so PREPARE can
+                # detect a branch that silently missed a dropped write.
+                proc = self.sim.process(
+                    self._rpc(machine,
+                              lambda m=machine: m.statement_body(
+                                  txn.txn_id, conn.db, sql, params,
+                                  self.config.lock_wait_timeout_s,
+                                  count_write=True),
+                              txn_id=txn.txn_id, label=f"w:{sql[:24]}"),
+                    name=f"rpc:w:{txn.txn_id}:{name}")
+            else:
+                proc = machine.submit(
+                    txn.txn_id,
+                    machine.statement_body(txn.txn_id, conn.db, sql, params,
+                                           self.config.lock_wait_timeout_s),
+                    label=f"w:{sql[:24]}")
             # The controller observes every write outcome itself (below or
             # in _watch_writes); pre-defuse so an early failure on one
             # replica cannot crash the kernel before we reach its yield.
@@ -377,6 +578,7 @@ class ClusterController:
             writes.append((name, proc))
             txn.touched.add(name)
             txn.write_participants.add(name)
+            txn.writes_sent[name] = txn.writes_sent.get(name, 0) + 1
             self.trace.emit("write_issued", db=txn.db, txn=txn.txn_id,
                             machine=name)
         txn.wrote = True
@@ -498,6 +700,7 @@ class ClusterController:
     def _commit(self, conn: Connection) -> Generator:
         if conn.txn is None or conn.txn.finished:
             return None  # nothing to do
+        self._check_primary()
         txn = conn.txn
         if txn.poisoned is not None:
             exc = txn.poisoned
@@ -512,14 +715,20 @@ class ClusterController:
             # controller invokes 2PC only when the transaction wrote).
             for name in sorted(txn.touched):
                 machine = self.machines.get(name)
-                if machine is None or not machine.alive:
+                if machine is None or not machine.alive or machine.fenced:
                     continue
                 try:
-                    yield machine.submit(txn.txn_id,
-                                         machine.commit_body(txn.txn_id),
-                                         label="commit-ro")
+                    yield from self._call(
+                        machine,
+                        lambda m=machine: m.commit_body(txn.txn_id),
+                        txn_id=txn.txn_id, label="commit-ro")
+                except RPCTimeoutError:
+                    # Unreachable but maybe alive, holding read locks:
+                    # keep redelivering the release in the background
+                    # (commit_body is idempotent).
+                    self._spawn_redelivery(txn.db, txn.txn_id, name)
                 except MachineFailedError:
-                    continue
+                    continue  # dead replica: its locks died with it
             self.metrics.record_commit(txn.db, self.sim.now,
                                        self.sim.now - txn.started_at)
             self.metrics.record_phase_latency(
@@ -536,17 +745,30 @@ class ClusterController:
         failure: Optional[BaseException] = None
         for name in participants:
             machine = self.machines.get(name)
-            if machine is None or not machine.alive:
+            if machine is None or not machine.alive or machine.fenced:
                 continue
+            expected = (txn.writes_sent.get(name)
+                        if self.fabric.enabled else None)
             try:
-                yield machine.submit(txn.txn_id,
-                                     machine.prepare_body(txn.txn_id),
-                                     label="prepare")
+                yield from self._call(
+                    machine,
+                    lambda m=machine, e=expected: m.prepare_body(
+                        txn.txn_id, expected_writes=e),
+                    txn_id=txn.txn_id, label="prepare")
                 prepared.append(name)
                 self.trace.emit("prepare", db=txn.db, txn=txn.txn_id,
                                 machine=name)
+            except RPCTimeoutError as exc:
+                # Presumed abort: the participant is unreachable but may
+                # be alive with an un-prepared branch. Skipping it (as we
+                # do for a *dead* replica) would commit a write that one
+                # live replica never saw — abort instead.
+                self.trace.emit("prepare_failed", db=txn.db, txn=txn.txn_id,
+                                machine=name, error=type(exc).__name__)
+                failure = exc
+                break
             except MachineFailedError:
-                continue
+                continue  # replica died; survivors carry the write
             except Exception as exc:
                 self.trace.emit("prepare_failed", db=txn.db, txn=txn.txn_id,
                                 machine=name, error=type(exc).__name__)
@@ -562,29 +784,42 @@ class ClusterController:
 
         # Decision point: mirror to the process-pair backup before any
         # COMMIT message leaves the controller.
+        self._check_primary()
         if self.backup is not None:
             self.backup.log_decision(txn.txn_id, "commit",
                                      sorted(set(prepared) | txn.touched))
         decision_at = self.sim.now
         self.trace.emit("decision_logged", db=txn.db, txn=txn.txn_id,
                         decision="commit", mirrored=self.backup is not None,
-                        participants=prepared)
+                        participants=prepared, actor="primary")
         self.metrics.record_phase_latency("prepare", decision_at - phase1_at)
 
         # Phase 2: COMMIT on all touched machines (read locks too).
+        redelivering = False
         for name in sorted(txn.touched):
             machine = self.machines.get(name)
-            if machine is None or not machine.alive:
+            if machine is None or not machine.alive or machine.fenced:
                 continue
+            self._check_primary()
             try:
                 self.trace.emit("commit_sent", db=txn.db, txn=txn.txn_id,
                                 machine=name)
-                yield machine.submit(txn.txn_id,
-                                     machine.commit_body(txn.txn_id),
-                                     label="commit")
+                yield from self._call(
+                    machine,
+                    lambda m=machine: m.commit_body(txn.txn_id),
+                    txn_id=txn.txn_id, label="commit",
+                    retries=self.config.network.commit_max_retries)
+            except RPCTimeoutError:
+                # The decision is made and durable; an unreachable
+                # participant just keeps receiving COMMIT until it acks,
+                # dies, or is fenced (commit_body is idempotent).
+                self._spawn_redelivery(txn.db, txn.txn_id, name)
+                redelivering = True
             except MachineFailedError:
                 continue
-        if self.backup is not None:
+        if self.backup is not None and not redelivering:
+            # Keep the mirrored decision while any participant still owes
+            # an ack — a take-over must redrive COMMIT, not presume abort.
             self.backup.clear_decision(txn.txn_id)
             self.trace.emit("decision_cleared", db=txn.db, txn=txn.txn_id)
         self.metrics.record_commit(txn.db, self.sim.now,
@@ -625,17 +860,198 @@ class ClusterController:
         affected = self.replica_map.remove_machine(name)
         self.trace.emit("machine_failed", machine=name,
                         affected=sorted(affected))
-        # Abandon in-flight copies that lost either endpoint: a dead
-        # target obviously ends the copy, and a dead *source* dooms it
-        # too — dropping the state immediately lifts Algorithm 1's write
-        # rejection window (the copy driver cleans the partial replica
-        # off a surviving target when its next operation fails).
+        self._abandon_copies(name)
+        if self.recovery is not None:
+            self.recovery.schedule_databases(affected)
+        return affected
+
+    def _abandon_copies(self, name: str) -> None:
+        """Abandon in-flight copies that lost either endpoint: a dead
+        target obviously ends the copy, and a dead *source* dooms it
+        too — dropping the state immediately lifts Algorithm 1's write
+        rejection window (the copy driver cleans the partial replica
+        off a surviving target when its next operation fails)."""
         for db, state in list(self.copy_states.items()):
             if state.target == name or state.source == name:
                 del self.copy_states[db]
                 role = "target" if state.target == name else "source"
                 self.trace.emit("copy_abandoned", db=db, machine=name,
                                 role=role, target=state.target)
+
+    def crash_machine(self, name: str) -> None:
+        """Power a machine off *without* telling the controller.
+
+        Unlike :meth:`fail_machine` (the oracle path used by older
+        experiments) nothing is removed from the replica map and no
+        recovery is scheduled here — only the heartbeat failure detector
+        can notice the silence and drive the declare→fence→recover path.
+        """
+        machine = self.machines.get(name)
+        if machine is None:
+            raise ValueError(f"unknown machine {name!r}")
+        machine.fail()
+        self.trace.emit("machine_crashed", machine=name)
+
+    def repair_machine(self, name: str) -> None:
+        """Return a failed or fenced machine to the cluster as a blank
+        spare: fresh empty engine, hosting nothing, eligible as a
+        recovery target. Refuses if the replica map still routes to it.
+        """
+        machine = self.machines.get(name)
+        if machine is None:
+            raise ValueError(f"unknown machine {name!r}")
+        hosted = self.replica_map.hosted_on(name)
+        if hosted:
+            raise ValueError(
+                f"cannot repair {name!r}: still mapped for {sorted(hosted)}")
+        machine.repair()
+        self.declared_dead.discard(name)
+        self.fenced.discard(name)
+        self.suspected.pop(name, None)
+        self._hb_misses[name] = 0
+        self.trace.emit("machine_repaired", machine=name)
+
+    # -- primary crash (process-pair, Section 2) -----------------------------------------
+
+    def _check_primary(self) -> None:
+        if not self.primary_alive:
+            raise ControllerFailedError(
+                f"controller {self.name} is no longer primary")
+
+    def crash_primary(self) -> None:
+        """Crash the acting primary controller (fault injection).
+
+        Client operations raise :class:`ControllerFailedError`; machines
+        keep whatever was already delivered to them in flight. The
+        process-pair backup's monitor notices the silence and runs
+        take-over itself.
+        """
+        if not self.primary_alive:
+            return
+        self.primary_alive = False
+        self.trace.emit("primary_crashed", actor="primary")
+
+    # -- heartbeat failure detection -----------------------------------------------------
+
+    def start_failure_detector(self) -> Process:
+        """Start heartbeating every machine over the fabric.
+
+        A machine is *suspected* after ``suspect_after_misses``
+        consecutive silent heartbeats, *declared* dead (fenced, replicas
+        removed, recovery scheduled) after ``declare_after_misses``, and
+        readmitted as a blank spare if it ever answers again.
+        """
+        if not self.fabric.enabled:
+            raise RuntimeError(
+                "the failure detector needs config.network.enabled")
+        if self._detector_proc is not None and not self._detector_proc.triggered:
+            return self._detector_proc
+        self._detector_proc = self.sim.process(
+            self._detector_loop(), name=f"{self.name}:detector")
+        self._detector_proc.defused = True
+        return self._detector_proc
+
+    def _detector_loop(self) -> Generator:
+        while self.primary_alive:
+            for name in list(self.machines):
+                probe = self.sim.process(self._probe(name),
+                                         name=f"hb:{name}")
+                probe.defused = True
+            yield self.sim.timeout(self.config.heartbeat_interval_s)
+
+    def _ping(self, machine: Machine) -> Generator:
+        """One heartbeat round trip. A fenced machine still answers
+        pings (it refuses *work*, not liveness probes) — that is how a
+        falsely declared machine gets readmitted after the partition
+        heals. Late responses count as misses."""
+        deadline = self.sim.now + self.config.heartbeat_interval_s
+        delivered = yield from self.fabric.deliver(CONTROLLER, machine.name)
+        if not delivered or not machine.alive:
+            return False
+        delivered = yield from self.fabric.deliver(machine.name, CONTROLLER)
+        return delivered and self.sim.now <= deadline
+
+    def _probe(self, name: str) -> Generator:
+        machine = self.machines.get(name)
+        if machine is None:
+            return
+        answered = yield from self._ping(machine)
+        if not self.primary_alive:
+            return
+        if answered:
+            self._hb_misses[name] = 0
+            if name in self.declared_dead:
+                self._readmit(name)
+            elif name in self.suspected:
+                since = self.suspected.pop(name)
+                self.metrics.record_false_suspicion()
+                self.trace.emit("machine_unsuspected", machine=name,
+                                suspected_for=self.sim.now - since)
+            return
+        if name in self.declared_dead:
+            return
+        misses = self._hb_misses.get(name, 0) + 1
+        self._hb_misses[name] = misses
+        if (misses >= self.config.suspect_after_misses
+                and name not in self.suspected):
+            self.suspected[name] = self.sim.now
+            self.trace.emit("machine_suspected", machine=name, misses=misses)
+        if (misses >= self.config.declare_after_misses
+                and name in self.suspected and self._declare_allowed(name)):
+            self.declare_dead(name, reason=f"{misses} missed heartbeats")
+
+    def _declare_allowed(self, name: str) -> bool:
+        """Never declare the machine holding the last live replica of
+        any database: fencing it would lose the data outright. It stays
+        merely suspected (routed around where possible) until the
+        partition heals or another replica exists elsewhere."""
+        for db in self.replica_map.hosted_on(name):
+            others = [r for r in self.replica_map.replicas(db)
+                      if r != name and r in self.machines
+                      and self.machines[r].alive
+                      and not self.machines[r].fenced]
+            if not others:
+                return False
+        return True
+
+    def declare_dead(self, name: str, reason: str = "") -> List[str]:
+        """Declare a silent machine dead: fence it, drop its replicas
+        from the map, abandon copies through it, schedule recovery.
+
+        Fencing models the machine-side lease expiring at the same
+        simulated moment the controller declares: even if the machine is
+        alive on the far side of a partition, it stops serving and its
+        replicas are treated as lost (stale on readmission).
+        """
+        machine = self.machines.get(name)
+        if machine is None:
+            raise ValueError(f"unknown machine {name!r}")
+        if name in self.declared_dead:
+            return []
+        self.suspected.pop(name, None)
+        self.declared_dead.add(name)
+        self.fenced.add(name)
+        was_alive = machine.alive
+        machine.fence()
+        affected = self.replica_map.remove_machine(name)
+        self.trace.emit("machine_declared", machine=name, reason=reason,
+                        was_alive=was_alive, affected=sorted(affected))
+        self.trace.emit("machine_fenced", machine=name)
+        self._abandon_copies(name)
         if self.recovery is not None:
             self.recovery.schedule_databases(affected)
         return affected
+
+    def _readmit(self, name: str) -> None:
+        """A declared-dead machine answered a heartbeat: a false
+        suspicion. Its replicas were already handed to recovery, so its
+        state is stale and must never be served — it re-enters as a
+        blank spare (fresh empty engine), eligible as a copy target."""
+        machine = self.machines[name]
+        self.declared_dead.discard(name)
+        self.fenced.discard(name)
+        self.suspected.pop(name, None)
+        self._hb_misses[name] = 0
+        machine.readmit_as_spare()
+        self.metrics.record_false_suspicion()
+        self.trace.emit("machine_readmitted", machine=name)

@@ -10,7 +10,8 @@ relies on), applies the cluster's lock-wait timeout, and models failure:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Sequence
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Generator, Optional, Sequence
 
 from repro.cluster.config import MachineConfig
 from repro.engine import Engine
@@ -25,6 +26,9 @@ from repro.sim import Interrupt, Process, Resource, Simulator
 class Machine:
     """One commodity machine: engine + CPU + disk + failure state."""
 
+    #: Completed-RPC results remembered for retransmission dedup.
+    RPC_CACHE_LIMIT = 4096
+
     def __init__(self, sim: Simulator, name: str, config: MachineConfig,
                  history=None):
         self.sim = sim
@@ -32,12 +36,25 @@ class Machine:
         self.config = config
         self.cpu = Resource(sim, capacity=config.cores)
         self.disk = Resource(sim, capacity=config.disks)
+        self._history = history
         self.engine = Engine(name, config.engine, history=history)
         self.alive = True
         self.failed_at: Optional[float] = None
+        # Fenced: declared dead by the failure detector while (possibly)
+        # still alive. A fenced machine's replicas are stale; it serves
+        # nothing until readmitted as a blank spare.
+        self.fenced = False
         # Tail process of each transaction's FIFO op chain on this machine.
         self._tails: Dict[int, Process] = {}
         self._active: set = set()
+        # RPC dedup: message id -> the process executing (or having
+        # executed) that message, so a retransmitted request returns the
+        # original outcome instead of re-executing the statement.
+        self._rpc_cache: "OrderedDict[int, Process]" = OrderedDict()
+        # Write statements executed per transaction; PREPARE compares
+        # this against the coordinator's sent count to detect a branch
+        # that missed a (dropped) write.
+        self._write_counts: Dict[int, int] = {}
 
     # -- capacity (SLA dimensions) -------------------------------------------
 
@@ -62,10 +79,55 @@ class Machine:
             proc.interrupt(MachineFailedError(self.name))
         self._active.clear()
         self._tails.clear()
+        self._rpc_cache.clear()
+        self._write_counts.clear()
+
+    def fence(self) -> None:
+        """Fence off a machine the detector declared dead.
+
+        Models the machine-side lease expiry that accompanies the
+        controller's declaration: everything in flight dies, new work is
+        refused, and the (stale) replicas it hosts serve nothing. The
+        engine state is kept — fencing is reversible only through
+        :meth:`readmit_as_spare`, which wipes it.
+        """
+        if self.fenced:
+            return
+        self.fenced = True
+        for proc in list(self._active):
+            proc.interrupt(MachineFailedError(f"{self.name} (fenced)"))
+        self._active.clear()
+        self._tails.clear()
+        self._rpc_cache.clear()
+        self._write_counts.clear()
+
+    def readmit_as_spare(self) -> None:
+        """Re-enter the cluster as a blank spare after a false declaration.
+
+        Per the paper's treatment of recovered machines, a machine that
+        reappears after being declared dead does not resume serving its
+        old replicas — they may have missed writes. It is wiped and
+        rejoins as a fresh machine holding nothing.
+        """
+        self.engine = Engine(self.name, self.config.engine,
+                             history=self._history)
+        self.fenced = False
+        self.alive = True
+        self.failed_at = None
+        self._tails.clear()
+        self._active.clear()
+        self._rpc_cache.clear()
+        self._write_counts.clear()
+
+    def repair(self) -> None:
+        """Return a failed machine to service as a blank spare."""
+        self.readmit_as_spare()
 
     def _check_alive(self) -> None:
         if not self.alive:
             raise MachineFailedError(self.name)
+        if self.fenced:
+            raise MachineFailedError(f"{self.name} (fenced)")
 
     # -- op submission (FIFO per transaction) -----------------------------------
 
@@ -88,8 +150,27 @@ class Machine:
         result = yield from body
         return result
 
+    def submit_rpc(self, msg_id: int, txn_id: int,
+                   body_factory: Callable[[], Generator],
+                   label: str = "") -> Process:
+        """Execute one at-most-once message; retransmissions deduplicate.
+
+        The first request carrying ``msg_id`` submits a fresh body; a
+        retransmission (same id) returns the original process — running
+        or completed — so a retried statement is never applied twice.
+        """
+        proc = self._rpc_cache.get(msg_id)
+        if proc is not None:
+            return proc
+        proc = self.submit(txn_id, body_factory(), label=label)
+        self._rpc_cache[msg_id] = proc
+        while len(self._rpc_cache) > self.RPC_CACHE_LIMIT:
+            self._rpc_cache.popitem(last=False)
+        return proc
+
     def forget_txn(self, txn_id: int) -> None:
         self._tails.pop(txn_id, None)
+        self._write_counts.pop(txn_id, None)
 
     def run_copy(self, body: Generator, label: str = "") -> Process:
         """Run a copy-tool step (dump/load) bound to this machine.
@@ -125,7 +206,8 @@ class Machine:
 
     def statement_body(self, txn_id: int, db: str, sql: str,
                        params: Sequence[Any],
-                       lock_timeout: float) -> Generator:
+                       lock_timeout: float,
+                       count_write: bool = False) -> Generator:
         """Execute one statement; the generator is a sim process body.
 
         A deadlock or lock-wait timeout rolls back the transaction's
@@ -189,6 +271,9 @@ class Machine:
                 self.engine.abort(txn)
             raise
         self._check_alive()
+        if count_write:
+            # Executed-write tally for the PREPARE gap check.
+            self._write_counts[txn_id] = self._write_counts.get(txn_id, 0) + 1
         return result
 
     def _charge(self, result: ExecResult) -> Generator:
@@ -203,7 +288,8 @@ class Machine:
             disk_s = cost.cache_misses * cfg.page_miss_ms / 1e3
             yield from self.disk.use(disk_s)
 
-    def prepare_body(self, txn_id: int) -> Generator:
+    def prepare_body(self, txn_id: int,
+                     expected_writes: Optional[int] = None) -> Generator:
         self._check_alive()
         txn = self.engine.transactions.get(txn_id)
         if txn is None or txn.finished:
@@ -212,6 +298,15 @@ class Machine:
             raise TransactionError(
                 f"cannot prepare txn {txn_id} on {self.name}: "
                 f"branch is not active")
+        if expected_writes is not None:
+            executed = self._write_counts.get(txn_id, 0)
+            if executed != expected_writes:
+                # A write message to this replica was lost in the fabric
+                # and never retransmitted successfully: the branch is
+                # missing statements and must not be committed anywhere.
+                raise TransactionError(
+                    f"cannot prepare txn {txn_id} on {self.name}: "
+                    f"executed {executed} of {expected_writes} writes")
         self.engine.prepare(txn)
         try:
             yield from self.disk.use(self.config.engine.log_flush_ms / 1e3)

@@ -1,0 +1,232 @@
+"""Simulated unreliable network fabric between cluster endpoints.
+
+Every controller↔machine interaction — statement RPCs, 2PC PREPARE /
+COMMIT / abort messages, heartbeats, and the dump/load copy streams of
+recovery — crosses this fabric as a message over a directed per-link
+channel. Each link has a configurable one-way latency distribution
+(mean ± uniform jitter), an independent drop probability, and can be
+*cut* (partitioned) and *healed* at runtime. Links deliver in FIFO
+order (a later message never overtakes an earlier one on the same
+link), matching TCP-like transports; drops and cuts are how messages
+are lost, not reordering.
+
+The fabric is deterministic: all randomness comes from one
+:class:`~repro.sim.rng.SeededRNG` stream, so a partition experiment
+replays exactly for a given seed.
+
+``NetworkConfig.enabled`` gates the whole layer. When disabled
+(the default), the cluster controller uses its original direct
+submission paths — zero extra simulation events — so every experiment
+that predates the fabric behaves identically. Enabling it routes all
+messages here and activates per-message timeouts, retries with
+exponential backoff, and the heartbeat failure detector's transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlatformError
+from repro.sim import Simulator
+from repro.sim.rng import SeededRNG
+
+#: Well-known fabric endpoints that are not machines.
+CONTROLLER = "controller"
+BACKUP = "backup"
+
+
+class NetworkPartitionedError(PlatformError):
+    """A message could not cross the fabric: the link is cut."""
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs of the simulated network fabric.
+
+    ``latency_s`` is the *mean one-way* message latency (the historical
+    ``MachineConfig.network_latency_s`` round trip moved here); jitter is
+    uniform in ``[-jitter_s, +jitter_s]``. ``drop_probability`` applies
+    independently to every message on every link. RPC knobs govern the
+    controller's per-message timeout and exponential-backoff retries.
+    """
+
+    enabled: bool = False
+    latency_s: float = 0.0001          # mean one-way latency
+    jitter_s: float = 0.0              # uniform +/- jitter on latency
+    drop_probability: float = 0.0      # per-message loss rate
+    seed: int = 0
+    # Per-message RPC timeout and retry policy (controller side).
+    rpc_timeout_s: float = 0.5
+    rpc_max_retries: int = 4
+    rpc_backoff_base_s: float = 0.05   # doubles each retry, plus jitter
+    rpc_backoff_max_s: float = 1.0
+    # Phase-2 COMMIT messages are idempotent and must eventually land on
+    # every surviving participant; they retry harder than ordinary RPCs.
+    commit_max_retries: int = 8
+
+
+@dataclass
+class LinkStats:
+    """Per-directed-link delivery counters."""
+
+    sent: int = 0
+    dropped: int = 0       # random loss
+    cut_dropped: int = 0   # lost to a partition
+
+
+class NetworkFabric:
+    """All messages between cluster endpoints flow through here."""
+
+    def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None,
+                 metrics=None, trace=None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.metrics = metrics
+        self.trace = trace
+        self.rng = SeededRNG(self.config.seed).fork("network-fabric")
+        # Directed cuts: (src, dst) pairs that currently drop everything.
+        self._cuts: Set[Tuple[str, str]] = set()
+        # FIFO clamp: earliest time the next message on a link may arrive.
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        self.link_stats: Dict[Tuple[str, str], LinkStats] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # -- partition control -----------------------------------------------------
+
+    def connected(self, src: str, dst: str) -> bool:
+        """True when messages from ``src`` can currently reach ``dst``."""
+        return (src, dst) not in self._cuts
+
+    def cut(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Cut the link ``a -> b`` (and ``b -> a`` unless asymmetric)."""
+        self._cuts.add((a, b))
+        if symmetric:
+            self._cuts.add((b, a))
+        if self.trace is not None:
+            self.trace.emit("link_cut", a=a, b=b, symmetric=symmetric)
+
+    def heal(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Heal the link ``a -> b`` (and ``b -> a`` unless asymmetric)."""
+        self._cuts.discard((a, b))
+        if symmetric:
+            self._cuts.discard((b, a))
+        if self.trace is not None:
+            self.trace.emit("link_healed", a=a, b=b, symmetric=symmetric)
+
+    def split(self, groups: Sequence[Sequence[str]]) -> None:
+        """Partition the endpoints into isolated groups.
+
+        Every link between endpoints of *different* groups is cut in
+        both directions; links within a group are left untouched.
+        """
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1:]:
+                for a in group_a:
+                    for b in group_b:
+                        self._cuts.add((a, b))
+                        self._cuts.add((b, a))
+        if self.trace is not None:
+            self.trace.emit("net_partition",
+                            groups=[sorted(g) for g in groups])
+
+    def heal_all(self) -> None:
+        """Remove every cut; the fabric is fully connected again."""
+        self._cuts.clear()
+        if self.trace is not None:
+            self.trace.emit("net_heal_all")
+
+    def cut_links(self) -> List[Tuple[str, str]]:
+        """The currently cut directed links (sorted, for reporting)."""
+        return sorted(self._cuts)
+
+    # -- message delivery ------------------------------------------------------
+
+    def _stats(self, src: str, dst: str) -> LinkStats:
+        key = (src, dst)
+        stats = self.link_stats.get(key)
+        if stats is None:
+            stats = self.link_stats[key] = LinkStats()
+        return stats
+
+    def sample_latency(self) -> float:
+        """One-way latency draw: mean ± uniform jitter, never negative."""
+        cfg = self.config
+        latency = cfg.latency_s
+        if cfg.jitter_s > 0:
+            latency += self.rng.uniform(-cfg.jitter_s, cfg.jitter_s)
+        return max(0.0, latency)
+
+    def deliver(self, src: str, dst: str) -> Generator:
+        """Send one message ``src -> dst``; returns True if it arrived.
+
+        The generator consumes the sampled one-way latency in simulated
+        time (clamped so deliveries on one link stay FIFO), then reports
+        whether the message survived cuts and random loss. A lost
+        message still consumes the latency — the sender only learns of
+        the loss through its own timeout.
+        """
+        stats = self._stats(src, dst)
+        stats.sent += 1
+        if self.metrics is not None:
+            self.metrics.record_message_sent()
+        latency = self.sample_latency()
+        dropped = (self.config.drop_probability > 0
+                   and self.rng.random() < self.config.drop_probability)
+        key = (src, dst)
+        # Reserve the arrival slot at *send* time so a fast later message
+        # can never overtake a slow earlier one on the same link.
+        sent_at = self.sim.now
+        arrival = max(sent_at + latency, self._last_arrival.get(key, 0.0))
+        self._last_arrival[key] = arrival
+        if arrival > sent_at:
+            yield self.sim.timeout(arrival - sent_at)
+        if not self.connected(src, dst):
+            stats.cut_dropped += 1
+            if self.metrics is not None:
+                self.metrics.record_message_dropped(cut=True)
+            return False
+        if dropped:
+            stats.dropped += 1
+            if self.metrics is not None:
+                self.metrics.record_message_dropped(cut=False)
+            return False
+        if self.metrics is not None:
+            self.metrics.record_link_latency(src, dst, arrival - sent_at)
+        return True
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with jitter for RPC retry ``attempt``."""
+        cfg = self.config
+        base = min(cfg.rpc_backoff_max_s,
+                   cfg.rpc_backoff_base_s * (2 ** max(0, attempt - 1)))
+        # Full jitter: uniform in (0, base]; avoids retry synchronization.
+        return base * (0.5 + 0.5 * self.rng.random())
+
+    # -- copy streams (recovery / migration) -----------------------------------
+
+    def copy_gate(self, src: str, dst: str) -> None:
+        """Raise unless ``src`` can currently reach ``dst``.
+
+        Copy streams (dump/load) are long-lived bulk transfers rather
+        than individual messages; they are gated on connectivity at each
+        step instead of being broken into per-page messages.
+        """
+        if not self.connected(src, dst):
+            raise NetworkPartitionedError(
+                f"link {src} -> {dst} is cut")
+
+    def transfer(self, src: str, dst: str, seconds: float) -> Generator:
+        """A bulk stream ``src -> dst`` taking ``seconds``.
+
+        Partition-checked at both ends of the window: a stream that was
+        cut mid-flight fails when it completes (the receiving side never
+        sees the tail of the stream).
+        """
+        self.copy_gate(src, dst)
+        if seconds > 0:
+            yield self.sim.timeout(seconds + self.sample_latency())
+        self.copy_gate(src, dst)

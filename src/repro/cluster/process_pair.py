@@ -15,15 +15,22 @@ take-over:
   possible);
 * presumed-aborts every other open transaction — their clients lost the
   connection and must re-establish it, per the paper.
+
+Take-over can be invoked two ways: directly (the oracle path older
+experiments use), or *detected* — :meth:`start_monitor` heartbeats the
+primary over the network fabric and runs take-over itself once the
+primary has been silent for a configurable number of intervals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.cluster.controller import ClusterController
+from repro.cluster.network import BACKUP, CONTROLLER
 from repro.engine.transactions import TxnState
+from repro.sim import Process
 
 
 @dataclass
@@ -37,11 +44,58 @@ class ProcessPairBackup:
 
     def __init__(self, controller: ClusterController):
         self.controller = controller
+        self.sim = controller.sim
         self.decisions: Dict[int, _Decision] = {}
         self.took_over = False
         self.completed_on_takeover: List[int] = []
         self.aborted_on_takeover: List[int] = []
+        self._monitor_proc: Optional[Process] = None
         controller.backup = self
+
+    # -- primary failure detection -------------------------------------------------
+
+    def start_monitor(self, interval_s: Optional[float] = None,
+                      misses: int = 3) -> Process:
+        """Heartbeat the primary; run take-over when it goes silent.
+
+        The backup pings the primary over the fabric every
+        ``interval_s`` (default: the cluster heartbeat interval) and
+        invokes :meth:`take_over` itself after ``misses`` consecutive
+        unanswered rounds — detection-driven fail-over, no oracle.
+        """
+        if self._monitor_proc is not None and not self._monitor_proc.triggered:
+            return self._monitor_proc
+        interval = interval_s or self.controller.config.heartbeat_interval_s
+        self._monitor_proc = self.sim.process(
+            self._monitor_loop(interval, misses), name="backup:monitor")
+        self._monitor_proc.defused = True
+        return self._monitor_proc
+
+    def _ping_primary(self) -> Generator:
+        fabric = self.controller.fabric
+        if not fabric.enabled:
+            # No fabric: the pair shares a rack-local supervision channel.
+            return self.controller.primary_alive
+        delivered = yield from fabric.deliver(BACKUP, CONTROLLER)
+        if not delivered or not self.controller.primary_alive:
+            return False
+        delivered = yield from fabric.deliver(CONTROLLER, BACKUP)
+        return delivered
+
+    def _monitor_loop(self, interval: float, threshold: int) -> Generator:
+        missed = 0
+        while not self.took_over:
+            yield self.sim.timeout(interval)
+            answered = yield from self._ping_primary()
+            if self.took_over:
+                return
+            if answered:
+                missed = 0
+                continue
+            missed += 1
+            if missed >= threshold:
+                self.take_over(reason=f"{missed} missed heartbeats")
+                return
 
     # -- mirroring (called by the primary) ---------------------------------------
 
@@ -54,16 +108,24 @@ class ProcessPairBackup:
 
     # -- take-over -----------------------------------------------------------------
 
-    def take_over(self) -> Tuple[List[int], List[int]]:
-        """Simulate the primary crashing and the backup taking over.
+    def take_over(self, reason: str = "invoked") -> Tuple[List[int], List[int]]:
+        """The backup takes over from the (crashed) primary.
 
         Returns (committed transaction ids, aborted transaction ids).
         Connection-level state is gone: any open :class:`Connection`
         objects raise on further use and clients must reconnect.
         """
+        if self.took_over:
+            return (list(self.completed_on_takeover),
+                    list(self.aborted_on_takeover))
         self.took_over = True
+        # Fence the old primary before acting on any decision: even if it
+        # is merely partitioned from the backup (not dead), it must not
+        # issue another COMMIT once the backup starts cleaning up —
+        # process-pair equivalent of STONITH, the no-split-brain rule.
+        self.controller.primary_alive = False
         trace = self.controller.trace
-        trace.emit("takeover",
+        trace.emit("takeover", actor="backup", reason=reason,
                    decided=sorted(txn_id for txn_id, d in
                                   self.decisions.items()
                                   if d.decision == "commit"))
@@ -73,14 +135,14 @@ class ProcessPairBackup:
                 continue
             for machine_name in decision.machines:
                 machine = self.controller.machines.get(machine_name)
-                if machine is None or not machine.alive:
+                if machine is None or not machine.alive or machine.fenced:
                     continue
                 txn = machine.engine.transactions.get(txn_id)
                 if txn is not None and not txn.finished:
                     machine.engine.commit(txn)
                 machine.forget_txn(txn_id)
             self.completed_on_takeover.append(txn_id)
-            trace.emit("takeover_commit", txn=txn_id)
+            trace.emit("takeover_commit", txn=txn_id, actor="backup")
         self.decisions.clear()
 
         # Phase 2: presumed abort for everything else in flight.
@@ -93,6 +155,6 @@ class ProcessPairBackup:
                 machine.forget_txn(txn_id)
                 if txn_id not in self.aborted_on_takeover:
                     self.aborted_on_takeover.append(txn_id)
-                    trace.emit("takeover_abort", txn=txn_id)
+                    trace.emit("takeover_abort", txn=txn_id, actor="backup")
         return (list(self.completed_on_takeover),
                 list(self.aborted_on_takeover))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Iterable, List, Optional
 
 from repro.cluster.controller import ClusterController, CopyState
+from repro.cluster.network import CONTROLLER
 from repro.errors import MachineFailedError, NoReplicaError
 from repro.sim import Process, Simulator, Store
 
@@ -211,13 +212,21 @@ class RecoveryManager:
                      target) -> Generator:
         """Table-granularity copy: reject window is one table at a time."""
         total = 0
+        fabric = self.controller.fabric
         table_names = sorted(source.engine.database(db).tables)
         for table_name in table_names:
             state.copying_table = table_name
+            if fabric.enabled:
+                # The copy tool is driven from the controller: it must
+                # reach the source to dump and the target to load.
+                fabric.copy_gate(CONTROLLER, source.name)
             dump = yield source.run_copy(
                 source.dump_table_body(db, table_name),
                 label=f"dump:{db}.{table_name}")
-            yield from self._transfer(dump.bytes_estimate)
+            yield from self._transfer(source.name, target.name,
+                                      dump.bytes_estimate)
+            if fabric.enabled:
+                fabric.copy_gate(CONTROLLER, target.name)
             yield target.run_copy(
                 target.load_rows_body(db, table_name, dump.rows),
                 label=f"load:{db}.{table_name}")
@@ -230,11 +239,17 @@ class RecoveryManager:
                        target) -> Generator:
         """Database-granularity copy: everything rejects for the duration."""
         state.copying_all = True
+        fabric = self.controller.fabric
+        if fabric.enabled:
+            fabric.copy_gate(CONTROLLER, source.name)
         dumps = yield source.run_copy(source.dump_database_body(db),
                                       label=f"dump:{db}")
         total = 0
         for dump in dumps:
-            yield from self._transfer(dump.bytes_estimate)
+            yield from self._transfer(source.name, target.name,
+                                      dump.bytes_estimate)
+            if fabric.enabled:
+                fabric.copy_gate(CONTROLLER, target.name)
             yield target.run_copy(
                 target.load_rows_body(db, dump.table, dump.rows),
                 label=f"load:{db}.{dump.table}")
@@ -245,10 +260,18 @@ class RecoveryManager:
         state.copying_all = False
         return total
 
-    def _transfer(self, nbytes: int) -> Generator:
-        """Rack-network transfer time between source and target."""
+    def _transfer(self, src: str, dst: str, nbytes: int) -> Generator:
+        """Rack-network transfer time between source and target.
+
+        With the fabric enabled the stream is partition-checked at both
+        ends of the transfer window, so a cut mid-copy abandons the
+        re-replication (and its Algorithm 1 reject window) promptly.
+        """
         machine_cfg = self.controller.config.machine
         scaled = nbytes * machine_cfg.copy_bytes_factor
         seconds = (scaled / (1024.0 * 1024.0)) / machine_cfg.network_mbps
-        if seconds > 0:
+        fabric = self.controller.fabric
+        if fabric.enabled:
+            yield from fabric.transfer(src, dst, seconds)
+        elif seconds > 0:
             yield self.sim.timeout(seconds + machine_cfg.network_latency_s)

@@ -68,6 +68,24 @@ class MachineFailedError(PlatformError):
     """An operation was in flight on a machine that failed."""
 
 
+class RPCTimeoutError(MachineFailedError):
+    """An RPC to a machine timed out after exhausting its retries.
+
+    Subclasses :class:`MachineFailedError` because the caller cannot
+    distinguish a dead machine from an unreachable one — both look like
+    silence. Handlers that must be conservative about *unreachable but
+    possibly alive* participants (2PC PREPARE) catch this subtype first.
+    """
+
+
+class ControllerFailedError(PlatformError):
+    """The acting cluster controller crashed; clients must reconnect.
+
+    Raised to clients whose connection state lived on the failed
+    primary. The process-pair backup completes or presumed-aborts their
+    in-flight transactions during take-over (Section 2)."""
+
+
 class NoReplicaError(PlatformError):
     """No live replica of the requested database exists in the cluster."""
 

@@ -25,8 +25,9 @@ import sys
 from repro.analysis.invariants import check_controller
 from repro.cluster import CopyGranularity, ReadOption, WritePolicy
 from repro.harness.reporting import format_table
-from repro.harness.runner import (run_fault_soak, run_recovery_experiment,
-                                  run_sla_placement, run_tpcw_cluster)
+from repro.harness.runner import (run_fault_soak, run_partition_soak,
+                                  run_recovery_experiment, run_sla_placement,
+                                  run_tpcw_cluster)
 from repro.sla.model import ResourceVector
 from repro.workloads.tpcw import TpcwScale
 
@@ -144,6 +145,50 @@ def cmd_faults(args) -> int:
                          expect_recovery_complete=True)
 
 
+def _print_network(metrics) -> None:
+    """Fabric delivery counters and per-link latency percentiles."""
+    summary = metrics.network_summary()
+    print(format_table(
+        ["sent", "delivered", "dropped", "cut", "rpc timeouts",
+         "rpc retries", "false suspicions"],
+        [[summary["messages_sent"], summary["delivered"],
+          summary["messages_dropped"], summary["messages_cut"],
+          summary["rpc_timeouts"], summary["rpc_retries"],
+          summary["false_suspicions"]]]))
+    links = summary["links"]
+    if links:
+        # Busiest links only; a 6-machine soak has dozens of directions.
+        busiest = sorted(links.items(), key=lambda kv: -kv[1]["count"])[:8]
+        print(format_table(
+            ["link", "messages", "mean (s)", "p50 (s)", "p99 (s)"],
+            [[link, int(stats["count"]), stats["mean"], stats["p50"],
+              stats["p99"]] for link, stats in busiest]))
+
+
+def cmd_partitions(args) -> int:
+    """Unreliable-fabric soak: partitions, silent crashes, takeover."""
+    result = run_partition_soak(duration_s=args.duration * 2,
+                                drain_s=max(args.duration, 30.0),
+                                partition_mtbf_s=args.mtbf,
+                                seed=args.seed)
+    print(format_table(
+        ["partitions", "crashes", "repairs", "committed", "aborted",
+         "rejected", "tps", "recoveries"],
+        [[len(result.partitions), len(result.failures),
+          len(result.repairs), result.committed, result.aborted,
+          result.rejections, result.throughput_tps,
+          sum(1 for r in result.recovery_records if r.succeeded)]]))
+    print(format_table(
+        ["suspected", "declared", "readmitted", "takeover commits",
+         "takeover aborts"],
+        [[result.suspected_total, len(result.declared),
+          len(result.readmitted), len(result.takeover_committed),
+          len(result.takeover_aborted)]]))
+    _print_network(result.metrics)
+    return _export_trace(result.controller, args,
+                         expect_recovery_complete=True)
+
+
 def cmd_table1(args) -> None:
     # Import lazily: the benchmark module carries the implementation.
     sys.path.insert(0, "benchmarks")
@@ -164,6 +209,8 @@ EXPERIMENTS = [
     ("fig4", "TPC-W ordering-mix throughput across replication options"),
     ("fig8-9", "recovery throughput/rejections by copy granularity"),
     ("faults", "MTBF failure soak with recovery (trace/invariant demo)"),
+    ("partitions", "unreliable-fabric soak: partitions, heartbeat "
+                   "detection, fencing, process-pair takeover"),
     ("all", "every experiment above, quick settings"),
 ]
 
@@ -219,6 +266,10 @@ def main(argv=None) -> int:
     if chosen in ("faults", "all"):
         print("\n== Fault soak: MTBF failures with recovery ==")
         violations += cmd_faults(args)
+    if chosen in ("partitions", "all"):
+        print("\n== Partition soak: unreliable fabric, detection, "
+              "takeover ==")
+        violations += cmd_partitions(args)
     if violations:
         print(f"\n{violations} invariant violation(s) detected")
         return 1

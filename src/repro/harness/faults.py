@@ -1,18 +1,31 @@
-"""Fault injection: MTBF-driven machine failures for soak experiments.
+"""Fault injection: machine failures, repairs, and network partitions.
 
 The paper's availability model (Section 4.1) is parameterized by a
-machine failure rate; this injector produces exactly that — Poisson
-machine failures at a configurable mean time between failures — so
-experiments can measure rejected fractions under sustained failures
-rather than a single staged one.
+machine failure rate; :class:`FailureInjector` produces exactly that —
+Poisson machine failures at a configurable mean time between failures —
+so experiments can measure rejected fractions under sustained failures
+rather than a single staged one. Two extensions for robustness soaks:
+
+* ``repair_mtbf_s`` adds a Poisson *repair* stream that returns dead
+  machines to the cluster as blank spares, so long soaks no longer
+  monotonically drain the cluster to ``min_live_machines`` and stall;
+* ``oracle=False`` switches from :meth:`fail_machine` (the controller is
+  told instantly) to :meth:`crash_machine` (the machine just goes
+  silent; only the heartbeat failure detector can notice).
+
+:class:`PartitionInjector` drives the network fabric: it cuts random
+links or splits the cluster into disconnected groups, healing each
+episode after a random duration — the workload for the partition-soak
+experiment and its no-split-brain / fencing invariants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Tuple
 
 from repro.cluster.controller import ClusterController
+from repro.cluster.network import CONTROLLER
 from repro.sim import Interrupt, Process
 from repro.sim.rng import SeededRNG
 
@@ -24,16 +37,74 @@ class FailureEvent:
     databases_affected: List[str]
 
 
-class FailureInjector:
+@dataclass
+class RepairEvent:
+    when: float
+    machine: str
+
+
+@dataclass
+class PartitionEvent:
+    when: float
+    kind: str                                  # "cut" | "split"
+    links: List[Tuple[str, str]] = field(default_factory=list)
+    groups: List[List[str]] = field(default_factory=list)
+    healed_at: Optional[float] = None
+
+
+class _RestartableInjector:
+    """start()/stop() lifecycle shared by the injectors.
+
+    ``stop()`` interrupts the loop processes and forgets them; a later
+    ``start()`` spawns fresh ones, so one injector instance can be
+    started and stopped repeatedly within a run. Loop processes are
+    always defused — both so background failures cannot crash the
+    kernel and so the stop interrupt itself never counts as unhandled
+    if it lands after the loop already finished.
+    """
+
+    def __init__(self, controller: ClusterController):
+        self.controller = controller
+        self._procs: List[Process] = []
+
+    def _loops(self) -> List[Tuple[str, Generator]]:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        if any(p.is_alive for p in self._procs):
+            return
+        self._procs = []
+        for name, loop in self._loops():
+            proc = self.controller.sim.process(loop, name=name)
+            proc.defused = True
+            self._procs.append(proc)
+
+    def stop(self) -> None:
+        for proc in self._procs:
+            proc.defused = True
+            if proc.is_alive:
+                proc.interrupt("injector stopped")
+        self._procs = []
+
+
+class FailureInjector(_RestartableInjector):
     """Fails random live machines with exponential inter-arrival times."""
 
     def __init__(self, controller: ClusterController, mtbf_s: float,
                  seed: int = 0, min_live_machines: int = 1,
-                 spare_last_replicas: bool = True):
+                 spare_last_replicas: bool = True,
+                 repair_mtbf_s: Optional[float] = None,
+                 oracle: bool = True):
         if mtbf_s <= 0:
             raise ValueError("MTBF must be positive")
-        self.controller = controller
+        if repair_mtbf_s is not None and repair_mtbf_s <= 0:
+            raise ValueError("repair MTBF must be positive")
+        super().__init__(controller)
         self.mtbf_s = mtbf_s
+        self.repair_mtbf_s = repair_mtbf_s
+        # oracle=True: fail_machine (controller learns instantly).
+        # oracle=False: crash_machine (silence; detection must notice).
+        self.oracle = oracle
         self.rng = SeededRNG(seed).fork("failure-injector")
         # Never fail below this many live machines (the cluster would
         # just be gone; the paper assumes failures are sparse).
@@ -43,20 +114,13 @@ class FailureInjector:
         # all replicas is a disaster-recovery event, not a cluster one).
         self.spare_last_replicas = spare_last_replicas
         self.events: List[FailureEvent] = []
-        self._proc: Optional[Process] = None
+        self.repairs: List[RepairEvent] = []
 
-    def start(self) -> None:
-        if self._proc is not None:
-            return
-        proc = self.controller.sim.process(self._loop(),
-                                           name="failure-injector")
-        proc.defused = True
-        self._proc = proc
-
-    def stop(self) -> None:
-        if self._proc is not None and self._proc.is_alive:
-            self._proc.interrupt("injector stopped")
-        self._proc = None
+    def _loops(self) -> List[Tuple[str, Generator]]:
+        loops = [("failure-injector", self._loop())]
+        if self.repair_mtbf_s is not None:
+            loops.append(("repair-injector", self._repair_loop()))
+        return loops
 
     def _candidates(self) -> List[str]:
         live = [m.name for m in self.controller.live_machines()]
@@ -71,6 +135,18 @@ class FailureInjector:
                 spared.add(live_replicas[0])
         return [name for name in live if name not in spared]
 
+    def _repair_candidates(self) -> List[str]:
+        """Dead machines the replica map no longer routes to.
+
+        A crashed (non-oracle) machine keeps its map entries until the
+        failure detector declares it, so repair naturally waits for
+        detection to run its course.
+        """
+        return sorted(
+            name for name, machine in self.controller.machines.items()
+            if not machine.alive
+            and not self.controller.replica_map.hosted_on(name))
+
     def _loop(self) -> Generator:
         sim = self.controller.sim
         try:
@@ -80,7 +156,132 @@ class FailureInjector:
                 if not candidates:
                     continue
                 victim = self.rng.choice(sorted(candidates))
-                affected = self.controller.fail_machine(victim)
+                if self.oracle:
+                    affected = self.controller.fail_machine(victim)
+                else:
+                    self.controller.crash_machine(victim)
+                    affected = []
                 self.events.append(FailureEvent(sim.now, victim, affected))
         except Interrupt:
             return
+
+    def _repair_loop(self) -> Generator:
+        sim = self.controller.sim
+        try:
+            while True:
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.repair_mtbf_s))
+                candidates = self._repair_candidates()
+                if not candidates:
+                    continue
+                machine = self.rng.choice(candidates)
+                self.controller.repair_machine(machine)
+                self.repairs.append(RepairEvent(sim.now, machine))
+        except Interrupt:
+            return
+
+
+class PartitionInjector(_RestartableInjector):
+    """Cuts random fabric links (or splits the cluster), then heals.
+
+    Episodes arrive with exponential inter-arrival times (``mtbf_s``)
+    and last an exponential duration (``mean_heal_s``). With probability
+    ``split_probability`` an episode isolates a random group of machines
+    from the controller and everyone else; otherwise it cuts between one
+    and ``max_cut_links`` individual controller↔machine links.
+    Episodes are sequential (cut, wait, heal) so every link an episode
+    cut is healed by the same episode.
+    """
+
+    def __init__(self, controller: ClusterController, mtbf_s: float,
+                 seed: int = 0, mean_heal_s: float = 5.0,
+                 split_probability: float = 0.25, max_cut_links: int = 2,
+                 asymmetric_probability: float = 0.25):
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        if mean_heal_s <= 0:
+            raise ValueError("mean heal time must be positive")
+        super().__init__(controller)
+        if not controller.fabric.enabled:
+            raise ValueError("PartitionInjector needs the network fabric "
+                             "(config.network.enabled)")
+        self.mtbf_s = mtbf_s
+        self.mean_heal_s = mean_heal_s
+        self.split_probability = split_probability
+        self.max_cut_links = max_cut_links
+        # Chance that a cut episode severs only *one* direction of a
+        # link: requests vanish but responses flow, or the reverse —
+        # the nastiest case for RPC dedup and failure detection.
+        self.asymmetric_probability = asymmetric_probability
+        self.rng = SeededRNG(seed).fork("partition-injector")
+        self.events: List[PartitionEvent] = []
+
+    def _loops(self) -> List[Tuple[str, Generator]]:
+        return [("partition-injector", self._loop())]
+
+    def _loop(self) -> Generator:
+        sim = self.controller.sim
+        fabric = self.controller.fabric
+        try:
+            while True:
+                yield sim.timeout(self.rng.expovariate(1.0 / self.mtbf_s))
+                machines = sorted(self.controller.machines)
+                if not machines:
+                    continue
+                if (len(machines) >= 2
+                        and self.rng.random() < self.split_probability):
+                    event = self._split(machines)
+                else:
+                    event = self._cut_links(machines)
+                self.events.append(event)
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.mean_heal_s))
+                for a, b in event.links:
+                    fabric.heal(a, b)
+                event.healed_at = sim.now
+        except Interrupt:
+            # Heal whatever this injector still has cut so a stopped
+            # soak can drain cleanly.
+            for event in self.events:
+                if event.healed_at is None:
+                    for a, b in event.links:
+                        self.controller.fabric.heal(a, b)
+                    event.healed_at = sim.now
+            return
+
+    def _split(self, machines: List[str]) -> PartitionEvent:
+        """Isolate a random minority of machines from everyone else."""
+        fabric = self.controller.fabric
+        k = self.rng.randint(1, max(1, len(machines) // 2))
+        isolated = sorted(self.rng.sample(machines, k))
+        rest = [CONTROLLER] + [m for m in machines if m not in isolated]
+        links = [(a, b) for a in rest for b in isolated]
+        for a, b in links:
+            fabric.cut(a, b)
+        self.controller.trace.emit(
+            "net_partition", groups=[sorted(rest), isolated])
+        return PartitionEvent(self.controller.sim.now, "split",
+                              links=links, groups=[sorted(rest), isolated])
+
+    def _cut_links(self, machines: List[str]) -> PartitionEvent:
+        """Cut a few individual controller↔machine links.
+
+        Each cut may be asymmetric: only one direction is severed, so
+        e.g. a machine keeps receiving statements whose acks never make
+        it back. Healing is always symmetric (a no-op on the direction
+        that was never cut).
+        """
+        fabric = self.controller.fabric
+        k = self.rng.randint(1, min(self.max_cut_links, len(machines)))
+        targets = sorted(self.rng.sample(machines, k))
+        links = []
+        for name in targets:
+            if self.rng.random() < self.asymmetric_probability:
+                link = (CONTROLLER, name) if self.rng.random() < 0.5 \
+                    else (name, CONTROLLER)
+                fabric.cut(*link, symmetric=False)
+            else:
+                link = (CONTROLLER, name)
+                fabric.cut(*link)
+            links.append(link)
+        return PartitionEvent(self.controller.sim.now, "cut", links=links)

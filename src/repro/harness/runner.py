@@ -1,6 +1,6 @@
 """Reusable experiment drivers behind the figure/table benchmarks.
 
-Four drivers cover the paper's evaluation section plus the fault soak:
+Five drivers cover the paper's evaluation section plus the soaks:
 
 * :func:`run_tpcw_cluster` — multi-tenant TPC-W on one cluster under a
   chosen read option / write policy / replication factor (Figures 2-7);
@@ -8,6 +8,10 @@ Four drivers cover the paper's evaluation section plus the fault soak:
   measure rejections and throughput during re-replication (Figures 8-9);
 * :func:`run_fault_soak` — MTBF-driven random machine failures with
   background recovery, the trace/invariant-checker demonstration run;
+* :func:`run_partition_soak` — the unreliable-fabric soak: lossy links,
+  random partitions, silent machine crashes noticed only by the
+  heartbeat failure detector, repairs, and a staged primary crash taken
+  over by the process-pair backup;
 * :func:`run_sla_placement` — zipf-skewed SLA demands packed by
   First-Fit vs. the exact optimum (Table 2).
 """
@@ -20,8 +24,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.metrics import MetricsCollector
 from repro.cluster import (ClusterConfig, ClusterController, CopyGranularity,
                            ReadOption, RecoveryManager, WritePolicy)
+from repro.cluster.network import NetworkConfig
+from repro.cluster.process_pair import ProcessPairBackup
 from repro.cluster.recovery import RecoveryRecord
-from repro.harness.faults import FailureEvent, FailureInjector
+from repro.harness.faults import (FailureEvent, FailureInjector,
+                                  PartitionEvent, PartitionInjector,
+                                  RepairEvent)
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG, ZipfGenerator
 from repro.sla.model import ResourceVector
@@ -325,6 +333,144 @@ def run_fault_soak(
         rejections=metrics.total_rejected(),
         throughput_tps=metrics.throughput(duration_s),
         recovery_records=recovery.records,
+        metrics=metrics,
+        controller=controller,
+    )
+
+
+@dataclass
+class PartitionSoakResult:
+    """Outcome of one unreliable-fabric partition soak."""
+
+    sim_seconds: float
+    failures: List[FailureEvent]
+    repairs: List[RepairEvent]
+    partitions: List[PartitionEvent]
+    committed: int
+    aborted: int
+    rejections: int
+    throughput_tps: float
+    recovery_records: List[RecoveryRecord]
+    suspected_total: int
+    declared: List[str]
+    readmitted: List[str]
+    takeover_committed: List[int]
+    takeover_aborted: List[int]
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def run_partition_soak(
+    machines: int = 6,
+    n_databases: int = 3,
+    replicas: int = 2,
+    keys_per_db: int = 30,
+    clients_per_db: int = 2,
+    duration_s: float = 60.0,
+    drain_s: float = 40.0,
+    partition_mtbf_s: float = 8.0,
+    mean_heal_s: float = 4.0,
+    crash_mtbf_s: float = 30.0,
+    repair_mtbf_s: float = 15.0,
+    crash_primary: bool = True,
+    takeover_wait_s: float = 10.0,
+    recovery_threads: int = 2,
+    granularity: CopyGranularity = CopyGranularity.TABLE,
+    write_policy: WritePolicy = WritePolicy.CONSERVATIVE,
+    seed: int = 3,
+    think_time_s: float = 0.2,
+    copy_bytes_factor: float = 200.0,
+    min_live_machines: int = 3,
+    drop_probability: float = 0.01,
+    latency_s: float = 0.002,
+    jitter_s: float = 0.001,
+) -> PartitionSoakResult:
+    """The robustness soak: everything bad the fabric can do, at once.
+
+    Random links are cut and healed, messages are dropped, machines
+    crash *silently* (only the heartbeat detector can notice), dead
+    machines are repaired back into the free pool — all concurrently
+    with a key-value workload. Failures stop at ``duration_s``; the
+    fabric is fully healed and the run drains ``drain_s`` so suspicions
+    resolve and re-replication completes. With ``crash_primary`` the
+    primary controller then crashes and the process-pair backup must
+    detect the silence and take over itself. The resulting trace is the
+    input for the no-split-brain / fencing / suspicion invariants.
+    """
+    sim = Simulator()
+    config = ClusterConfig(
+        write_policy=write_policy,
+        replication_factor=replicas,
+        recovery_threads=recovery_threads,
+        lock_wait_timeout_s=2.0,
+        network=NetworkConfig(enabled=True, latency_s=latency_s,
+                              jitter_s=jitter_s,
+                              drop_probability=drop_probability,
+                              seed=seed),
+    )
+    config.machine.copy_bytes_factor = copy_bytes_factor
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    workloads = []
+    for i in range(n_databases):
+        workload = KeyValueWorkload(controller, db_name=f"kv{i}",
+                                    keys=keys_per_db, seed=seed + i)
+        workload.install(replicas=replicas)
+        workloads.append(workload)
+    recovery = RecoveryManager(controller, granularity=granularity,
+                               threads=recovery_threads, retry_delay_s=1.0)
+    recovery.start()
+    backup = ProcessPairBackup(controller)
+    backup.start_monitor()
+    controller.start_failure_detector()
+    crasher = FailureInjector(controller, mtbf_s=crash_mtbf_s,
+                              seed=seed, oracle=False,
+                              repair_mtbf_s=repair_mtbf_s,
+                              min_live_machines=min_live_machines)
+    crasher.start()
+    partitioner = PartitionInjector(controller, mtbf_s=partition_mtbf_s,
+                                    seed=seed, mean_heal_s=mean_heal_s)
+    partitioner.start()
+
+    stats = [KvStats() for _ in range(n_databases * clients_per_db)]
+    idx = 0
+    for workload in workloads:
+        for cid in range(clients_per_db):
+            proc = sim.process(workload.client(
+                cid, transactions=10 ** 9, think_time_s=think_time_s,
+                stats=stats[idx]))
+            proc.defused = True
+            idx += 1
+
+    sim.run(until=duration_s)
+    crasher.stop()
+    partitioner.stop()
+    controller.fabric.heal_all()
+    sim.run(until=duration_s + drain_s)
+    total = duration_s + drain_s
+    if crash_primary:
+        controller.crash_primary()
+        sim.run(until=total + takeover_wait_s)
+        total += takeover_wait_s
+
+    trace = controller.trace
+    metrics = controller.metrics
+    return PartitionSoakResult(
+        sim_seconds=total,
+        failures=list(crasher.events),
+        repairs=list(crasher.repairs),
+        partitions=list(partitioner.events),
+        committed=metrics.total_committed(),
+        aborted=sum(s.aborted for s in stats),
+        rejections=metrics.total_rejected(),
+        throughput_tps=metrics.throughput(duration_s),
+        recovery_records=recovery.records,
+        suspected_total=len(trace.events(kind="machine_suspected")),
+        declared=[e.machine for e in trace.events(kind="machine_declared")],
+        readmitted=[e.machine
+                    for e in trace.events(kind="machine_readmitted")],
+        takeover_committed=list(backup.completed_on_takeover),
+        takeover_aborted=list(backup.aborted_on_takeover),
         metrics=metrics,
         controller=controller,
     )

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.cluster.controller import ClusterController, TransactionAborted
+from repro.errors import ControllerFailedError
 from repro.sim.rng import SeededRNG
 
 KV_DDL = ["CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"]
@@ -63,6 +64,11 @@ class KeyValueWorkload:
                 yield conn.commit()
             except TransactionAborted:
                 stats.aborted += 1
+            except ControllerFailedError:
+                # The primary crashed and this connection's state died
+                # with it; a real client would reconnect — this one stops.
+                stats.aborted += 1
+                break
             else:
                 stats.committed += 1
             if think_time_s > 0:

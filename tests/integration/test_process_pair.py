@@ -101,3 +101,68 @@ class TestProcessPair:
         assert committed == [txn_id]
         assert read_table(controller, replicas[0], "kv",
                           "SELECT v FROM kv WHERE k = 9") == [(9,)]
+
+
+class TestTakeoverRacesInflightPrepares:
+    def test_mid_phase1_txn_presumed_aborted_everywhere(self, sim):
+        """The primary dies while PREPAREs are on the wire.
+
+        The participants keep PREPARE-ing (they cannot know the primary
+        died), but no decision was mirrored, so the backup's detection-
+        driven take-over must presumed-abort the transaction on every
+        participant — and the trace must satisfy the no-split-brain and
+        decision invariants.
+        """
+        from repro.analysis.invariants import check_controller
+        from repro.cluster.controller import TransactionAborted
+        from repro.cluster.network import NetworkConfig
+        from repro.errors import ControllerFailedError
+
+        # One-way latency of 0.2 s makes the 2PC phases slow enough to
+        # crash the primary deterministically in the middle of phase 1.
+        controller = make_kv_cluster(
+            sim, machines=3,
+            network=NetworkConfig(enabled=True, latency_s=0.2, seed=1))
+        backup = ProcessPairBackup(controller)
+        backup.start_monitor(interval_s=0.1, misses=2)
+        replicas = controller.replica_map.replicas("kv")
+        outcome = {}
+
+        def client():
+            conn = controller.connect("kv")
+            try:
+                yield conn.execute("UPDATE kv SET v = 42 WHERE k = 2")
+                yield conn.commit()
+            except (TransactionAborted, ControllerFailedError) as exc:
+                outcome["error"] = exc
+            else:
+                outcome["committed"] = True
+
+        def crasher():
+            # Writes are acked ~0.4 s in; the first PREPARE is on the
+            # wire until ~0.8 s. Crash squarely inside phase 1.
+            yield sim.timeout(0.5)
+            controller.crash_primary()
+
+        sim.process(client())
+        crash = sim.process(crasher())
+        sim.run(until=10.0)
+
+        assert crash.ok
+        assert backup.took_over
+        assert "committed" not in outcome
+        assert isinstance(outcome["error"],
+                          (TransactionAborted, ControllerFailedError))
+        # Presumed abort landed on every participant: no replica kept
+        # the write, no replica still holds the transaction open.
+        assert backup.aborted_on_takeover
+        txn_id = backup.aborted_on_takeover[0]
+        for name in replicas:
+            engine = controller.machines[name].engine
+            txn = engine.transactions.get(txn_id)
+            assert txn is None or txn.state is not TxnState.COMMITTED
+            assert read_table(controller, name, "kv",
+                              "SELECT v FROM kv WHERE k = 2") == [(0,)]
+        assert backup.completed_on_takeover == []
+        violations = check_controller(controller)
+        assert not violations, "\n".join(str(v) for v in violations)

@@ -1,8 +1,11 @@
-"""Unit tests for the failure injector's victim selection."""
+"""Unit tests for the fault injectors: victim selection, the
+start/stop lifecycle, the repair stream, and the partition injector."""
 
 import pytest
 
-from repro.harness.faults import FailureInjector
+from repro.cluster.network import NetworkConfig
+from repro.harness.faults import FailureInjector, PartitionInjector
+from repro.sim import Simulator
 from tests.conftest import make_kv_cluster
 
 
@@ -36,7 +39,6 @@ class TestVictimSelection:
         injector.stop()
 
     def test_deterministic_for_seed(self):
-        from repro.sim import Simulator
         events = []
         for _ in range(2):
             sim = Simulator()
@@ -49,3 +51,135 @@ class TestVictimSelection:
             events.append([(e.when, e.machine) for e in injector.events])
         assert events[0] == events[1]
         assert events[0], "expected at least one failure in 30 s"
+
+
+class TestLifecycle:
+    def test_stop_then_start_resumes_failures(self):
+        sim = Simulator()
+        controller = make_kv_cluster(sim, machines=5)
+        injector = FailureInjector(controller, mtbf_s=2.0, seed=4,
+                                   min_live_machines=2)
+        injector.start()
+        sim.run(until=20.0)
+        injector.stop()
+        stopped_at = len(injector.events)
+        assert stopped_at > 0
+        # Nothing fires while stopped.
+        sim.run(until=40.0)
+        assert len(injector.events) == stopped_at
+        # Repair everything so the restarted loop has victims again.
+        for name in list(controller.machines):
+            if not controller.machines[name].alive:
+                controller.repair_machine(name)
+        injector.start()
+        sim.run(until=80.0)
+        assert len(injector.events) > stopped_at
+
+    def test_start_twice_is_idempotent(self):
+        sim = Simulator()
+        controller = make_kv_cluster(sim, machines=3)
+        injector = FailureInjector(controller, mtbf_s=5.0)
+        injector.start()
+        procs = list(injector._procs)
+        injector.start()
+        assert injector._procs == procs
+        injector.stop()
+        injector.stop()   # idempotent
+
+    def test_stop_does_not_crash_kernel(self):
+        # The interrupt lands in a defused process: no unhandled-failure
+        # crash even if the loop already finished.
+        sim = Simulator()
+        controller = make_kv_cluster(sim, machines=3)
+        injector = FailureInjector(controller, mtbf_s=1000.0)
+        injector.start()
+        sim.run(until=1.0)
+        injector.stop()
+        sim.run(until=2.0)
+
+
+class TestRepairStream:
+    def test_repairs_return_machines_as_spares(self):
+        sim = Simulator()
+        controller = make_kv_cluster(sim, machines=5)
+        injector = FailureInjector(controller, mtbf_s=3.0, seed=9,
+                                   min_live_machines=2, repair_mtbf_s=2.0)
+        injector.start()
+        sim.run(until=60.0)
+        injector.stop()
+        assert injector.events, "expected failures"
+        assert injector.repairs, "expected repairs"
+        for repair in injector.repairs:
+            # Repaired machines come back blank; they may fail again
+            # later, but each repair event found them restartable.
+            assert repair.machine in controller.machines
+            assert repair.when > 0
+        # The repair stream keeps the cluster from draining permanently.
+        assert len(controller.live_machines()) > 2 or injector.repairs
+
+    def test_crashed_machine_not_repairable_until_declared(self):
+        sim = Simulator()
+        controller = make_kv_cluster(sim, machines=3)
+        injector = FailureInjector(controller, mtbf_s=10.0,
+                                   repair_mtbf_s=1.0, oracle=False)
+        victim = controller.replica_map.replicas("kv")[0]
+        controller.crash_machine(victim)
+        # Still in the replica map: the detector has not declared it.
+        assert injector._repair_candidates() == []
+
+
+class TestPartitionInjector:
+    def test_requires_fabric(self):
+        sim = Simulator()
+        controller = make_kv_cluster(sim, machines=3)
+        with pytest.raises(ValueError):
+            PartitionInjector(controller, mtbf_s=5.0)
+
+    def test_episodes_cut_then_heal(self):
+        sim = Simulator()
+        controller = make_kv_cluster(
+            sim, machines=4,
+            network=NetworkConfig(enabled=True, latency_s=0.001, seed=1))
+        injector = PartitionInjector(controller, mtbf_s=3.0, seed=2,
+                                     mean_heal_s=1.0)
+        injector.start()
+        sim.run(until=30.0)
+        injector.stop()
+        assert injector.events, "expected at least one partition episode"
+        for event in injector.events:
+            assert event.kind in ("cut", "split")
+            assert event.links
+            assert event.healed_at is not None
+            assert event.healed_at >= event.when
+        assert controller.fabric.cut_links() == []
+
+    def test_stop_heals_outstanding_cuts(self):
+        sim = Simulator()
+        controller = make_kv_cluster(
+            sim, machines=4,
+            network=NetworkConfig(enabled=True, latency_s=0.001, seed=1))
+        injector = PartitionInjector(controller, mtbf_s=0.5, seed=3,
+                                     mean_heal_s=1000.0)
+        injector.start()
+        sim.run(until=5.0)
+        assert controller.fabric.cut_links(), "episode should be open"
+        injector.stop()
+        sim.run(until=6.0)
+        assert controller.fabric.cut_links() == []
+
+    def test_deterministic_for_seed(self):
+        runs = []
+        for _ in range(2):
+            sim = Simulator()
+            controller = make_kv_cluster(
+                sim, machines=5,
+                network=NetworkConfig(enabled=True, latency_s=0.001,
+                                      seed=1))
+            injector = PartitionInjector(controller, mtbf_s=2.0, seed=11,
+                                         mean_heal_s=1.0)
+            injector.start()
+            sim.run(until=20.0)
+            injector.stop()
+            runs.append([(e.when, e.kind, e.links) for e in injector.events])
+        assert runs[0] == runs[1]
+        assert runs[0]

@@ -293,3 +293,110 @@ class TestAggressiveWaitRegistration:
         # every round, so this list grew with every settlement.
         assert p_slow.callbacks is not None
         assert len(p_slow.callbacks) == 1
+
+
+class TestPartitionRules:
+    """The three fabric-era rules: fencing, split-brain, suspicion."""
+
+    def test_fenced_machine_serving_is_flagged(self):
+        violations = check_trace(trace(
+            ("machine_fenced", {"machine": "m0"}),
+            ("txn_begin", {"db": "kv", "txn": 1}),
+            ("write_issued", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("abort", {"db": "kv", "txn": 1}),
+        ))
+        assert "fenced-replica-never-serves" in rules(violations)
+
+    def test_fenced_prepare_is_flagged(self):
+        violations = check_trace(trace(
+            ("machine_fenced", {"machine": "m1"}),
+            ("prepare", {"db": "kv", "txn": 2, "machine": "m1"}),
+            ("abort", {"db": "kv", "txn": 2}),
+        ))
+        assert "fenced-replica-never-serves" in rules(violations)
+
+    def test_readmission_clears_the_fence(self):
+        steps = [("machine_fenced", {"machine": "m0"}),
+                 ("machine_readmitted", {"machine": "m0"})]
+        steps.extend(committed_txn(txn=1, machines=("m0", "m1")))
+        violations = check_trace(trace(*steps),
+                                 write_policy="conservative")
+        assert violations == []
+
+    def test_fenced_rereplication_source_is_flagged(self):
+        violations = check_trace(trace(
+            ("machine_fenced", {"machine": "m0"}),
+            ("rereplication_start", {"db": "kv", "machine": "m2",
+                                     "source": "m0"}),
+        ))
+        assert rules(violations) == ["fenced-replica-never-serves"]
+
+    def test_fenced_rereplication_target_is_flagged(self):
+        violations = check_trace(trace(
+            ("machine_fenced", {"machine": "m2"}),
+            ("rereplication_start", {"db": "kv", "machine": "m2",
+                                     "source": "m1"}),
+        ))
+        assert rules(violations) == ["fenced-replica-never-serves"]
+
+    def test_primary_decision_after_takeover_is_split_brain(self):
+        violations = check_trace(trace(
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("takeover", {"reason": "test"}),
+            ("decision_logged", {"db": "kv", "txn": 1,
+                                 "decision": "commit",
+                                 "actor": "primary"}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ))
+        assert "no-split-brain" in rules(violations)
+
+    def test_primary_commit_after_takeover_is_split_brain(self):
+        violations = check_trace(trace(
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1,
+                                 "decision": "commit",
+                                 "actor": "primary"}),
+            ("takeover", {"reason": "test"}),
+            ("commit_sent", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("committed", {"db": "kv", "txn": 1}),
+        ))
+        assert "no-split-brain" in rules(violations)
+
+    def test_backup_takeover_commit_is_clean(self):
+        violations = check_trace(trace(
+            ("prepare", {"db": "kv", "txn": 1, "machine": "m0"}),
+            ("decision_logged", {"db": "kv", "txn": 1,
+                                 "decision": "commit",
+                                 "actor": "primary"}),
+            ("takeover", {"reason": "test"}),
+            ("takeover_commit", {"txn": 1, "actor": "backup"}),
+        ))
+        assert "no-split-brain" not in rules(violations)
+
+    def test_second_takeover_is_flagged(self):
+        violations = check_trace(trace(
+            ("takeover", {"reason": "one"}),
+            ("takeover", {"reason": "two"}),
+        ))
+        assert rules(violations) == ["no-split-brain"]
+
+    def test_dangling_suspicion_is_flagged(self):
+        violations = check_trace(trace(
+            ("machine_suspected", {"machine": "m0"}),
+        ))
+        assert rules(violations) == ["suspicion-eventually-resolves"]
+
+    def test_suspicion_resolved_by_answer(self):
+        violations = check_trace(trace(
+            ("machine_suspected", {"machine": "m0"}),
+            ("machine_unsuspected", {"machine": "m0"}),
+        ))
+        assert violations == []
+
+    def test_suspicion_resolved_by_declaration(self):
+        violations = check_trace(trace(
+            ("machine_suspected", {"machine": "m0"}),
+            ("machine_declared", {"machine": "m0"}),
+            ("machine_fenced", {"machine": "m0"}),
+        ))
+        assert violations == []
