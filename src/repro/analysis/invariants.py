@@ -27,10 +27,22 @@ correctness properties the paper's controller design promises:
   readmission/repair, no write, PREPARE, or COMMIT is issued to the
   machine and it is never a re-replication source or target (its state
   is stale by construction).
-* **suspicion-eventually-resolves** — every ``machine_suspected`` is
-  eventually followed by ``machine_unsuspected`` (it answered again) or
-  ``machine_declared`` (it was fenced); no suspicion dangles at the end
-  of a complete trace.
+* **suspicion-eventually-resolves** — every ``machine_suspected`` (and
+  ``colo_suspected``) is eventually followed by an unsuspect (it
+  answered again) or a declare (it was fenced); no suspicion dangles at
+  the end of a complete trace.
+* **no-dual-primary-colo** — a database's standby colo is only promoted
+  after the old primary was fenced (or failed) under a monotonically
+  increasing epoch, and never onto a fenced colo; fencing epochs
+  strictly increase.
+* **standby-applies-a-prefix-of-commit-order** — per database, the
+  standby resolves replication-log entries in exact sequence order with
+  no gaps and no duplicates: the applied entries are always a prefix of
+  the primary's commit order (a counted drop consumes its slot).
+* **lag-eventually-drains** — (with ``expect_lag_drained``) every
+  replication link still attached at the end of the trace has applied
+  (or consciously dropped) everything the primary shipped; a torn
+  link's unapplied suffix is accounted as RPO instead.
 
 Usable three ways: :func:`check_controller` on a live controller (what
 the test suites call), :func:`check_trace` on a list of events, or as a
@@ -99,10 +111,12 @@ class InvariantChecker:
     def __init__(self, write_policy: Optional[str] = None,
                  replication_factor: Optional[int] = None,
                  expect_recovery_complete: bool = False,
+                 expect_lag_drained: bool = False,
                  strict: bool = False, dropped: int = 0):
         self.write_policy = write_policy
         self.replication_factor = replication_factor
         self.expect_recovery_complete = expect_recovery_complete
+        self.expect_lag_drained = expect_lag_drained
         self.strict = strict
         # Events lost to ring-buffer overflow: cross-event rules that need
         # a complete view (conservative acks, recovery completion, strict
@@ -123,6 +137,15 @@ class InvariantChecker:
         fenced: Set[str] = set()
         suspected_at: Dict[str, int] = {}   # machine -> suspicion seq
         takeover_seq: Optional[int] = None
+        # Cross-colo DR state (system-tier traces).
+        fenced_colos: Set[str] = set()
+        colo_suspected_at: Dict[str, int] = {}
+        last_epoch = 0
+        # db -> next replication-log seq the standby must resolve.
+        expected_rseq: Dict[str, int] = {}
+        # db -> outstanding (shipped - applied - dropped) on the live link.
+        link_lag: Dict[str, int] = {}
+        link_lag_seq: Dict[str, int] = {}   # seq of the last ship, for anchors
 
         def audit(txn_id: Optional[int]) -> Optional[_TxnAudit]:
             if txn_id is None:
@@ -231,8 +254,96 @@ class InvariantChecker:
             elif e.kind == "rereplication_skipped":
                 if e.extra.get("reason") == "already-replicated":
                     recovered[e.db] = e
+            elif e.kind == "colo_suspected":
+                colo_suspected_at.setdefault(e.machine, e.seq)
+            elif e.kind == "colo_unsuspected":
+                colo_suspected_at.pop(e.machine, None)
+            elif e.kind == "colo_declared":
+                colo_suspected_at.pop(e.machine, None)
+            elif e.kind in ("colo_fenced", "colo_failed"):
+                colo_suspected_at.pop(e.machine, None)
+                fenced_colos.add(e.machine)
+                epoch = e.extra.get("epoch")
+                if epoch is not None:
+                    if epoch <= last_epoch:
+                        self.violations.append(Violation(
+                            "no-dual-primary-colo",
+                            f"fencing epoch {epoch} does not advance past "
+                            f"{last_epoch}", seq=e.seq))
+                    else:
+                        last_epoch = epoch
+            elif e.kind == "colo_repaired":
+                fenced_colos.discard(e.machine)
+                colo_suspected_at.pop(e.machine, None)
+            elif e.kind == "dr_promote":
+                old = e.extra.get("old")
+                new = e.extra.get("new")
+                epoch = e.extra.get("epoch")
+                if old is not None and old not in fenced_colos:
+                    self.violations.append(Violation(
+                        "no-dual-primary-colo",
+                        f"db promoted to {new} while old primary {old} "
+                        "was not fenced", db=e.db, seq=e.seq))
+                if new is not None and new in fenced_colos:
+                    self.violations.append(Violation(
+                        "no-dual-primary-colo",
+                        f"db promoted onto fenced colo {new}",
+                        db=e.db, seq=e.seq))
+                if epoch is not None and epoch < last_epoch:
+                    self.violations.append(Violation(
+                        "no-dual-primary-colo",
+                        f"promotion under stale epoch {epoch} < "
+                        f"{last_epoch}", db=e.db, seq=e.seq))
+                # The link died with the old primary; its unapplied
+                # suffix is RPO, not lag.
+                expected_rseq.pop(e.db, None)
+                link_lag.pop(e.db, None)
+            elif e.kind == "dr_protect":
+                primary = e.extra.get("primary")
+                if primary is not None and primary in fenced_colos:
+                    self.violations.append(Violation(
+                        "no-dual-primary-colo",
+                        f"db protected with fenced primary {primary}",
+                        db=e.db, seq=e.seq))
+                # A fresh link restarts the sequence numbering.
+                expected_rseq[e.db] = e.extra.get("base_seq", 0) + 1
+                link_lag[e.db] = 0
+            elif e.kind == "dr_link_torn":
+                expected_rseq.pop(e.db, None)
+                link_lag.pop(e.db, None)
+            elif e.kind == "dr_ship":
+                if e.db in link_lag:
+                    link_lag[e.db] += 1
+                    link_lag_seq[e.db] = e.seq
+            elif e.kind in ("dr_apply", "dr_drop"):
+                if e.db in link_lag:
+                    link_lag[e.db] -= 1
+                rseq = e.extra.get("rseq")
+                want = expected_rseq.get(e.db)
+                if rseq is not None and want is not None and not truncated:
+                    if rseq != want:
+                        self.violations.append(Violation(
+                            "standby-applies-a-prefix-of-commit-order",
+                            f"standby resolved log seq {rseq}, expected "
+                            f"{want} ({'gap' if rseq > want else 'replay'})",
+                            db=e.db, seq=e.seq))
+                    expected_rseq[e.db] = max(want, rseq) + 1
 
         self._finish(txns, queued, recovered, truncated, suspected_at)
+        if colo_suspected_at and not truncated:
+            for colo, seq in sorted(colo_suspected_at.items()):
+                self.violations.append(Violation(
+                    "suspicion-eventually-resolves",
+                    f"colo {colo} still suspected at end of trace",
+                    seq=seq))
+        if self.expect_lag_drained and not truncated:
+            for db, lag in sorted(link_lag.items()):
+                if lag > 0:
+                    self.violations.append(Violation(
+                        "lag-eventually-drains",
+                        f"replication link still has {lag} shipped "
+                        "entries unresolved at end of trace",
+                        db=db, seq=link_lag_seq.get(db)))
         return self.violations
 
     # -- per-rule helpers -------------------------------------------------------
@@ -343,6 +454,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--expect-recovery-complete", action="store_true",
                         help="require every queued re-replication to have "
                              "finished")
+    parser.add_argument("--expect-lag-drained", action="store_true",
+                        help="require every live replication link to have "
+                             "drained its shipped entries")
     parser.add_argument("--strict", action="store_true",
                         help="fail on prepared transactions left in flight")
     args = parser.parse_args(argv)
@@ -354,6 +468,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             write_policy=args.write_policy,
             replication_factor=args.replication_factor,
             expect_recovery_complete=args.expect_recovery_complete,
+            expect_lag_drained=args.expect_lag_drained,
             strict=args.strict, dropped=dropped)
         violations = checker.check(events)
         status = "OK" if not violations else f"{len(violations)} VIOLATED"

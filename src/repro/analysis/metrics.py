@@ -58,6 +58,37 @@ class NetworkCounters:
         return self.messages_sent - self.messages_dropped - self.messages_cut
 
 
+@dataclass
+class DrCounters:
+    """Cross-colo disaster-recovery accounting (the platform tier)."""
+
+    shipped: int = 0               # log entries sequenced for shipping
+    applied: int = 0               # log entries applied on a standby
+    dropped: int = 0               # log entries dropped instead of applied
+    promotions: int = 0            # standby colos promoted to primary
+    failbacks: int = 0             # re-protections onto a repaired colo
+    false_suspicions: int = 0      # colo suspected/declared but alive
+
+
+@dataclass
+class DrPromotion:
+    """One colo failover for one database.
+
+    ``rpo_commits`` counts acknowledged commits that had not reached the
+    standby at promotion time — the data-loss window. ``rto_s`` is the
+    time from the declare to the first successful statement on the new
+    primary; ``None`` until a client lands one.
+    """
+
+    db: str
+    old_primary: str
+    new_primary: str
+    epoch: int
+    declared_at: float
+    rpo_commits: int
+    rto_s: Optional[float] = None
+
+
 class TimeSeries:
     """Events bucketed into fixed windows of simulated time."""
 
@@ -106,6 +137,11 @@ class MetricsCollector:
         # one-way latency per directed link ("src->dst").
         self.network = NetworkCounters()
         self.link_latencies: Dict[str, LatencyHistogram] = {}
+        # Disaster-recovery accounting (only populated by the platform
+        # tier's system controller): ship/apply counters plus one
+        # :class:`DrPromotion` record per colo failover.
+        self.dr = DrCounters()
+        self.dr_promotions: List[DrPromotion] = []
 
     def db(self, name: str) -> DbCounters:
         if name not in self.per_db:
@@ -185,6 +221,68 @@ class MetricsCollector:
             "links": {link: histogram.summary()
                       for link, histogram in
                       sorted(self.link_latencies.items())},
+        }
+
+    # -- disaster recovery -----------------------------------------------------
+
+    def record_dr_ship(self) -> None:
+        self.dr.shipped += 1
+
+    def record_dr_apply(self) -> None:
+        self.dr.applied += 1
+
+    def record_dr_drop(self) -> None:
+        self.dr.dropped += 1
+
+    def record_dr_failback(self) -> None:
+        self.dr.failbacks += 1
+
+    def record_dr_false_suspicion(self) -> None:
+        self.dr.false_suspicions += 1
+
+    def record_dr_promotion(self, db: str, old_primary: str,
+                            new_primary: str, epoch: int,
+                            declared_at: float,
+                            rpo_commits: int) -> DrPromotion:
+        promotion = DrPromotion(db=db, old_primary=old_primary,
+                                new_primary=new_primary, epoch=epoch,
+                                declared_at=declared_at,
+                                rpo_commits=rpo_commits)
+        self.dr.promotions += 1
+        self.dr_promotions.append(promotion)
+        return promotion
+
+    def record_dr_rto(self, db: str, seconds: float) -> None:
+        """First successful statement on ``db``'s promoted primary."""
+        for promotion in self.dr_promotions:
+            if promotion.db == db and promotion.rto_s is None:
+                promotion.rto_s = seconds
+                return
+
+    def dr_summary(self) -> Dict[str, object]:
+        """RPO/RTO per failover plus ship/apply/drop totals.
+
+        RPO is measured in acked commits lost at promotion (the paper's
+        asynchronous cross-colo replication makes a bounded-loss window
+        explicit); RTO is declare-to-first-successful-statement seconds
+        on the new primary, ``None`` if no client reached it yet.
+        """
+        return {
+            "shipped": self.dr.shipped,
+            "applied": self.dr.applied,
+            "dropped": self.dr.dropped,
+            "promotions": [
+                {"db": p.db, "old_primary": p.old_primary,
+                 "new_primary": p.new_primary, "epoch": p.epoch,
+                 "rpo_commits": p.rpo_commits, "rto_s": p.rto_s}
+                for p in self.dr_promotions
+            ],
+            "rpo_commits": {p.db: p.rpo_commits
+                            for p in self.dr_promotions},
+            "rto_s": {p.db: p.rto_s for p in self.dr_promotions
+                      if p.rto_s is not None},
+            "failbacks": self.dr.failbacks,
+            "false_suspicions": self.dr.false_suspicions,
         }
 
     # -- aggregates -----------------------------------------------------------

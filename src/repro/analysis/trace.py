@@ -44,6 +44,29 @@ link_cut/healed    one fabric link was cut / healed by fault injection
 net_partition      the fabric was split into disconnected groups
 net_heal_all       every cut fabric link was healed
 primary_crashed    the acting primary controller crashed (process pair)
+dr_protect         a database was placed under cross-colo protection
+                   (``primary``/``standby`` colos, ``base_seq`` of the log)
+dr_ship            one committed transaction was sequenced into a database's
+                   replication log (``rseq`` is the per-link sequence number)
+dr_apply           the standby colo applied log entry ``rseq``
+dr_drop            a log entry was dropped instead of applied (standby gone
+                   or the apply retry budget was exhausted)
+dr_link_torn       a replication link was torn down (colo failure or
+                   database deregistration)
+colo_crashed       a colo went silent (only the detector can notice)
+colo_failed        a colo was failed through the oracle path
+colo_suspected     K consecutive colo heartbeats went unanswered
+colo_unsuspected   a suspected colo answered again (false suspicion)
+colo_declared      the system controller declared a silent colo dead
+colo_fenced        a declared colo was fenced under a new ``epoch``
+colo_repaired      a colo was wiped and rejoined as a blank standby target
+dr_promote         a standby colo was promoted to primary for a database
+                   (``epoch``, ``rpo_commits`` = acked commits lost)
+dr_rto             first successful statement on the promoted primary
+                   (``seconds`` since the declare)
+dr_reprotect_start snapshot copy toward a fresh standby began
+dr_reprotect_done  the fresh standby finished catch-up and is in service
+dr_failback        the fresh standby landed on a previously failed colo
 ================== ==========================================================
 
 Adding an event: call ``tracer.emit(kind, db=..., txn=..., machine=...,
@@ -78,6 +101,11 @@ EVENT_KINDS = frozenset({
     "machine_repaired",
     "link_cut", "link_healed", "net_partition", "net_heal_all",
     "primary_crashed",
+    "dr_protect", "dr_ship", "dr_apply", "dr_drop", "dr_link_torn",
+    "colo_crashed", "colo_failed", "colo_suspected", "colo_unsuspected",
+    "colo_declared", "colo_fenced", "colo_repaired",
+    "dr_promote", "dr_rto", "dr_reprotect_start", "dr_reprotect_done",
+    "dr_failback",
 })
 
 

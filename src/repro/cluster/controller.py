@@ -166,10 +166,18 @@ class ClusterController:
         # of a writing transaction; the platform layer uses this to ship
         # writes asynchronously to the disaster-recovery colo.
         self.commit_hooks: List = []
+        # Called with (db,) after each successful statement; the platform
+        # layer uses this to measure RTO (first statement served by a
+        # promoted standby colo). Hooks may remove themselves.
+        self.statement_hooks: List = []
         # Called with no arguments when recovery cannot find a target
         # machine; should return a fresh Machine (from the colo free
         # pool) or None.
         self.free_machine_hook = None
+        # Called with (machine_name,) whenever a machine leaves service
+        # with its data (failed, declared dead) or rejoins blank; the
+        # colo releases its placement bin.
+        self.machine_reset_hook = None
         # Failure-detector state (heartbeats over the fabric).
         self.suspected: Dict[str, float] = {}   # name -> suspected-at time
         self.declared_dead: Set[str] = set()
@@ -258,6 +266,49 @@ class ClusterController:
         for name in self.replica_map.replicas(db):
             self.machines[name].engine.load_table_rows(db, table,
                                                        [tuple(r) for r in rows])
+
+    def drop_database(self, db: str) -> None:
+        """Remove a database from the cluster entirely (deregistration).
+
+        Drops the data off every live replica, forgets the mapping and
+        schema, and discards in-flight copy state. A no-op for unknown
+        databases so teardown paths can call it unconditionally.
+        """
+        if db not in self.replica_map.databases():
+            return
+        for name in list(self.replica_map.replicas(db)):
+            machine = self.machines.get(name)
+            if (machine is not None and machine.alive
+                    and not machine.fenced and machine.engine.hosts(db)):
+                machine.engine.drop_database(db)
+        self.replica_map.drop_database(db)
+        self.schemas.pop(db, None)
+        self.ddl.pop(db, None)
+        self.copy_states.pop(db, None)
+
+    def reset_as_blank(self) -> None:
+        """Wipe the whole cluster back to blank spares (colo failback).
+
+        Every machine re-enters with a fresh empty engine, the replica
+        map and schema registry are emptied, detector state is cleared,
+        and the controller is un-crashed — the cluster rejoins service
+        hosting nothing, like a machine readmitted as a spare but at
+        colo scale.
+        """
+        for name, machine in self.machines.items():
+            machine.readmit_as_spare()
+            if self.machine_reset_hook is not None:
+                self.machine_reset_hook(name)
+        self.replica_map = ReplicaMap()
+        self.schemas.clear()
+        self.ddl.clear()
+        self.copy_states.clear()
+        self.suspected.clear()
+        self.declared_dead.clear()
+        self.fenced.clear()
+        self._hb_misses.clear()
+        self.primary_alive = True
+        self.trace.emit("cluster_reset")
 
     def connect(self, db: str) -> Connection:
         self.replica_map.replicas(db)  # raises if unknown
@@ -490,6 +541,8 @@ class ClusterController:
             self._abort_everywhere(conn, txn, reason=type(exc).__name__)
             self._record_failure(txn, exc)
             raise TransactionAborted(str(exc), cause=exc) from exc
+        for hook in list(self.statement_hooks):
+            hook(conn.db)
         return result
 
     def _execute_read(self, conn: Connection, txn: _TxnState, sql: str,
@@ -861,6 +914,8 @@ class ClusterController:
         self.trace.emit("machine_failed", machine=name,
                         affected=sorted(affected))
         self._abandon_copies(name)
+        if self.machine_reset_hook is not None:
+            self.machine_reset_hook(name)
         if self.recovery is not None:
             self.recovery.schedule_databases(affected)
         return affected
@@ -909,6 +964,8 @@ class ClusterController:
         self.fenced.discard(name)
         self.suspected.pop(name, None)
         self._hb_misses[name] = 0
+        if self.machine_reset_hook is not None:
+            self.machine_reset_hook(name)
         self.trace.emit("machine_repaired", machine=name)
 
     # -- primary crash (process-pair, Section 2) -----------------------------------------
@@ -1038,6 +1095,8 @@ class ClusterController:
                         was_alive=was_alive, affected=sorted(affected))
         self.trace.emit("machine_fenced", machine=name)
         self._abandon_copies(name)
+        if self.machine_reset_hook is not None:
+            self.machine_reset_hook(name)
         if self.recovery is not None:
             self.recovery.schedule_databases(affected)
         return affected
@@ -1053,5 +1112,7 @@ class ClusterController:
         self.suspected.pop(name, None)
         self._hb_misses[name] = 0
         machine.readmit_as_spare()
+        if self.machine_reset_hook is not None:
+            self.machine_reset_hook(name)
         self.metrics.record_false_suspicion()
         self.trace.emit("machine_readmitted", machine=name)

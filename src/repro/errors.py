@@ -90,5 +90,14 @@ class NoReplicaError(PlatformError):
     """No live replica of the requested database exists in the cluster."""
 
 
+class ColoFencedError(PlatformError):
+    """The colo was fenced by the system controller after being declared.
+
+    A fenced primary colo rejects new connections and stops shipping its
+    replication log; clients must re-route through the system controller,
+    which serves the database from the promoted standby colo.
+    """
+
+
 class SlaViolationError(PlatformError):
     """A database's SLA cannot be satisfied with available resources."""

@@ -22,10 +22,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.invariants import check_controller
+from repro.analysis.invariants import check_controller, check_trace
 from repro.cluster import CopyGranularity, ReadOption, WritePolicy
 from repro.harness.reporting import format_table
-from repro.harness.runner import (run_fault_soak, run_partition_soak,
+from repro.harness.runner import (run_dr_soak, run_fault_soak,
+                                  run_partition_soak,
                                   run_recovery_experiment, run_sla_placement,
                                   run_tpcw_cluster)
 from repro.sla.model import ResourceVector
@@ -189,6 +190,52 @@ def cmd_partitions(args) -> int:
                          expect_recovery_complete=True)
 
 
+def cmd_disaster(args) -> int:
+    """Cross-colo DR soak: lossy WAN, colo kill, fenced failover."""
+    result = run_dr_soak(duration_s=args.duration * 2,
+                         drain_s=max(args.duration, 20.0),
+                         wan_partition_mtbf_s=args.mtbf,
+                         seed=args.seed)
+    print(format_table(
+        ["wan partitions", "committed", "aborted", "colo killed",
+         "suspected", "declared", "promotions", "failbacks"],
+        [[len(result.partitions), result.committed, result.aborted,
+          result.colo_killed, result.suspected_total,
+          len(result.declared), result.promotions, result.failbacks]]))
+    summary = result.dr
+    print(format_table(
+        ["shipped", "applied", "dropped", "false suspicions"],
+        [[summary["shipped"], summary["applied"], summary["dropped"],
+          summary["false_suspicions"]]]))
+    if summary["promotions"]:
+        print(format_table(
+            ["db", "old primary", "new primary", "epoch", "RPO (commits)",
+             "RTO (s)"],
+            [[p["db"], p["old_primary"], p["new_primary"], p["epoch"],
+              p["rpo_commits"],
+              "-" if p["rto_s"] is None else p["rto_s"]]
+             for p in summary["promotions"]]))
+    print(format_table(
+        ["db", "replication lag"],
+        [[db, lag] for db, lag in sorted(result.replication_lag.items())]))
+    _print_network(result.metrics)
+    # The system tier has its own tracer; audit with the DR rules armed
+    # (a drained soak must end with every live link caught up).
+    system = result.system
+    if not getattr(args, "trace", None):
+        return 0
+    path = _trace_path(args.trace, "")
+    count = system.trace.dump_jsonl(path)
+    violations = check_trace(system.trace.events(),
+                             expect_lag_drained=True,
+                             dropped=system.trace.dropped)
+    status = "OK" if not violations else f"{len(violations)} VIOLATED"
+    print(f"trace: {count} events -> {path}; invariants: {status}")
+    for violation in violations[:20]:
+        print(f"  {violation}")
+    return len(violations)
+
+
 def cmd_table1(args) -> None:
     # Import lazily: the benchmark module carries the implementation.
     sys.path.insert(0, "benchmarks")
@@ -211,6 +258,8 @@ EXPERIMENTS = [
     ("faults", "MTBF failure soak with recovery (trace/invariant demo)"),
     ("partitions", "unreliable-fabric soak: partitions, heartbeat "
                    "detection, fencing, process-pair takeover"),
+    ("disaster", "cross-colo DR soak: lossy WAN log shipping, colo kill, "
+                 "fenced failover, re-protection, RPO/RTO"),
     ("all", "every experiment above, quick settings"),
 ]
 
@@ -270,6 +319,9 @@ def main(argv=None) -> int:
         print("\n== Partition soak: unreliable fabric, detection, "
               "takeover ==")
         violations += cmd_partitions(args)
+    if chosen in ("disaster", "all"):
+        print("\n== Disaster soak: WAN shipping, colo failover, RPO/RTO ==")
+        violations += cmd_disaster(args)
     if violations:
         print(f"\n{violations} invariant violation(s) detected")
         return 1

@@ -17,6 +17,13 @@ rather than a single staged one. Two extensions for robustness soaks:
 links or splits the cluster into disconnected groups, healing each
 episode after a random duration — the workload for the partition-soak
 experiment and its no-split-brain / fencing invariants.
+
+:class:`WanPartitionInjector` is the cross-colo analogue: it cuts
+colo↔colo WAN links (stalling log shipping until catch-up) or isolates
+a whole colo from the system controller and its peers (starving the
+colo heartbeat detector), healing each episode after a random duration
+— the workload for the disaster-recovery soak and its dual-primary /
+prefix-order / lag-drain invariants.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Tuple
 
 from repro.cluster.controller import ClusterController
-from repro.cluster.network import CONTROLLER
+from repro.cluster.network import CONTROLLER, SYSTEM
 from repro.sim import Interrupt, Process
 from repro.sim.rng import SeededRNG
 
@@ -285,3 +292,97 @@ class PartitionInjector(_RestartableInjector):
                 fabric.cut(*link)
             links.append(link)
         return PartitionEvent(self.controller.sim.now, "cut", links=links)
+
+
+class WanPartitionInjector(_RestartableInjector):
+    """Cuts colo↔colo WAN links or isolates a colo, then heals.
+
+    Episodes arrive with exponential inter-arrival times (``mtbf_s``)
+    and last an exponential duration (``mean_heal_s``). With probability
+    ``isolate_probability`` an episode isolates one colo from the system
+    controller *and* every peer colo — starving the colo heartbeat
+    detector (suspicion, and declaration if the outage outlives the
+    detector's patience); otherwise it cuts a single colo↔colo link,
+    stalling that direction's log shipping until the resumable catch-up
+    drains it after the heal. Episodes are sequential, so every link an
+    episode cut is healed by the same episode.
+    """
+
+    def __init__(self, system, mtbf_s: float, seed: int = 0,
+                 mean_heal_s: float = 2.0,
+                 isolate_probability: float = 0.25,
+                 asymmetric_probability: float = 0.25):
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        if mean_heal_s <= 0:
+            raise ValueError("mean heal time must be positive")
+        if not system.wan.enabled:
+            raise ValueError("WanPartitionInjector needs the WAN fabric "
+                             "(wan.enabled)")
+        super().__init__(system)
+        self.system = system
+        self.mtbf_s = mtbf_s
+        self.mean_heal_s = mean_heal_s
+        self.isolate_probability = isolate_probability
+        self.asymmetric_probability = asymmetric_probability
+        self.rng = SeededRNG(seed).fork("wan-partition-injector")
+        self.events: List[PartitionEvent] = []
+
+    def _loops(self) -> List[Tuple[str, Generator]]:
+        return [("wan-partition-injector", self._loop())]
+
+    def _loop(self) -> Generator:
+        sim = self.system.sim
+        fabric = self.system.wan
+        try:
+            while True:
+                yield sim.timeout(self.rng.expovariate(1.0 / self.mtbf_s))
+                colos = sorted(self.system.colos)
+                if not colos:
+                    continue
+                if self.rng.random() < self.isolate_probability:
+                    event = self._isolate(colos)
+                elif len(colos) >= 2:
+                    event = self._cut_wan_link(colos)
+                else:
+                    continue
+                self.events.append(event)
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.mean_heal_s))
+                for a, b in event.links:
+                    fabric.heal(a, b)
+                event.healed_at = sim.now
+        except Interrupt:
+            # Heal whatever this injector still has cut so a stopped
+            # soak can drain cleanly.
+            for event in self.events:
+                if event.healed_at is None:
+                    for a, b in event.links:
+                        self.system.wan.heal(a, b)
+                    event.healed_at = self.system.sim.now
+            return
+
+    def _isolate(self, colos: List[str]) -> PartitionEvent:
+        """Cut one colo off from the system controller and every peer."""
+        fabric = self.system.wan
+        victim = self.rng.choice(colos)
+        rest = [SYSTEM] + [c for c in colos if c != victim]
+        links = [(a, victim) for a in rest]
+        for a, b in links:
+            fabric.cut(a, b)
+        self.system.trace.emit("net_partition",
+                               groups=[sorted(rest), [victim]])
+        return PartitionEvent(self.system.sim.now, "split", links=links,
+                              groups=[sorted(rest), [victim]])
+
+    def _cut_wan_link(self, colos: List[str]) -> PartitionEvent:
+        """Cut one colo↔colo WAN link (maybe only one direction)."""
+        fabric = self.system.wan
+        a, b = self.rng.sample(colos, 2)
+        if self.rng.random() < self.asymmetric_probability:
+            link = (a, b)
+            fabric.cut(*link, symmetric=False)
+        else:
+            link = (a, b)
+            fabric.cut(*link)
+        return PartitionEvent(self.system.sim.now, "cut", links=[link])

@@ -1,6 +1,6 @@
 """Reusable experiment drivers behind the figure/table benchmarks.
 
-Five drivers cover the paper's evaluation section plus the soaks:
+Six drivers cover the paper's evaluation section plus the soaks:
 
 * :func:`run_tpcw_cluster` — multi-tenant TPC-W on one cluster under a
   chosen read option / write policy / replication factor (Figures 2-7);
@@ -12,6 +12,11 @@ Five drivers cover the paper's evaluation section plus the soaks:
   random partitions, silent machine crashes noticed only by the
   heartbeat failure detector, repairs, and a staged primary crash taken
   over by the process-pair backup;
+* :func:`run_dr_soak` — the cross-colo disaster soak: lossy WAN links
+  under log shipping, colo isolation episodes, one colo killed silently
+  mid-run (the colo heartbeat detector must suspect, declare, fence,
+  and promote), re-protection of the promoted databases, and a staged
+  repair that rejoins the dead colo as a failback target;
 * :func:`run_sla_placement` — zipf-skewed SLA demands packed by
   First-Fit vs. the exact optimum (Table 2).
 """
@@ -27,16 +32,18 @@ from repro.cluster import (ClusterConfig, ClusterController, CopyGranularity,
 from repro.cluster.network import NetworkConfig
 from repro.cluster.process_pair import ProcessPairBackup
 from repro.cluster.recovery import RecoveryRecord
+from repro.errors import PlatformError
 from repro.harness.faults import (FailureEvent, FailureInjector,
                                   PartitionEvent, PartitionInjector,
-                                  RepairEvent)
+                                  RepairEvent, WanPartitionInjector)
+from repro.platform import DataPlatform, DatabaseSpec
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG, ZipfGenerator
-from repro.sla.model import ResourceVector
+from repro.sla.model import ResourceVector, Sla
 from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
 from repro.sla.optimal import optimal_machine_count
 from repro.sla.profiler import estimate_requirements
-from repro.workloads.microbench import KeyValueWorkload, KvStats
+from repro.workloads.microbench import KV_DDL, KeyValueWorkload, KvStats
 from repro.workloads.tpcw import (MIXES, TpcwClient, TpcwDatabase, TpcwScale)
 from repro.workloads.tpcw.schema import TPCW_DDL
 
@@ -473,6 +480,180 @@ def run_partition_soak(
         takeover_aborted=list(backup.aborted_on_takeover),
         metrics=metrics,
         controller=controller,
+    )
+
+
+@dataclass
+class DrSoakResult:
+    """Outcome of one cross-colo disaster-recovery soak."""
+
+    sim_seconds: float
+    committed: int
+    aborted: int
+    colo_killed: str
+    killed_at: float
+    repaired_at: Optional[float]
+    partitions: List[PartitionEvent]
+    suspected_total: int
+    declared: List[str]
+    promotions: int
+    failbacks: int
+    dr: Dict[str, object]
+    replication_lag: Dict[str, int]
+    metrics: MetricsCollector
+    system: object = field(repr=False, default=None)
+    platform: DataPlatform = field(repr=False, default=None)
+
+
+def _dr_client(platform: DataPlatform, db: str, client_id: int, seed: int,
+               keys: int, until: float, think_time_s: float,
+               stats: KvStats):
+    """A platform-tier client that re-routes through the system
+    controller on every transaction, so it follows a promotion to the
+    new primary colo instead of dying with the old one."""
+    rng = SeededRNG(seed).fork(f"dr-client-{db}-{client_id}")
+    sim = platform.sim
+    while sim.now < until:
+        try:
+            conn = platform.connect(db)
+        except PlatformError:
+            stats.aborted += 1
+            yield sim.timeout(max(think_time_s, 0.05))
+            continue
+        try:
+            yield conn.execute("SELECT v FROM kv WHERE k = ?",
+                               (rng.randint(0, keys - 1),))
+            yield conn.execute("UPDATE kv SET v = v + 1 WHERE k = ?",
+                               (rng.randint(0, keys - 1),))
+            yield conn.commit()
+        except PlatformError:
+            stats.aborted += 1
+        else:
+            stats.committed += 1
+        finally:
+            conn.close()
+        if think_time_s > 0:
+            yield sim.timeout(rng.expovariate(1.0 / think_time_s))
+    return stats
+
+
+def run_dr_soak(
+    colos: int = 3,
+    free_machines_per_colo: int = 8,
+    n_databases: int = 2,
+    keys_per_db: int = 25,
+    clients_per_db: int = 2,
+    duration_s: float = 40.0,
+    drain_s: float = 30.0,
+    kill_colo_at_s: Optional[float] = None,
+    repair_colo_at_s: Optional[float] = None,
+    wan_drop_probability: float = 0.05,
+    wan_latency_s: float = 0.01,
+    wan_jitter_s: float = 0.005,
+    wan_partition_mtbf_s: float = 10.0,
+    wan_mean_heal_s: float = 1.5,
+    heartbeat_interval_s: float = 0.5,
+    suspect_after_misses: int = 2,
+    declare_after_misses: int = 6,
+    seed: int = 3,
+    think_time_s: float = 0.3,
+) -> DrSoakResult:
+    """The disaster soak: a colo dies mid-run and detection must save it.
+
+    Databases span ``colos`` colos with async WAN log shipping over a
+    lossy, partitionable fabric. Mid-run the colo primarying the most
+    databases is killed *silently*: the colo heartbeat detector must
+    suspect it, declare and fence it under a new epoch, promote each
+    standby, and re-protect the promoted databases on surviving colos.
+    Later the dead colo is repaired and rejoins blank — the failback
+    target. Failures stop at ``duration_s``; the WAN heals and the run
+    drains ``drain_s`` so catch-up finishes — the state the lag-drain
+    invariant is checked against.
+    """
+    sim = Simulator()
+    platform = DataPlatform(
+        sim,
+        wan=NetworkConfig(enabled=True, latency_s=wan_latency_s,
+                          jitter_s=wan_jitter_s,
+                          drop_probability=wan_drop_probability,
+                          seed=seed),
+        heartbeat_interval_s=heartbeat_interval_s,
+        suspect_after_misses=suspect_after_misses,
+        declare_after_misses=declare_after_misses,
+    )
+    system = platform.system
+    for i in range(colos):
+        platform.add_colo(f"colo{i}", free_machines=free_machines_per_colo,
+                          location=float(i))
+    for i in range(n_databases):
+        platform.create_database(DatabaseSpec(
+            name=f"kv{i}", ddl=KV_DDL, sla=Sla(5.0, 0.01),
+            expected_size_mb=2.0, replicas=2))
+        platform.bulk_load(f"kv{i}", "kv",
+                           [(k, 0) for k in range(keys_per_db)])
+    system.start_failure_detector()
+    partitioner = WanPartitionInjector(system, mtbf_s=wan_partition_mtbf_s,
+                                       seed=seed,
+                                       mean_heal_s=wan_mean_heal_s)
+    partitioner.start()
+
+    stats = [KvStats() for _ in range(n_databases * clients_per_db)]
+    idx = 0
+    for i in range(n_databases):
+        for cid in range(clients_per_db):
+            proc = sim.process(_dr_client(
+                platform, f"kv{i}", cid, seed * 1000 + i * 100 + cid,
+                keys_per_db, duration_s, think_time_s, stats[idx]))
+            proc.defused = True
+            idx += 1
+
+    kill_at = kill_colo_at_s if kill_colo_at_s is not None \
+        else duration_s * 0.4
+    repair_at = repair_colo_at_s if repair_colo_at_s is not None \
+        else duration_s * 0.75
+    # Kill the colo that primaries the most databases — the worst case.
+    primaried: Dict[str, int] = {}
+    for db, (primary, _standby) in system.placements.items():
+        primaried[primary] = primaried.get(primary, 0) + 1
+    victim = max(sorted(system.colos), key=lambda c: primaried.get(c, 0))
+
+    sim.run(until=kill_at)
+    system.crash_colo(victim)
+    sim.run(until=min(repair_at, duration_s))
+    if repair_at < duration_s and victim in system.declared_dead:
+        system.repair_colo(victim)
+        repaired_at = sim.now
+    else:
+        repaired_at = None
+    sim.run(until=duration_s)
+    partitioner.stop()
+    system.wan.heal_all()
+    if repaired_at is None and victim in system.declared_dead:
+        system.repair_colo(victim)
+        repaired_at = sim.now
+    sim.run(until=duration_s + drain_s)
+
+    trace = system.trace
+    metrics = system.metrics
+    summary = system.dr_summary()
+    return DrSoakResult(
+        sim_seconds=duration_s + drain_s,
+        committed=sum(s.committed for s in stats),
+        aborted=sum(s.aborted for s in stats),
+        colo_killed=victim,
+        killed_at=kill_at,
+        repaired_at=repaired_at,
+        partitions=list(partitioner.events),
+        suspected_total=len(trace.events(kind="colo_suspected")),
+        declared=[e.machine for e in trace.events(kind="colo_declared")],
+        promotions=len(summary["promotions"]),
+        failbacks=summary["failbacks"],
+        dr=summary,
+        replication_lag={db: system.replication_lag(db)
+                         for db in sorted(system.placements)},
+        metrics=metrics,
+        system=system,
+        platform=platform,
     )
 
 

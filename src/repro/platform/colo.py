@@ -5,20 +5,25 @@ coordinated by a fault-tolerant colo controller, which routes client
 database connection requests to the appropriate cluster that hosts the
 database. In addition, the colo controller manages a pool of free
 machines and adds them to clusters as needed."
+
+For disaster recovery the colo itself is a failure domain: it can
+*crash* (go silent — only the system controller's heartbeat detector
+notices), be *fenced* (declared dead under a new epoch; new connections
+are refused and log shipping from it stops), and be *repaired* (wiped
+back to blank clusters, rejoining as a re-protection target).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.controller import ClusterController, Connection
 from repro.cluster.machine import Machine
-from repro.errors import NoReplicaError, SlaViolationError
+from repro.errors import ColoFencedError, NoReplicaError, SlaViolationError
 from repro.sim import Simulator
 from repro.sla.model import ResourceVector
-from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
+from repro.sla.placement import DatabaseLoad, MachineBin
 
 
 class ColoController:
@@ -35,10 +40,21 @@ class ColoController:
         self.free_pool = free_machines
         # Abstract geographic coordinate used for proximity routing.
         self.location = location
+        # Colo-level failure state. ``alive`` goes False on a silent
+        # crash; ``fenced`` is set by the system controller's declare.
+        self.alive = True
+        self.fenced = False
+        # True once the colo has ever been crashed/failed; a later
+        # re-protection onto it is a failback.
+        self.was_failed = False
         # db -> cluster name
         self._db_cluster: Dict[str, str] = {}
-        # Placement bookkeeping: machine name -> bin (capacity/used).
+        # Placement bookkeeping: machine name -> bin (capacity/used),
+        # plus each database's machines and per-replica requirement so
+        # bins can be released when the database or machine goes away.
         self._bins: Dict[str, MachineBin] = {}
+        self._db_machines: Dict[str, List[str]] = {}
+        self._db_requirements: Dict[str, ResourceVector] = {}
 
     # -- cluster management -------------------------------------------------------
 
@@ -53,6 +69,7 @@ class ColoController:
         for _ in range(machines):
             self._provision(cluster)
         cluster.free_machine_hook = lambda c=cluster: self.provision_machine(c)
+        cluster.machine_reset_hook = self._release_machine_bin
         self.clusters[name] = cluster
         return cluster
 
@@ -71,6 +88,19 @@ class ColoController:
             return None
         return self._provision(cluster)
 
+    def _release_machine_bin(self, machine_name: str) -> None:
+        """A machine left service with its data (failed/declared) or
+        rejoined as a blank spare: whatever was packed on it is gone, so
+        its bin must stop counting that load against colo capacity."""
+        machine_bin = self._bins.get(machine_name)
+        if machine_bin is None:
+            return
+        for db in list(machine_bin.hosted):
+            machines = self._db_machines.get(db)
+            if machines and machine_name in machines:
+                machines.remove(machine_name)
+        machine_bin.reset()
+
     def cluster_of(self, db: str) -> ClusterController:
         if db not in self._db_cluster:
             raise NoReplicaError(f"colo {self.name} does not host {db!r}")
@@ -78,6 +108,64 @@ class ColoController:
 
     def hosts(self, db: str) -> bool:
         return db in self._db_cluster
+
+    # -- colo-level failure / repair ------------------------------------------------
+
+    def crash(self) -> None:
+        """Power the colo off silently (detection-only, like
+        :meth:`ClusterController.crash_machine` one tier up). Cluster
+        primaries crash so in-flight client work errors out; machines
+        keep their state for a potential (stale, unused) restart."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.was_failed = True
+        for cluster in self.clusters.values():
+            cluster.crash_primary()
+
+    def fence(self) -> None:
+        """Fence the colo after the system controller declares it.
+
+        Models the colo-side lease expiring with the declaration: even
+        if the colo is alive behind a partition, it refuses new
+        connections (:class:`ColoFencedError`), its cluster primaries
+        stop committing, and its shipper loops observe the flag and
+        stop. Reversible only through :meth:`repair` (a blank rejoin).
+        """
+        if self.fenced:
+            return
+        self.fenced = True
+        self.was_failed = True
+        for cluster in self.clusters.values():
+            cluster.crash_primary()
+
+    def repair(self) -> None:
+        """Wipe the colo back to blank clusters and rejoin service.
+
+        The colo's databases were promoted away (or lost) when it was
+        declared; its state is stale and must never be served. Every
+        cluster resets to blank spares and the colo re-enters as an
+        empty re-protection target — the failback path.
+        """
+        for cluster in self.clusters.values():
+            cluster.reset_as_blank()
+        self._db_cluster.clear()
+        self._db_machines.clear()
+        self._db_requirements.clear()
+        self.alive = True
+        self.fenced = False
+
+    def drop_database(self, db: str) -> None:
+        """Deregister ``db`` from this colo: drop the data off its
+        cluster and give the placement load back to the bins."""
+        requirement = self._db_requirements.pop(db, None)
+        for machine_name in self._db_machines.pop(db, []):
+            machine_bin = self._bins.get(machine_name)
+            if machine_bin is not None and requirement is not None:
+                machine_bin.release(db, requirement)
+        cluster_name = self._db_cluster.pop(db, None)
+        if cluster_name is not None:
+            self.clusters[cluster_name].drop_database(db)
 
     # -- SLA-driven database placement ----------------------------------------------
 
@@ -105,6 +193,8 @@ class ColoController:
                 self._bins[machine_name].place(
                     DatabaseLoad(db, requirement, replicas=1))
             self._db_cluster[db] = cluster.name
+            self._db_machines[db] = list(machines)
+            self._db_requirements[db] = requirement
             return cluster
         raise last_error or SlaViolationError(
             f"colo {self.name}: no cluster can host {db!r}")
@@ -136,4 +226,8 @@ class ColoController:
     # -- connection routing -----------------------------------------------------------
 
     def connect(self, db: str) -> Connection:
+        if self.fenced:
+            raise ColoFencedError(f"colo {self.name} is fenced")
+        if not self.alive:
+            raise NoReplicaError(f"colo {self.name} is down")
         return self.cluster_of(db).connect(db)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.controller import Connection
+from repro.cluster.network import NetworkConfig
 from repro.errors import SlaViolationError
 from repro.platform.colo import ColoController
 from repro.platform.system_controller import SystemController
@@ -45,10 +46,13 @@ class DataPlatform:
 
     def __init__(self, sim: Optional[Simulator] = None,
                  cluster_config: Optional[ClusterConfig] = None,
-                 wan_latency_s: float = 0.05):
+                 wan_latency_s: float = 0.05,
+                 wan: Optional[NetworkConfig] = None,
+                 **system_kwargs):
         self.sim = sim or Simulator()
         self.cluster_config = cluster_config or ClusterConfig()
-        self.system = SystemController(self.sim, wan_latency_s)
+        self.system = SystemController(self.sim, wan_latency_s, wan=wan,
+                                       **system_kwargs)
         self.specs: Dict[str, DatabaseSpec] = {}
 
     # -- infrastructure -----------------------------------------------------------
@@ -91,8 +95,19 @@ class DataPlatform:
             standby.place_database(spec.name, spec.ddl, requirement,
                                    max(1, spec.replicas - 1))
             standby_name = standby.name
-        self.system.register_database(spec.name, primary.name, standby_name)
+        # The DDL and requirement ride along so the system controller
+        # can re-protect the database (fresh standby from snapshot +
+        # catch-up) after a colo failover.
+        self.system.register_database(
+            spec.name, primary.name, standby_name,
+            ddl=spec.ddl, requirement=requirement,
+            standby_replicas=max(1, spec.replicas - 1))
         self.specs[spec.name] = spec
+
+    def drop_database(self, db: str) -> None:
+        """Remove a database from every colo and stop its replication."""
+        self.system.deregister_database(db)
+        self.specs.pop(db, None)
 
     # -- the paper's API, call 2 -----------------------------------------------------
 

@@ -8,27 +8,63 @@ A client database is (asynchronously) replicated across more than one
 colo to provide disaster recovery."
 
 Asynchronous replication is write-shipping: every committed writing
-transaction's statements are queued, shipped with WAN latency, and
-replayed *in commit order* on the standby colo's copy. Guarantees are
-deliberately weaker than in-cluster replication (the paper's design): on
-colo failure the standby may miss a suffix of recent transactions, but is
-always a transaction-consistent prefix.
+transaction's statements are appended to a per-database, sequence-
+numbered replication log and replayed *in commit order* on the standby
+colo's copy. Guarantees are deliberately weaker than in-cluster
+replication (the paper's design): on colo failure the standby may miss
+a suffix of recent transactions, but is always a transaction-consistent
+prefix — the bounded data-loss window reported as RPO.
+
+Two shipping paths share the log:
+
+* **legacy** (``wan.enabled`` False, the default): each entry crosses
+  the WAN after a fixed ``wan_latency_s`` and is applied best-effort —
+  a standby conflict is retried once on a fresh connection, then the
+  entry is dropped (counted in ``link.dropped``). Pre-fabric runs
+  replay identically.
+* **fabric** (``wan.enabled`` True): entries ride
+  :class:`~repro.cluster.network.NetworkFabric` WAN links with seeded
+  latency/jitter/drop and cut/heal partitions. Shipping is resumable —
+  an entry is retransmitted with backoff until the standby acks it —
+  and apply is at-most-once keyed on ``(db, seq)``: a redelivered entry
+  the standby already applied is acked without reapplying.
+
+Colo failover is detection-driven when the fabric is on: the system
+controller heartbeats every colo, *suspects* after K consecutive
+misses, *declares* after more, fences the colo under a monotonically
+increasing epoch (a fenced primary refuses new connections and stops
+shipping), promotes the standby, and then *re-protects* each promoted
+database by establishing a fresh standby on a surviving colo via
+snapshot copy plus log catch-up. A repaired colo rejoins as a blank
+standby target through the same path (failback).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from repro.cluster.controller import Connection
+from repro.analysis.metrics import MetricsCollector
+from repro.analysis.trace import Tracer
+from repro.cluster.controller import Connection, CopyState, TransactionAborted
+from repro.cluster.network import SYSTEM, NetworkConfig, NetworkFabric
 from repro.errors import NoReplicaError, PlatformError
 from repro.platform.colo import ColoController
-from repro.sim import Process, Simulator, Store
+from repro.sim import Interrupt, Process, Simulator, Store
+from repro.sla.model import ResourceVector
 
 
 @dataclass
 class ReplicationLink:
-    """Async write-shipping from a primary colo db to a standby colo."""
+    """Async write-shipping from a primary colo db to a standby colo.
+
+    ``log`` holds not-yet-acked entries keyed by sequence number;
+    ``next_seq`` is the next number to assign. ``applied_seq`` is the
+    standby's high-water mark (entries at or below it are duplicates on
+    redelivery — the at-most-once key is ``(db, seq)``); ``acked_seq``
+    is the primary's view of it. ``shipped``/``applied``/``dropped``
+    count entries for the lag metric: lag = shipped - applied - dropped.
+    """
 
     db: str
     primary: str
@@ -37,18 +73,70 @@ class ReplicationLink:
     applier: Optional[Process] = None
     shipped: int = 0
     applied: int = 0
+    dropped: int = 0
+    next_seq: int = 1
+    applied_seq: int = 0
+    acked_seq: int = 0
+    torn: bool = False
+    log: Dict[int, List[Tuple[str, Tuple]]] = field(default_factory=dict)
+    hook: Any = None
+    hook_cluster: Any = None
+
+
+@dataclass
+class DbRecord:
+    """What the system controller needs to re-protect a database."""
+
+    db: str
+    ddl: Optional[List[str]] = None
+    requirement: Optional[ResourceVector] = None
+    standby_replicas: int = 1
 
 
 class SystemController:
     """Top-level coordinator across geographically distributed colos."""
 
-    def __init__(self, sim: Simulator, wan_latency_s: float = 0.05):
+    def __init__(self, sim: Simulator, wan_latency_s: float = 0.05,
+                 wan: Optional[NetworkConfig] = None,
+                 heartbeat_interval_s: float = 0.5,
+                 suspect_after_misses: int = 2,
+                 declare_after_misses: int = 5,
+                 wan_mbps: float = 50.0,
+                 apply_retries: Optional[int] = None,
+                 reprotect_retry_s: float = 5.0,
+                 trace_capacity: int = 65536):
         self.sim = sim
         self.wan_latency_s = wan_latency_s
+        self.wan_config = wan or NetworkConfig()
+        self.wan_mbps = wan_mbps
+        # Fabric-path apply conflicts retry until they succeed by
+        # default (None = unbounded), preserving the prefix guarantee;
+        # a bound turns exhausted entries into counted drops.
+        self.apply_retries = apply_retries
+        self.reprotect_retry_s = reprotect_retry_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.suspect_after_misses = suspect_after_misses
+        self.declare_after_misses = declare_after_misses
+        self.metrics = MetricsCollector()
+        self.trace = Tracer(capacity=trace_capacity,
+                            clock=lambda: self.sim.now)
+        self.wan = NetworkFabric(sim, self.wan_config, metrics=self.metrics)
+        self.wan.trace = self.trace
+        self.trace.emit("trace_meta", tier="system",
+                        wan_enabled=self.wan.enabled)
         self.colos: Dict[str, ColoController] = {}
         # db -> (primary colo, standby colo or None)
         self.placements: Dict[str, Tuple[str, Optional[str]]] = {}
         self.links: Dict[str, ReplicationLink] = {}
+        self.records: Dict[str, DbRecord] = {}
+        # Monotonic fencing epoch; bumped by every declare/fail.
+        self.epoch = 0
+        # Colo failure-detector state (heartbeats over the WAN fabric).
+        self.suspected: Dict[str, float] = {}   # name -> suspected-at time
+        self.declared_dead: set = set()
+        self._hb_misses: Dict[str, int] = {}
+        self._detector_proc: Optional[Process] = None
+        self._reprotect_procs: Dict[str, Process] = {}
 
     # -- membership ------------------------------------------------------------
 
@@ -58,64 +146,242 @@ class SystemController:
         self.colos[colo.name] = colo
 
     def live_colos(self) -> List[ColoController]:
-        return list(self.colos.values())
+        return [c for c in self.colos.values() if c.alive and not c.fenced]
 
     # -- database placement across colos ---------------------------------------------
 
     def register_database(self, db: str, primary: str,
-                          standby: Optional[str] = None) -> None:
-        """Record a database's colo placement and start async shipping."""
+                          standby: Optional[str] = None,
+                          ddl: Optional[List[str]] = None,
+                          requirement: Optional[ResourceVector] = None,
+                          standby_replicas: int = 1) -> None:
+        """Record a database's colo placement and start async shipping.
+
+        ``ddl``/``requirement`` (when provided) let the controller
+        re-protect the database after a failover: a fresh standby can be
+        placed and created from scratch on a surviving colo.
+        """
         if primary not in self.colos:
             raise NoReplicaError(f"unknown colo {primary!r}")
         if standby is not None and standby not in self.colos:
             raise NoReplicaError(f"unknown colo {standby!r}")
         self.placements[db] = (primary, standby)
+        self.records[db] = DbRecord(db, ddl=list(ddl) if ddl else None,
+                                    requirement=requirement,
+                                    standby_replicas=standby_replicas)
+        self.trace.emit("dr_protect", db=db, primary=primary,
+                        standby=standby, base_seq=0)
         if standby is None:
             return
+        link = self._attach_link(db, primary, standby)
+        self._start_link(link)
+
+    def deregister_database(self, db: str) -> None:
+        """Drop a database from the platform: tear down its replication
+        link (cancelling the applier) and remove its data and placement
+        load from every hosting colo."""
+        self._teardown_link(db)
+        self.placements.pop(db, None)
+        self.records.pop(db, None)
+        self._cancel_reprotect(db)
+        for colo in self.colos.values():
+            if colo.hosts(db) and colo.alive:
+                colo.drop_database(db)
+
+    # -- the replication log ---------------------------------------------------------
+
+    def _attach_link(self, db: str, primary: str,
+                     standby: str) -> ReplicationLink:
+        """Create a link and start sequencing the primary's commits.
+
+        Synchronous (no sim time passes between the caller's snapshot
+        and the hook attach), so the log is exactly the commit suffix
+        after the snapshot instant.
+        """
         link = ReplicationLink(db, primary, standby, Store(self.sim))
+        cluster = self.colos[primary].cluster_of(db)
+
+        def hook(committed_db, txn_id, writes, link=link):
+            self._on_commit(link, committed_db, writes)
+
+        link.hook = hook
+        link.hook_cluster = cluster
+        cluster.commit_hooks.append(hook)
         self.links[db] = link
-        primary_cluster = self.colos[primary].cluster_of(db)
-        primary_cluster.commit_hooks.append(
-            lambda committed_db, txn_id, writes, link=link:
-            self._on_commit(link, committed_db, writes))
-        applier = self.sim.process(self._apply_loop(link),
-                                   name=f"ship:{db}")
-        applier.defused = True  # runs forever
+        return link
+
+    def _start_link(self, link: ReplicationLink) -> None:
+        loop = (self._ship_loop(link) if self.wan.enabled
+                else self._apply_loop(link))
+        applier = self.sim.process(loop, name=f"ship:{link.db}")
+        applier.defused = True  # runs until the link is torn
         link.applier = applier
 
-    def _on_commit(self, link: ReplicationLink, db: str, writes) -> None:
-        if db != link.db or not writes:
+    def _teardown_link(self, db: str) -> None:
+        link = self.links.pop(db, None)
+        if link is None:
             return
+        link.torn = True
+        if link.applier is not None and link.applier.is_alive:
+            link.applier.defused = True
+            link.applier.interrupt("link torn")
+        if link.hook is not None and link.hook_cluster is not None:
+            try:
+                link.hook_cluster.commit_hooks.remove(link.hook)
+            except ValueError:
+                pass
+        self.trace.emit("dr_link_torn", db=db, primary=link.primary,
+                        standby=link.standby,
+                        lag=link.shipped - link.applied - link.dropped)
+
+    def _on_commit(self, link: ReplicationLink, db: str, writes) -> None:
+        if db != link.db or not writes or link.torn:
+            return
+        primary_colo = self.colos.get(link.primary)
+        if (primary_colo is None or not primary_colo.alive
+                or primary_colo.fenced):
+            return  # a fenced primary stops shipping
+        seq = link.next_seq
+        link.next_seq += 1
         link.shipped += 1
-        link.queue.put(writes)
+        link.log[seq] = list(writes)
+        link.queue.put(seq)
+        self.metrics.record_dr_ship()
+        self.trace.emit("dr_ship", db=link.db, rseq=seq,
+                        src=link.primary, dst=link.standby)
+
+    def _replay(self, colo: ColoController, db: str, writes) -> Generator:
+        """Apply one shipped transaction on a fresh standby connection."""
+        conn = colo.connect(db)
+        try:
+            for sql, params in writes:
+                yield conn.execute(sql, params)
+            yield conn.commit()
+        finally:
+            conn.close()
+
+    def _record_apply(self, link: ReplicationLink, seq: int) -> None:
+        link.applied += 1
+        link.applied_seq = seq
+        self.metrics.record_dr_apply()
+        self.trace.emit("dr_apply", db=link.db, rseq=seq,
+                        machine=link.standby)
+
+    def _record_drop(self, link: ReplicationLink, seq: int,
+                     reason: str) -> None:
+        link.dropped += 1
+        link.applied_seq = seq
+        self.metrics.record_dr_drop()
+        self.trace.emit("dr_drop", db=link.db, rseq=seq, reason=reason)
+
+    def _standby_colo(self, link: ReplicationLink
+                      ) -> Optional[ColoController]:
+        colo = self.colos.get(link.standby)
+        if (colo is None or not colo.alive or colo.fenced
+                or not colo.hosts(link.db)):
+            return None
+        return colo
 
     def _apply_loop(self, link: ReplicationLink) -> Generator:
-        """Replay shipped transactions on the standby, in commit order."""
-        from repro.cluster.controller import TransactionAborted
-        while True:
-            writes = yield link.queue.get()
-            yield self.sim.timeout(self.wan_latency_s)
-            standby_colo = self.colos.get(link.standby)
-            if standby_colo is None or not standby_colo.hosts(link.db):
-                continue
-            conn = standby_colo.connect(link.db)
-            try:
-                for sql, params in writes:
-                    yield conn.execute(sql, params)
-                yield conn.commit()
-            except TransactionAborted:
-                # Standby conflict (e.g. local activity); the transaction
-                # is retried once, then dropped — async replication is
-                # best-effort by design.
-                try:
-                    for sql, params in writes:
-                        yield conn.execute(sql, params)
-                    yield conn.commit()
-                except TransactionAborted:
+        """Legacy path: fixed WAN latency, best-effort apply.
+
+        A standby conflict (e.g. local activity) is retried once on a
+        *fresh* connection — the aborted one is finished and cannot run
+        the retry — then the entry is dropped and counted, so
+        :meth:`replication_lag` converges instead of overreporting
+        forever.
+        """
+        try:
+            while not link.torn:
+                seq = yield link.queue.get()
+                yield self.sim.timeout(self.wan_latency_s)
+                writes = link.log.pop(seq, None)
+                if writes is None:
                     continue
-            finally:
-                conn.close()
-            link.applied += 1
+                standby_colo = self._standby_colo(link)
+                if standby_colo is None:
+                    self._record_drop(link, seq, reason="no-standby")
+                    continue
+                try:
+                    yield from self._replay(standby_colo, link.db, writes)
+                except TransactionAborted:
+                    try:
+                        yield from self._replay(standby_colo, link.db,
+                                                writes)
+                    except (TransactionAborted, PlatformError):
+                        self._record_drop(link, seq, reason="apply-conflict")
+                        continue
+                except PlatformError:
+                    self._record_drop(link, seq, reason="standby-error")
+                    continue
+                self._record_apply(link, seq)
+        except Interrupt:
+            return
+
+    def _ship_loop(self, link: ReplicationLink) -> Generator:
+        """Fabric path: sequenced, resumable, at-most-once shipping.
+
+        Each entry is sent over the WAN link until the standby acks it;
+        a drop or cut in either direction just means a retransmission
+        after backoff (resumable catch-up — a long outage drains once
+        the link heals). The standby applies an entry only once: a
+        redelivery of ``seq <= applied_seq`` is acked without reapply.
+        """
+        try:
+            while not link.torn:
+                seq = yield link.queue.get()
+                writes = link.log.get(seq)
+                if writes is None:
+                    continue
+                attempt = 0
+                while not link.torn:
+                    primary_colo = self.colos.get(link.primary)
+                    if (primary_colo is None or not primary_colo.alive
+                            or primary_colo.fenced):
+                        return  # a fenced/dead primary stops shipping
+                    delivered = yield from self.wan.deliver(link.primary,
+                                                            link.standby)
+                    applied = False
+                    if delivered:
+                        applied = yield from self._apply_shipped(link, seq,
+                                                                 writes)
+                    if applied:
+                        acked = yield from self.wan.deliver(link.standby,
+                                                            link.primary)
+                        if acked:
+                            link.acked_seq = seq
+                            link.log.pop(seq, None)
+                            break
+                    attempt += 1
+                    yield self.sim.timeout(self.wan.backoff_delay(attempt))
+        except Interrupt:
+            return
+
+    def _apply_shipped(self, link: ReplicationLink, seq: int,
+                       writes) -> Generator:
+        """Standby-side apply, at-most-once keyed on ``(db, seq)``."""
+        if seq <= link.applied_seq:
+            return True  # duplicate delivery; ack without reapplying
+        standby_colo = self._standby_colo(link)
+        if standby_colo is None:
+            return False
+        attempt = 0
+        while not link.torn:
+            try:
+                yield from self._replay(standby_colo, link.db, writes)
+            except TransactionAborted:
+                attempt += 1
+                if (self.apply_retries is not None
+                        and attempt > self.apply_retries):
+                    self._record_drop(link, seq, reason="apply-conflict")
+                    return True
+                yield self.sim.timeout(self.wan.backoff_delay(attempt))
+                continue
+            except PlatformError:
+                return False
+            self._record_apply(link, seq)
+            return True
+        return False
 
     # -- connection routing ---------------------------------------------------------
 
@@ -125,13 +391,16 @@ class SystemController:
 
         Prefers the primary colo; falls back to the standby when the
         primary is gone (disaster routing). Among equals, proximity wins
-        (the |location - client| metric stands in for geography).
+        (the |location - client| metric stands in for geography). Dead
+        and fenced colos are never candidates.
         """
         if db not in self.placements:
             raise NoReplicaError(f"database {db!r} is not registered")
         primary, standby = self.placements[db]
         candidates = [name for name in (primary, standby)
                       if name is not None and name in self.colos
+                      and self.colos[name].alive
+                      and not self.colos[name].fenced
                       and self.colos[name].hosts(db)]
         if not candidates:
             raise NoReplicaError(f"no colo can serve {db!r}")
@@ -143,28 +412,384 @@ class SystemController:
     def connect(self, db: str, client_location: float = 0.0) -> Connection:
         return self.route(db, client_location).connect(db)
 
+    # -- colo failure detection ---------------------------------------------------------
+
+    def start_failure_detector(self) -> Process:
+        """Start heartbeating every colo over the WAN fabric.
+
+        A colo is *suspected* after ``suspect_after_misses`` consecutive
+        silent heartbeats, *declared* dead (fenced under a new epoch,
+        standbys promoted, re-protection scheduled) after
+        ``declare_after_misses``, and rejoined as a blank standby target
+        if it ever answers again.
+        """
+        if not self.wan.enabled:
+            raise RuntimeError(
+                "the colo failure detector needs the WAN fabric "
+                "(wan.enabled)")
+        if (self._detector_proc is not None
+                and not self._detector_proc.triggered):
+            return self._detector_proc
+        self._detector_proc = self.sim.process(self._detector_loop(),
+                                               name="system:colo-detector")
+        self._detector_proc.defused = True
+        return self._detector_proc
+
+    def _detector_loop(self) -> Generator:
+        try:
+            while True:
+                for name in list(self.colos):
+                    probe = self.sim.process(self._probe_colo(name),
+                                             name=f"colo-hb:{name}")
+                    probe.defused = True
+                yield self.sim.timeout(self.heartbeat_interval_s)
+        except Interrupt:
+            return
+
+    def _ping_colo(self, colo: ColoController) -> Generator:
+        """One heartbeat round trip over the WAN. A fenced colo still
+        answers pings (it refuses *work*, not liveness probes) — that is
+        how a falsely declared colo rejoins after the partition heals.
+        Late responses count as misses."""
+        deadline = self.sim.now + self.heartbeat_interval_s
+        delivered = yield from self.wan.deliver(SYSTEM, colo.name)
+        if not delivered or not colo.alive:
+            return False
+        delivered = yield from self.wan.deliver(colo.name, SYSTEM)
+        return delivered and self.sim.now <= deadline
+
+    def _probe_colo(self, name: str) -> Generator:
+        colo = self.colos.get(name)
+        if colo is None:
+            return
+        answered = yield from self._ping_colo(colo)
+        if answered:
+            self._hb_misses[name] = 0
+            if name in self.declared_dead:
+                # False declaration: the colo was alive behind a
+                # partition. Its state is stale (its databases were
+                # promoted away); it rejoins blank through failback.
+                self.metrics.record_dr_false_suspicion()
+                self.repair_colo(name)
+            elif name in self.suspected:
+                since = self.suspected.pop(name)
+                self.metrics.record_dr_false_suspicion()
+                self.trace.emit("colo_unsuspected", machine=name,
+                                suspected_for=self.sim.now - since)
+            return
+        if name in self.declared_dead:
+            return
+        misses = self._hb_misses.get(name, 0) + 1
+        self._hb_misses[name] = misses
+        if (misses >= self.suspect_after_misses
+                and name not in self.suspected):
+            self.suspected[name] = self.sim.now
+            self.trace.emit("colo_suspected", machine=name, misses=misses)
+        if (misses >= self.declare_after_misses and name in self.suspected
+                and self._declare_colo_allowed(name)):
+            self.declare_colo_dead(name,
+                                   reason=f"{misses} missed heartbeats")
+
+    def _declare_colo_allowed(self, name: str) -> bool:
+        """Never declare a colo whose loss would lose a database
+        outright: every database it primaries must have a live, unfenced
+        standby holding a copy. It stays merely suspected until the
+        partition heals or re-protection lands a standby elsewhere."""
+        for db, (primary, standby) in self.placements.items():
+            if primary != name:
+                continue
+            standby_colo = self.colos.get(standby) if standby else None
+            if (standby_colo is None or not standby_colo.alive
+                    or standby_colo.fenced or not standby_colo.hosts(db)):
+                return False
+        return True
+
     # -- disaster handling -------------------------------------------------------------
 
-    def fail_colo(self, name: str) -> List[str]:
-        """Lose a whole colo; promote standbys. Returns affected dbs."""
-        if name not in self.colos:
+    def declare_colo_dead(self, name: str, reason: str = "") -> List[str]:
+        """Declare a silent colo dead: fence it under a fresh epoch,
+        promote standbys, and schedule re-protection.
+
+        Fencing models the colo-side lease expiring at the declaration:
+        even if the colo is alive on the far side of a partition it
+        refuses new connections and stops shipping, so the promoted
+        standby is the *only* primary under the new epoch (no dual
+        primary)."""
+        colo = self.colos.get(name)
+        if colo is None:
             raise ValueError(f"unknown colo {name!r}")
-        del self.colos[name]
+        if name in self.declared_dead:
+            return []
+        self.suspected.pop(name, None)
+        self.declared_dead.add(name)
+        self.epoch += 1
+        was_alive = colo.alive
+        colo.fence()
+        self.trace.emit("colo_declared", machine=name, reason=reason,
+                        was_alive=was_alive)
+        self.trace.emit("colo_fenced", machine=name, epoch=self.epoch)
+        return self._handle_colo_loss(name, self.epoch, self.sim.now)
+
+    def crash_colo(self, name: str) -> None:
+        """Power a colo off *without* telling the system controller.
+
+        Nothing is promoted here — only the heartbeat failure detector
+        can notice the silence and drive declare→fence→promote."""
+        colo = self.colos.get(name)
+        if colo is None:
+            raise ValueError(f"unknown colo {name!r}")
+        colo.crash()
+        self.trace.emit("colo_crashed", machine=name)
+
+    def fail_colo(self, name: str) -> List[str]:
+        """Lose a whole colo through the oracle path; promote standbys
+        instantly. Returns the databases whose primary was lost."""
+        colo = self.colos.get(name)
+        if colo is None:
+            raise ValueError(f"unknown colo {name!r}")
+        colo.crash()
+        colo.fence()
+        self.declared_dead.add(name)
+        self.suspected.pop(name, None)
+        self.epoch += 1
+        self.trace.emit("colo_failed", machine=name, epoch=self.epoch)
+        return self._handle_colo_loss(name, self.epoch, self.sim.now)
+
+    def repair_colo(self, name: str) -> None:
+        """Wipe a failed/fenced colo and rejoin it as a blank standby
+        target; unprotected databases re-protect onto it (failback)."""
+        colo = self.colos.get(name)
+        if colo is None:
+            raise ValueError(f"unknown colo {name!r}")
+        colo.repair()
+        self.declared_dead.discard(name)
+        self.suspected.pop(name, None)
+        self._hb_misses[name] = 0
+        self.trace.emit("colo_repaired", machine=name)
+        self._kick_reprotects()
+
+    def _handle_colo_loss(self, name: str, epoch: int,
+                          declared_at: float) -> List[str]:
         affected = []
         for db, (primary, standby) in list(self.placements.items()):
             if primary == name:
-                if standby is not None and standby in self.colos:
-                    self.placements[db] = (standby, None)
-                else:
-                    self.placements.pop(db)
                 affected.append(db)
+                standby_colo = (self.colos.get(standby)
+                                if standby is not None else None)
+                if (standby_colo is not None and standby_colo.alive
+                        and not standby_colo.fenced
+                        and standby_colo.hosts(db)):
+                    self._promote(db, name, standby, epoch, declared_at)
+                else:
+                    self._teardown_link(db)
+                    self.placements.pop(db)
             elif standby == name:
+                self._teardown_link(db)
                 self.placements[db] = (primary, None)
+                self._schedule_reprotect(db)
         return affected
 
+    def _promote(self, db: str, old_primary: str, new_primary: str,
+                 epoch: int, declared_at: float) -> None:
+        link = self.links.get(db)
+        # RPO: acked commits the standby never applied — the logged
+        # suffix above its high-water mark at promotion time.
+        rpo = ((link.next_seq - 1) - link.applied_seq
+               if link is not None else 0)
+        self._teardown_link(db)
+        self.placements[db] = (new_primary, None)
+        self.metrics.record_dr_promotion(db, old_primary, new_primary,
+                                         epoch, declared_at, rpo)
+        self.trace.emit("dr_promote", db=db, old=old_primary,
+                        new=new_primary, epoch=epoch, rpo_commits=rpo)
+        self._arm_rto(db, new_primary, declared_at)
+        self._schedule_reprotect(db)
+
+    def _arm_rto(self, db: str, new_primary: str,
+                 declared_at: float) -> None:
+        """RTO stops the clock at the first successful statement a
+        client lands on the promoted primary."""
+        colo = self.colos.get(new_primary)
+        if colo is None or not colo.hosts(db):
+            return
+        cluster = colo.cluster_of(db)
+
+        def hook(hdb, db=db, cluster=cluster, declared_at=declared_at):
+            if hdb != db:
+                return
+            seconds = self.sim.now - declared_at
+            self.metrics.record_dr_rto(db, seconds)
+            self.trace.emit("dr_rto", db=db, seconds=seconds)
+            try:
+                cluster.statement_hooks.remove(hook)
+            except ValueError:
+                pass
+
+        cluster.statement_hooks.append(hook)
+
+    # -- re-protection (snapshot copy + log catch-up) ---------------------------------
+
+    def _schedule_reprotect(self, db: str) -> None:
+        proc = self._reprotect_procs.get(db)
+        if proc is not None and proc.is_alive:
+            return
+        proc = self.sim.process(self._reprotect_loop(db),
+                                name=f"reprotect:{db}")
+        proc.defused = True
+        self._reprotect_procs[db] = proc
+
+    def _cancel_reprotect(self, db: str) -> None:
+        proc = self._reprotect_procs.pop(db, None)
+        if proc is not None and proc.is_alive:
+            proc.interrupt("database deregistered")
+
+    def _kick_reprotects(self) -> None:
+        """Re-scan for unprotected databases (a colo was repaired or
+        added, so a parked re-protection may now have a target)."""
+        for db, (primary, standby) in list(self.placements.items()):
+            if standby is not None:
+                continue
+            colo = self.colos.get(primary)
+            if colo is not None and colo.alive and not colo.fenced:
+                self._schedule_reprotect(db)
+
+    def _pick_reprotect_target(self, db: str,
+                               primary: str) -> Optional[str]:
+        record = self.records.get(db)
+        if (record is None or record.ddl is None
+                or record.requirement is None):
+            return None  # not enough to re-create the database
+        candidates = [c for c in self.colos.values()
+                      if c.name != primary and c.alive and not c.fenced
+                      and not c.hosts(db)]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda c: (-c.free_pool, c.name))
+        return candidates[0].name
+
+    def _reprotect_loop(self, db: str) -> Generator:
+        """Establish a fresh standby for an unprotected database.
+
+        Parks (returns) when no surviving colo can host the copy — a
+        later :meth:`repair_colo`/:meth:`add_colo` re-kicks it — and
+        retries after a delay on transient failures (e.g. a WAN cut in
+        the middle of the snapshot transfer)."""
+        try:
+            while True:
+                record = self.records.get(db)
+                placement = self.placements.get(db)
+                if record is None or placement is None:
+                    return
+                primary, standby = placement
+                if standby is not None:
+                    return
+                primary_colo = self.colos.get(primary)
+                if (primary_colo is None or not primary_colo.alive
+                        or primary_colo.fenced):
+                    return
+                target = self._pick_reprotect_target(db, primary)
+                if target is None:
+                    return  # parked until a target colo appears
+                try:
+                    done = yield from self._reprotect_once(db, record,
+                                                           primary, target)
+                except PlatformError:
+                    done = False
+                if done:
+                    return
+                yield self.sim.timeout(self.reprotect_retry_s)
+        except Interrupt:
+            return
+
+    def _reprotect_once(self, db: str, record: DbRecord, primary: str,
+                        target_name: str) -> Generator:
+        """One snapshot-copy + catch-up attempt toward ``target_name``.
+
+        The snapshot is dumped under Algorithm 1's write-rejection
+        window (writes to the database are refused for the dump's
+        duration), so the instant the dump completes there are no
+        in-flight writes: the fresh link attached at that instant
+        sequences exactly the commits after the snapshot — catch-up
+        replays them and the standby is a transaction-consistent prefix.
+        """
+        primary_colo = self.colos[primary]
+        target_colo = self.colos[target_name]
+        cluster = primary_colo.cluster_of(db)
+        sources = cluster.live_replicas(db)
+        if not sources:
+            raise NoReplicaError(f"no live replica of {db!r} to copy")
+        self.trace.emit("dr_reprotect_start", db=db, src=primary,
+                        target=target_name)
+        target_colo.place_database(db, record.ddl, record.requirement,
+                                   record.standby_replicas)
+        link: Optional[ReplicationLink] = None
+        try:
+            source = cluster.machines[sources[-1]]  # spare the primary
+            state = CopyState(db, f"colo:{target_name}",
+                              source=source.name)
+            state.copying_all = True
+            cluster.copy_states[db] = state
+            try:
+                dumps = yield source.run_copy(source.dump_database_body(db),
+                                              label=f"dr-dump:{db}")
+                # The dump just finished and writes were rejected
+                # throughout, so nothing is in flight *now*: attach the
+                # link at this exact instant (no yields) and the log is
+                # the precise commit suffix after the snapshot.
+                link = self._attach_link(db, primary, target_name)
+            finally:
+                cluster.copy_states.pop(db, None)
+            nbytes = sum(dump.bytes_estimate for dump in dumps)
+            yield from self._wan_transfer(primary, target_name, nbytes)
+            if (not primary_colo.alive or primary_colo.fenced
+                    or not target_colo.alive or target_colo.fenced
+                    or link.torn or db not in self.placements):
+                raise NoReplicaError(
+                    f"re-protection of {db!r} lost an endpoint")
+            target_cluster = target_colo.cluster_of(db)
+            for dump in dumps:
+                target_cluster.bulk_load(db, dump.table, dump.rows)
+            self.placements[db] = (primary, target_name)
+            self._start_link(link)
+        except BaseException:
+            if link is not None and self.links.get(db) is link:
+                self._teardown_link(db)
+            if target_colo.alive and not target_colo.fenced:
+                target_colo.drop_database(db)
+            raise
+        failback = target_colo.was_failed
+        self.trace.emit("dr_reprotect_done", db=db, primary=primary,
+                        standby=target_name, base_seq=0,
+                        failback=failback)
+        self.trace.emit("dr_protect", db=db, primary=primary,
+                        standby=target_name, base_seq=0)
+        if failback:
+            self.metrics.record_dr_failback()
+            self.trace.emit("dr_failback", db=db, machine=target_name)
+        return True
+
+    def _wan_transfer(self, src: str, dst: str, nbytes: int) -> Generator:
+        """Cross-colo transfer time for the snapshot stream."""
+        machine_cfg = self.colos[src].cluster_config.machine
+        scaled = nbytes * machine_cfg.copy_bytes_factor
+        seconds = (scaled / (1024.0 * 1024.0)) / self.wan_mbps
+        if self.wan.enabled:
+            yield from self.wan.transfer(src, dst, seconds)
+        elif seconds > 0:
+            yield self.sim.timeout(seconds + self.wan_latency_s)
+
+    # -- metrics ---------------------------------------------------------------------
+
     def replication_lag(self, db: str) -> int:
-        """Shipped-but-not-applied transaction count (staleness metric)."""
+        """Shipped-but-unresolved transaction count (staleness metric).
+
+        Dropped entries are resolved (they will never apply), so lag
+        converges to zero on an idle link instead of overreporting
+        forever."""
         link = self.links.get(db)
         if link is None:
             return 0
-        return link.shipped - link.applied
+        return link.shipped - link.applied - link.dropped
+
+    def dr_summary(self) -> Dict[str, object]:
+        return self.metrics.dr_summary()

@@ -46,6 +46,23 @@ class MachineBin:
         self.used = self.used + db.requirement
         self.hosted.append(db.name)
 
+    def release(self, name: str, requirement: ResourceVector) -> bool:
+        """Give back one hosted replica's load; returns whether it was held.
+
+        Safe to call for a database the bin no longer hosts (e.g. the
+        bin was already reset when its machine was readmitted blank).
+        """
+        if name not in self.hosted:
+            return False
+        self.hosted.remove(name)
+        self.used = self.used - requirement
+        return True
+
+    def reset(self) -> None:
+        """Forget every placement (the machine rejoined as a blank spare)."""
+        self.used = ResourceVector()
+        self.hosted = []
+
     def headroom(self) -> ResourceVector:
         return self.capacity - self.used
 

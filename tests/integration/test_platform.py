@@ -148,6 +148,103 @@ class TestEndToEnd:
         assert colo.name == primary
 
 
+class TestRouting:
+    def test_primary_preference_beats_proximity(self):
+        # A client sitting right next to the standby is still routed to
+        # the primary: replica role outranks geography.
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        primary, standby = platform.system.placements["app"]
+        at_standby = platform.system.colos[standby].location
+        assert platform.system.route(
+            "app", client_location=at_standby).name == primary
+
+    def test_disaster_routing_falls_back_to_standby(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        primary, standby = platform.system.placements["app"]
+        platform.system.colos[primary].crash()
+        for location in (0.0, 10.0, 99.0):
+            assert platform.system.route(
+                "app", client_location=location).name == standby
+
+    def test_route_no_live_colo_raises(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        for name in platform.system.placements["app"]:
+            platform.system.colos[name].crash()
+        with pytest.raises(NoReplicaError):
+            platform.system.route("app")
+
+
+class TestReplicationAccounting:
+    def test_lag_drains_under_sustained_load(self):
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        platform.bulk_load("app", "t", [(k, 0) for k in range(10)])
+
+        def client(key, n):
+            for _ in range(n):
+                conn = platform.connect("app")
+                yield conn.execute(
+                    f"UPDATE t SET v = v + 1 WHERE k = {key}")
+                yield conn.commit()
+                conn.close()
+
+        for key in range(4):
+            proc = platform.sim.process(client(key, 5))
+            proc.defused = True
+        platform.sim.run()
+        link = platform.system.links["app"]
+        assert link.shipped == 20
+        assert link.applied + link.dropped == 20
+        assert platform.system.replication_lag("app") == 0
+
+    def test_failover_races_in_flight_apply(self):
+        # Promoting the standby while its apply loop is mid-transaction
+        # must cancel the replay cleanly and count the entry as RPO.
+        platform = make_platform()
+        platform.create_database(spec("app"))
+        platform.bulk_load("app", "t", [(k, 0) for k in range(200)])
+
+        def client():
+            conn = platform.connect("app")
+            yield conn.execute("UPDATE t SET v = v + 1")
+            yield conn.commit()
+            conn.close()
+
+        proc = platform.sim.process(client())
+        proc.defused = True
+        link = platform.system.links["app"]
+        t = 0.0
+        while link.shipped == 0:       # step until the commit ships
+            t += 0.01
+            platform.sim.run(until=t)
+        # Step just past the WAN latency: the replay transaction is in
+        # flight on the standby but has not applied yet.
+        platform.sim.run(until=t + 0.055)
+        assert link.applied == 0
+        primary, standby = platform.system.placements["app"]
+        platform.system.fail_colo(primary)
+        platform.sim.run(until=t + 10.0)
+        assert not link.applier.is_alive
+        assert platform.system.placements["app"] == (standby, None)
+        promo = platform.system.dr_summary()["promotions"][0]
+        assert promo["rpo_commits"] == 1
+
+        def reader():
+            conn = platform.connect("app")
+            result = yield conn.execute("SELECT v FROM t WHERE k = 0")
+            yield conn.commit()
+            conn.close()
+            return result.scalar()
+
+        check = platform.sim.process(reader())
+        platform.sim.run(until=t + 20.0)
+        # The aborted replay left no partial write behind.
+        assert check.ok and check.value == 0
+
+
 class TestColoController:
     def test_free_pool_accounting(self):
         sim = Simulator()
