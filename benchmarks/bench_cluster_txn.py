@@ -1,0 +1,160 @@
+"""Cluster commit-path latency: parallel 2PC fan-out vs sequential.
+
+Measures the coordinator's PREPARE and COMMIT phase latency on a
+fabric-enabled cluster (fixed one-way message latency, no loss) for
+replication factors 2, 3, and 5 under both write policies. The
+sequential reference coordinator pays one round trip per participant
+per phase; the parallel fan-out issues every branch at once and pays
+one round trip per phase regardless of fan-out width, so the expected
+p50 speedup is roughly the replication factor.
+
+Two modes:
+
+* ``pytest benchmarks/bench_cluster_txn.py --benchmark-only`` — a
+  pytest-benchmark wrapper timing one full bench run per mode (the
+  simulation is deterministic; this tracks harness wall-clock);
+* ``python benchmarks/bench_cluster_txn.py`` — plain mode: runs the
+  full sweep and writes ``BENCH_cluster_txn.json`` (phase-latency
+  percentiles and speedups per configuration) at the repository root.
+  ``--smoke`` restricts the sweep to replication factor 3 with fewer
+  transactions for CI.
+"""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "src")
+
+from repro.analysis.invariants import check_controller
+from repro.cluster import WritePolicy
+from repro.harness.runner import run_commit_latency_bench
+
+POLICIES = (WritePolicy.AGGRESSIVE, WritePolicy.CONSERVATIVE)
+#: Fixed one-way fabric latency for every run; well under the RPC
+#: timeout so no run pays a retransmission.
+LATENCY_S = 0.003
+
+
+def run_pair(replicas, policy, transactions_per_client=50):
+    """One (sequential, parallel) result pair, identical otherwise."""
+    results = {}
+    for parallel in (False, True):
+        results[parallel] = run_commit_latency_bench(
+            replicas=replicas, write_policy=policy,
+            parallel_commit=parallel, latency_s=LATENCY_S,
+            transactions_per_client=transactions_per_client)
+    return results[False], results[True]
+
+
+def sweep(replication_factors=(2, 3, 5), transactions_per_client=50):
+    """{rf: {policy: row}} with per-phase p50/p95 and speedups."""
+    table = {}
+    for replicas in replication_factors:
+        per_policy = {}
+        for policy in POLICIES:
+            seq, par = run_pair(replicas, policy,
+                                transactions_per_client)
+            for result in (seq, par):
+                assert not check_controller(result.controller), \
+                    "invariant violation in bench run"
+                assert result.committed > 0
+            row = {"committed": par.committed}
+            for label, result in (("sequential", seq), ("parallel", par)):
+                for phase in ("prepare", "commit", "txn"):
+                    stats = result.latencies.get(phase, {})
+                    row[f"{label}_{phase}_p50"] = stats.get("p50", 0.0)
+                    row[f"{label}_{phase}_p95"] = stats.get("p95", 0.0)
+            for phase in ("prepare", "commit"):
+                seq_p50 = row[f"sequential_{phase}_p50"]
+                par_p50 = row[f"parallel_{phase}_p50"]
+                row[f"{phase}_speedup"] = (
+                    round(seq_p50 / par_p50, 2) if par_p50 else 0.0)
+            commit_path = (seq.commit_path_p50, par.commit_path_p50)
+            row["commit_path_speedup"] = (
+                round(commit_path[0] / commit_path[1], 2)
+                if commit_path[1] else 0.0)
+            per_policy[policy.value] = row
+        table[replicas] = per_policy
+    return table
+
+
+def format_sweep(table):
+    lines = [f"{'rf':>2}  {'policy':<12}  {'seq 2pc p50':>11}  "
+             f"{'par 2pc p50':>11}  {'speedup':>7}"]
+    for replicas, per_policy in sorted(table.items()):
+        for policy, row in sorted(per_policy.items()):
+            seq = (row["sequential_prepare_p50"]
+                   + row["sequential_commit_p50"])
+            par = row["parallel_prepare_p50"] + row["parallel_commit_p50"]
+            lines.append(f"{replicas:>2}  {policy:<12}  {seq:>11.4f}  "
+                         f"{par:>11.4f}  "
+                         f"{row['commit_path_speedup']:>6.2f}x")
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark wrappers ------------------------------------------------
+
+
+@pytest.mark.benchmark(group="cluster-txn")
+@pytest.mark.parametrize("parallel", [True, False],
+                         ids=["parallel", "sequential"])
+def test_bench_commit_path(benchmark, parallel):
+    result = benchmark(run_commit_latency_bench, replicas=3,
+                       parallel_commit=parallel,
+                       transactions_per_client=20)
+    assert result.committed > 0
+
+
+# -- plain mode ---------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(
+        description="Cluster 2PC fan-out benchmark (plain mode)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="replication factor 3 only, fewer "
+                             "transactions (CI)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    factors = (3,) if args.smoke else (2, 3, 5)
+    per_client = 20 if args.smoke else 50
+    table = sweep(replication_factors=factors,
+                  transactions_per_client=per_client)
+
+    for replicas, per_policy in table.items():
+        for policy, row in per_policy.items():
+            if replicas >= 3:
+                assert row["commit_path_speedup"] >= 2.0, (
+                    f"rf={replicas} {policy}: commit-path speedup "
+                    f"{row['commit_path_speedup']} < 2x")
+
+    payload = {
+        "benchmark": "cluster_txn",
+        "unit": "seconds",
+        "fabric_latency_s": LATENCY_S,
+        "smoke": bool(args.smoke),
+        "configurations": {
+            str(replicas): per_policy
+            for replicas, per_policy in table.items()
+        },
+    }
+    out = args.out or os.path.normpath(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_cluster_txn.json"))
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(format_sweep(table))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,19 @@ class DbCounters:
 
 
 @dataclass
+class FanoutStats:
+    """Scatter/gather accounting for one coordinator broadcast label."""
+
+    count: int = 0          # fan-outs issued
+    total_width: int = 0    # branches across all fan-outs
+    max_width: int = 0
+
+    @property
+    def mean_width(self) -> float:
+        return self.total_width / self.count if self.count else 0.0
+
+
+@dataclass
 class NetworkCounters:
     """Fabric-level delivery and failure-detector accounting."""
 
@@ -130,8 +143,14 @@ class MetricsCollector:
         self.deadlocks_over_time = TimeSeries(window)
         # Per-phase latency distributions fed by the cluster controller
         # ("write" = replica write ack, "prepare" = 2PC phase 1,
-        # "commit" = 2PC phase 2, "txn" = begin-to-commit).
+        # "commit" = 2PC phase 2, "txn" = begin-to-commit; fan-out
+        # branches land under "branch:<label>").
         self.phase_latencies: Dict[str, LatencyHistogram] = {}
+        # Coordinator broadcast widths per label ("prepare", "commit",
+        # "commit-ro", "abort").
+        self.fanouts: Dict[str, FanoutStats] = {}
+        # Statement-classification cache evictions (LRU bound).
+        self.stmt_cache_evictions: int = 0
         # Network-fabric accounting (only populated when the simulated
         # unreliable fabric is enabled): delivery counters plus observed
         # one-way latency per directed link ("src->dst").
@@ -180,6 +199,34 @@ class MetricsCollector:
         """{phase: {count, mean, p50, p95, p99}} for every observed phase."""
         return {phase: histogram.summary()
                 for phase, histogram in sorted(self.phase_latencies.items())}
+
+    def record_fanout(self, label: str, width: int,
+                      branch_latency: Optional[float] = None) -> None:
+        """One coordinator broadcast of ``width`` branches.
+
+        Per-branch latencies arrive separately (one call per settled
+        branch with ``width=0``) and feed the ``branch:<label>`` phase
+        histogram.
+        """
+        stats = self.fanouts.get(label)
+        if stats is None:
+            stats = self.fanouts[label] = FanoutStats()
+        if width > 0:
+            stats.count += 1
+            stats.total_width += width
+            stats.max_width = max(stats.max_width, width)
+        if branch_latency is not None:
+            self.record_phase_latency(f"branch:{label}", branch_latency)
+
+    def fanout_summary(self) -> Dict[str, Dict[str, float]]:
+        """{label: {count, mean_width, max_width}} per broadcast label."""
+        return {label: {"count": stats.count,
+                        "mean_width": stats.mean_width,
+                        "max_width": stats.max_width}
+                for label, stats in sorted(self.fanouts.items())}
+
+    def record_stmt_cache_eviction(self) -> None:
+        self.stmt_cache_evictions += 1
 
     # -- network fabric --------------------------------------------------------
 

@@ -19,6 +19,10 @@ write_failed       that replica's write errored (``error`` names the type)
 poisoned           an aggressive-mode background write failure was recorded
 prepare            2PC phase 1 succeeded on one participant
 prepare_failed     2PC phase 1 errored on one participant
+fanout_start       a coordinator broadcast was issued (``label`` names the
+                   phase, ``width`` the branch count, ``parallel`` the mode)
+fanout_done        every gathered branch of that broadcast settled
+                   (``elapsed`` is the scatter-to-gather span)
 decision_logged    the coordinator decided commit (after mirroring to the
                    process-pair backup when one is attached)
 commit_sent        a COMMIT message left the coordinator for one machine
@@ -88,6 +92,7 @@ EVENT_KINDS = frozenset({
     "trace_meta",
     "txn_begin",
     "write_issued", "write_acked", "write_failed", "poisoned",
+    "fanout_start", "fanout_done",
     "prepare", "prepare_failed",
     "decision_logged", "commit_sent", "committed", "decision_cleared",
     "abort", "rollback",

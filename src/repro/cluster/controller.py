@@ -26,8 +26,10 @@ databases in the background.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
+from typing import (Any, Callable, Dict, Generator, List, Optional, Sequence,
+                    Set, Tuple)
 
 from repro.analysis.history import GlobalHistory
 from repro.analysis.metrics import MetricsCollector
@@ -59,6 +61,43 @@ class TransactionAborted(PlatformError):
     def __init__(self, reason: str, cause: Optional[BaseException] = None):
         super().__init__(reason)
         self.cause = cause
+
+
+@dataclass
+class BranchOutcome:
+    """The settled result of one branch of a coordinator fan-out."""
+
+    machine: str
+    ok: bool
+    value: Any                  # result when ok, exception otherwise
+    latency: float              # issue-to-settle, in sim seconds
+
+    @property
+    def fatal(self) -> bool:
+        """A failure the coordinator must abort on.
+
+        A *dead* replica (plain :class:`MachineFailedError`) is skipped —
+        survivors carry the write. Silence (:class:`RPCTimeoutError`,
+        which subclasses it) is fatal for PREPARE: the participant may be
+        alive with an un-prepared branch, so presumed-abort applies. Any
+        other error (un-prepared branch, write-count gap, divergence) is
+        fatal too.
+        """
+        if self.ok:
+            return False
+        if isinstance(self.value, RPCTimeoutError):
+            return True
+        return not isinstance(self.value, MachineFailedError)
+
+
+@dataclass
+class _Branch:
+    """One in-flight branch of a fan-out (issue-time bookkeeping)."""
+
+    machine: str
+    proc: Process
+    issued_at: float
+    settled_at: Optional[float] = None
 
 
 @dataclass
@@ -159,7 +198,10 @@ class ClusterController:
         self.recovery = None          # attached by RecoveryManager
         self.backup = None            # attached by ProcessPair
         self._txn_ids = itertools.count(1)
-        self._stmt_cache: Dict[str, Tuple[str, Optional[str]]] = {}
+        # Statement-classification cache, LRU-bounded by
+        # config.stmt_cache_size (0 = unbounded).
+        self._stmt_cache: "OrderedDict[str, Tuple[str, Optional[str]]]" = (
+            OrderedDict())
         self.schemas: Dict[str, DatabaseSchema] = {}
         self.ddl: Dict[str, List[str]] = {}
         # Called with (db, txn_id, write_log) after each successful commit
@@ -184,6 +226,10 @@ class ClusterController:
         self.fenced: Set[str] = set()
         self._hb_misses: Dict[str, int] = {}
         self._detector_proc: Optional[Process] = None
+        # Outstanding heartbeat probe per machine: a probe that outlasts
+        # the interval suppresses new probes for the same machine, so
+        # slow links cannot pile up probes and double-count misses.
+        self._probes: Dict[str, Process] = {}
         # False until the primary controller is "crashed" by a fault
         # injector; the process-pair backup then takes over and this flag
         # fences the old primary (no decision/COMMIT may leave it).
@@ -307,6 +353,7 @@ class ClusterController:
         self.declared_dead.clear()
         self.fenced.clear()
         self._hb_misses.clear()
+        self._probes.clear()
         self.primary_alive = True
         self.trace.emit("cluster_reset")
 
@@ -317,23 +364,31 @@ class ClusterController:
     # -- statement classification ----------------------------------------------------
 
     def _classify(self, sql: str) -> Tuple[str, Optional[str]]:
-        """("read"|"write", target table for writes)."""
-        if sql not in self._stmt_cache:
-            stmt = parse(sql)
-            if isinstance(stmt, n.Select):
-                if stmt.for_update:
-                    # A locking read must hold its X locks on every
-                    # replica (ROWA treats it as a write); it modifies
-                    # nothing, so Algorithm 1 never needs to reject it
-                    # (table=None).
-                    self._stmt_cache[sql] = ("write", None)
-                else:
-                    self._stmt_cache[sql] = ("read", None)
-            elif isinstance(stmt, (n.Insert, n.Update, n.Delete)):
-                self._stmt_cache[sql] = ("write", stmt.table)
+        """("read"|"write", target table for writes). LRU-cached."""
+        entry = self._stmt_cache.get(sql)
+        if entry is not None:
+            self._stmt_cache.move_to_end(sql)
+            return entry
+        stmt = parse(sql)
+        if isinstance(stmt, n.Select):
+            if stmt.for_update:
+                # A locking read must hold its X locks on every
+                # replica (ROWA treats it as a write); it modifies
+                # nothing, so Algorithm 1 never needs to reject it
+                # (table=None).
+                entry = ("write", None)
             else:
-                self._stmt_cache[sql] = ("write", None)  # DDL: treat as write
-        return self._stmt_cache[sql]
+                entry = ("read", None)
+        elif isinstance(stmt, (n.Insert, n.Update, n.Delete)):
+            entry = ("write", stmt.table)
+        else:
+            entry = ("write", None)  # DDL: treat as write
+        self._stmt_cache[sql] = entry
+        limit = self.config.stmt_cache_size
+        while limit > 0 and len(self._stmt_cache) > limit:
+            self._stmt_cache.popitem(last=False)
+            self.metrics.record_stmt_cache_eviction()
+        return entry
 
     # -- transaction plumbing -----------------------------------------------------------
 
@@ -354,24 +409,20 @@ class ClusterController:
         """Roll the transaction back on every touched machine.
 
         Direct path: immediate local aborts (pre-fabric behaviour). With
-        the fabric enabled, ABORT is a message like any other: sent in
-        the background with retries, idempotent, and lost to dead or
-        fenced machines (whose state dies with them anyway).
+        the fabric enabled, ABORT is a fire-and-collect fan-out: all
+        branches leave at once, each retries in the background,
+        idempotent, and lost to dead or fenced machines (whose state
+        dies with them anyway).
         """
-        for name in txn.touched:
-            machine = self.machines.get(name)
-            if machine is None:
-                continue
-            if self.fabric.enabled:
-                if machine.alive and not machine.fenced:
-                    proc = self.sim.process(
-                        self._rpc(machine,
-                                  lambda m=machine: m.abort_body(txn.txn_id),
-                                  txn_id=txn.txn_id, label="abort"),
-                        name=f"rpc:abort:{txn.txn_id}:{name}")
-                    proc.defused = True
-            else:
-                machine.abort_local(txn.txn_id)
+        if self.fabric.enabled:
+            self._fanout_fire(self._live_targets(sorted(txn.touched)),
+                              lambda m: m.abort_body(txn.txn_id),
+                              txn_id=txn.txn_id, label="abort")
+        else:
+            for name in txn.touched:
+                machine = self.machines.get(name)
+                if machine is not None:
+                    machine.abort_local(txn.txn_id)
         self.trace.emit(kind, db=txn.db, txn=txn.txn_id, reason=reason)
         self._finish(conn, txn)
 
@@ -512,6 +563,135 @@ class ClusterController:
             exc = (cause if isinstance(cause, BaseException)
                    else MachineFailedError(machine.name))
         return (False, exc)
+
+    # -- scatter/gather fan-out (the commit-path broadcast primitive) ------------------
+
+    def _issue_branch(self, name: str,
+                      make_body: Callable[[Machine], Generator], *,
+                      txn_id: int, label: str,
+                      timeout: Optional[float] = None,
+                      retries: Optional[int] = None) -> _Branch:
+        """Start one branch RPC without waiting on it."""
+        machine = self.machines[name]
+        if self.fabric.enabled:
+            proc = self.sim.process(
+                self._rpc(machine, lambda m=machine: make_body(m),
+                          txn_id=txn_id, label=label, timeout=timeout,
+                          retries=retries),
+                name=f"rpc:{label}:{txn_id}:{name}")
+        else:
+            proc = machine.submit(txn_id, make_body(machine), label=label)
+        # Every branch outcome is observed through the gathered
+        # BranchOutcome, never by yielding the process directly; defuse
+        # so one early branch failure cannot crash the kernel.
+        proc.defused = True
+        return _Branch(name, proc, self.sim.now)
+
+    def _branch_outcome(self, branch: _Branch) -> BranchOutcome:
+        proc = branch.proc
+        value = proc.value
+        if not proc.ok and isinstance(value, Interrupt):
+            # The branch body died without translating its interrupt
+            # (e.g. torn down between ops): a machine failure.
+            cause = value.cause
+            value = (cause if isinstance(cause, BaseException)
+                     else MachineFailedError(branch.machine))
+        settled_at = (branch.settled_at if branch.settled_at is not None
+                      else self.sim.now)
+        return BranchOutcome(machine=branch.machine, ok=proc.ok, value=value,
+                             latency=settled_at - branch.issued_at)
+
+    def _await_branch(self, branch: _Branch) -> Event:
+        """An event that succeeds (never fails) when the branch settles."""
+        settled = self.sim.event()
+
+        def on_settled(proc, b=branch, e=settled):
+            b.settled_at = self.sim.now
+            e.succeed(proc)
+
+        branch.proc.add_callback(on_settled)
+        return settled
+
+    def _fanout(self, names: Sequence[str],
+                make_body: Callable[[Machine], Generator], *,
+                txn_id: int, label: str,
+                timeout: Optional[float] = None,
+                retries: Optional[int] = None,
+                parallel: Optional[bool] = None,
+                stop_on_fatal: bool = False) -> Generator:
+        """Broadcast one RPC to ``names`` and gather every branch outcome.
+
+        The parallel mode (default, ``config.parallel_commit``) issues
+        all branches at once and waits for the *complete* set of
+        outcomes — one round trip per phase regardless of the
+        replication factor, and exactly the information presumed-abort
+        needs (a timed-out branch aborts the transaction even when
+        another branch answered first). The sequential mode is the
+        pre-fan-out reference: one branch at a time in order, stopping
+        at the first fatal outcome when ``stop_on_fatal`` (machines
+        after the stop are simply never issued, as the old loop left
+        them). Returns the outcomes in issue order.
+        """
+        if parallel is None:
+            parallel = self.config.parallel_commit
+        names = list(names)
+        self.metrics.record_fanout(label, len(names))
+        self.trace.emit("fanout_start", txn=txn_id, label=label,
+                        width=len(names), parallel=parallel,
+                        machines=list(names))
+        started = self.sim.now
+        outcomes: List[BranchOutcome] = []
+        if parallel:
+            branches = [self._issue_branch(name, make_body, txn_id=txn_id,
+                                           label=label, timeout=timeout,
+                                           retries=retries)
+                        for name in names]
+            settled = [self._await_branch(branch) for branch in branches]
+            if settled:
+                yield self.sim.all_of(settled)
+            outcomes = [self._branch_outcome(branch) for branch in branches]
+        else:
+            for name in names:
+                branch = self._issue_branch(name, make_body, txn_id=txn_id,
+                                            label=label, timeout=timeout,
+                                            retries=retries)
+                yield self._await_branch(branch)
+                outcome = self._branch_outcome(branch)
+                outcomes.append(outcome)
+                if stop_on_fatal and outcome.fatal:
+                    break
+        for outcome in outcomes:
+            self.metrics.record_fanout(label, 0,
+                                       branch_latency=outcome.latency)
+        self.trace.emit("fanout_done", txn=txn_id, label=label,
+                        width=len(outcomes), parallel=parallel,
+                        elapsed=self.sim.now - started)
+        return outcomes
+
+    def _fanout_fire(self, names: Sequence[str],
+                     make_body: Callable[[Machine], Generator], *,
+                     txn_id: int, label: str) -> List[_Branch]:
+        """Fire-and-collect: issue every branch at once, wait on none.
+
+        Used for messages whose outcome nobody needs synchronously
+        (aborts, background redelivery kicks); each branch retries and
+        settles on its own.
+        """
+        branches = [self._issue_branch(name, make_body, txn_id=txn_id,
+                                       label=label)
+                    for name in names]
+        if branches:
+            self.metrics.record_fanout(label, len(branches))
+        return branches
+
+    def _live_targets(self, names: Sequence[str]) -> List[str]:
+        """Filter to machines that exist, are alive, and are not fenced."""
+        targets = []
+        for name in names:
+            machine = self.machines.get(name)
+            if machine is not None and machine.alive and not machine.fenced:
+                targets.append(name)
+        return targets
 
     # -- statement execution -----------------------------------------------------------
 
@@ -766,22 +946,24 @@ class ClusterController:
         if not txn.wrote:
             # Read-only: release locks everywhere, no 2PC (paper: the
             # controller invokes 2PC only when the transaction wrote).
-            for name in sorted(txn.touched):
-                machine = self.machines.get(name)
-                if machine is None or not machine.alive or machine.fenced:
+            # One broadcast: every release leaves at once.
+            outcomes = yield from self._fanout(
+                self._live_targets(sorted(txn.touched)),
+                lambda m: m.commit_body(txn.txn_id),
+                txn_id=txn.txn_id, label="commit-ro")
+            for outcome in outcomes:
+                if outcome.ok:
                     continue
-                try:
-                    yield from self._call(
-                        machine,
-                        lambda m=machine: m.commit_body(txn.txn_id),
-                        txn_id=txn.txn_id, label="commit-ro")
-                except RPCTimeoutError:
+                if isinstance(outcome.value, RPCTimeoutError):
                     # Unreachable but maybe alive, holding read locks:
                     # keep redelivering the release in the background
                     # (commit_body is idempotent).
-                    self._spawn_redelivery(txn.db, txn.txn_id, name)
-                except MachineFailedError:
+                    self._spawn_redelivery(txn.db, txn.txn_id,
+                                           outcome.machine)
+                elif isinstance(outcome.value, MachineFailedError):
                     continue  # dead replica: its locks died with it
+                else:
+                    raise outcome.value
             self.metrics.record_commit(txn.db, self.sim.now,
                                        self.sim.now - txn.started_at)
             self.metrics.record_phase_latency(
@@ -791,42 +973,38 @@ class ClusterController:
             self._finish(conn, txn)
             return True
 
-        # Phase 1: PREPARE on every write participant.
+        # Phase 1: PREPARE on every write participant — one concurrent
+        # broadcast. The commit/abort decision is taken from the
+        # *complete* set of branch outcomes: a branch that timed out
+        # (silence — maybe alive, un-prepared) aborts the transaction
+        # even if every other branch prepared first. A branch on a
+        # machine known dead is skipped; survivors carry the write.
         phase1_at = self.sim.now
-        participants = sorted(txn.write_participants)
+        participants = self._live_targets(sorted(txn.write_participants))
+        outcomes = yield from self._fanout(
+            participants,
+            lambda m: m.prepare_body(
+                txn.txn_id,
+                expected_writes=(txn.writes_sent.get(m.name)
+                                 if self.fabric.enabled else None)),
+            txn_id=txn.txn_id, label="prepare", stop_on_fatal=True)
         prepared: List[str] = []
         failure: Optional[BaseException] = None
-        for name in participants:
-            machine = self.machines.get(name)
-            if machine is None or not machine.alive or machine.fenced:
-                continue
-            expected = (txn.writes_sent.get(name)
-                        if self.fabric.enabled else None)
-            try:
-                yield from self._call(
-                    machine,
-                    lambda m=machine, e=expected: m.prepare_body(
-                        txn.txn_id, expected_writes=e),
-                    txn_id=txn.txn_id, label="prepare")
-                prepared.append(name)
+        for outcome in outcomes:
+            if outcome.ok:
+                prepared.append(outcome.machine)
                 self.trace.emit("prepare", db=txn.db, txn=txn.txn_id,
-                                machine=name)
-            except RPCTimeoutError as exc:
-                # Presumed abort: the participant is unreachable but may
-                # be alive with an un-prepared branch. Skipping it (as we
-                # do for a *dead* replica) would commit a write that one
-                # live replica never saw — abort instead.
+                                machine=outcome.machine)
+            elif outcome.fatal:
+                # Presumed abort: silence or a refused branch (rolled
+                # back, missing a dropped write, diverged). Keep the
+                # first fatal outcome; every branch was still collected.
                 self.trace.emit("prepare_failed", db=txn.db, txn=txn.txn_id,
-                                machine=name, error=type(exc).__name__)
-                failure = exc
-                break
-            except MachineFailedError:
-                continue  # replica died; survivors carry the write
-            except Exception as exc:
-                self.trace.emit("prepare_failed", db=txn.db, txn=txn.txn_id,
-                                machine=name, error=type(exc).__name__)
-                failure = exc
-                break
+                                machine=outcome.machine,
+                                error=type(outcome.value).__name__)
+                if failure is None:
+                    failure = outcome.value
+            # else: replica died mid-prepare; survivors carry the write
         if failure is not None or not prepared:
             exc = failure or NoReplicaError(
                 f"no surviving write participant for {txn.db!r}")
@@ -847,29 +1025,35 @@ class ClusterController:
                         participants=prepared, actor="primary")
         self.metrics.record_phase_latency("prepare", decision_at - phase1_at)
 
-        # Phase 2: COMMIT on all touched machines (read locks too).
+        # Phase 2: COMMIT on all touched machines (read locks too) — one
+        # concurrent broadcast. The decision is made and mirrored, so
+        # every COMMIT leaves the (still-primary) controller at the same
+        # instant; per-branch failures are resolved from the gathered
+        # outcomes.
+        commit_targets = self._live_targets(sorted(txn.touched))
+        self._check_primary()
+        for name in commit_targets:
+            self.trace.emit("commit_sent", db=txn.db, txn=txn.txn_id,
+                            machine=name)
+        outcomes = yield from self._fanout(
+            commit_targets,
+            lambda m: m.commit_body(txn.txn_id),
+            txn_id=txn.txn_id, label="commit",
+            retries=self.config.network.commit_max_retries)
         redelivering = False
-        for name in sorted(txn.touched):
-            machine = self.machines.get(name)
-            if machine is None or not machine.alive or machine.fenced:
+        for outcome in outcomes:
+            if outcome.ok:
                 continue
-            self._check_primary()
-            try:
-                self.trace.emit("commit_sent", db=txn.db, txn=txn.txn_id,
-                                machine=name)
-                yield from self._call(
-                    machine,
-                    lambda m=machine: m.commit_body(txn.txn_id),
-                    txn_id=txn.txn_id, label="commit",
-                    retries=self.config.network.commit_max_retries)
-            except RPCTimeoutError:
+            if isinstance(outcome.value, RPCTimeoutError):
                 # The decision is made and durable; an unreachable
                 # participant just keeps receiving COMMIT until it acks,
                 # dies, or is fenced (commit_body is idempotent).
-                self._spawn_redelivery(txn.db, txn.txn_id, name)
+                self._spawn_redelivery(txn.db, txn.txn_id, outcome.machine)
                 redelivering = True
-            except MachineFailedError:
+            elif isinstance(outcome.value, MachineFailedError):
                 continue
+            else:
+                raise outcome.value
         if self.backup is not None and not redelivering:
             # Keep the mirrored decision while any participant still owes
             # an ack — a take-over must redrive COMMIT, not presume abort.
@@ -1011,9 +1195,16 @@ class ClusterController:
     def _detector_loop(self) -> Generator:
         while self.primary_alive:
             for name in list(self.machines):
+                outstanding = self._probes.get(name)
+                if outstanding is not None and outstanding.is_alive:
+                    # The previous probe outlasted the interval (slow or
+                    # cut link); don't stack another one — it would
+                    # double-count misses for the same silence.
+                    continue
                 probe = self.sim.process(self._probe(name),
                                          name=f"hb:{name}")
                 probe.defused = True
+                self._probes[name] = probe
             yield self.sim.timeout(self.config.heartbeat_interval_s)
 
     def _ping(self, machine: Machine) -> Generator:

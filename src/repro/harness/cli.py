@@ -25,8 +25,8 @@ import sys
 from repro.analysis.invariants import check_controller, check_trace
 from repro.cluster import CopyGranularity, ReadOption, WritePolicy
 from repro.harness.reporting import format_table
-from repro.harness.runner import (run_dr_soak, run_fault_soak,
-                                  run_partition_soak,
+from repro.harness.runner import (run_commit_latency_bench, run_dr_soak,
+                                  run_fault_soak, run_partition_soak,
                                   run_recovery_experiment, run_sla_placement,
                                   run_tpcw_cluster)
 from repro.sla.model import ResourceVector
@@ -236,6 +236,30 @@ def cmd_disaster(args) -> int:
     return len(violations)
 
 
+def cmd_clustertxn(args) -> int:
+    """2PC phase latency: parallel fan-out vs sequential reference."""
+    rows = []
+    for replicas in (2, 3, 5):
+        for policy in (WritePolicy.AGGRESSIVE, WritePolicy.CONSERVATIVE):
+            results = {}
+            for parallel in (False, True):
+                results[parallel] = run_commit_latency_bench(
+                    replicas=replicas, write_policy=policy,
+                    parallel_commit=parallel, seed=args.seed)
+            seq, par = results[False], results[True]
+            speedup = (seq.commit_path_p50 / par.commit_path_p50
+                       if par.commit_path_p50 else 0.0)
+            rows.append([replicas, policy.value,
+                         seq.p50("prepare"), par.p50("prepare"),
+                         seq.p50("commit"), par.p50("commit"),
+                         f"{speedup:.2f}x", par.committed])
+    print(format_table(
+        ["rf", "policy", "seq prep p50", "par prep p50",
+         "seq commit p50", "par commit p50", "2pc speedup", "committed"],
+        rows))
+    return 0
+
+
 def cmd_table1(args) -> None:
     # Import lazily: the benchmark module carries the implementation.
     sys.path.insert(0, "benchmarks")
@@ -260,6 +284,8 @@ EXPERIMENTS = [
                    "detection, fencing, process-pair takeover"),
     ("disaster", "cross-colo DR soak: lossy WAN log shipping, colo kill, "
                  "fenced failover, re-protection, RPO/RTO"),
+    ("clustertxn", "2PC phase latency: parallel commit fan-out vs the "
+                   "sequential reference coordinator"),
     ("all", "every experiment above, quick settings"),
 ]
 
@@ -322,6 +348,9 @@ def main(argv=None) -> int:
     if chosen in ("disaster", "all"):
         print("\n== Disaster soak: WAN shipping, colo failover, RPO/RTO ==")
         violations += cmd_disaster(args)
+    if chosen in ("clustertxn", "all"):
+        print("\n== Cluster commit: parallel fan-out vs sequential ==")
+        violations += cmd_clustertxn(args)
     if violations:
         print(f"\n{violations} invariant violation(s) detected")
         return 1

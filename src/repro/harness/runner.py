@@ -1,6 +1,6 @@
 """Reusable experiment drivers behind the figure/table benchmarks.
 
-Six drivers cover the paper's evaluation section plus the soaks:
+Seven drivers cover the paper's evaluation section plus the soaks:
 
 * :func:`run_tpcw_cluster` — multi-tenant TPC-W on one cluster under a
   chosen read option / write policy / replication factor (Figures 2-7);
@@ -18,7 +18,10 @@ Six drivers cover the paper's evaluation section plus the soaks:
   and promote), re-protection of the promoted databases, and a staged
   repair that rejoins the dead colo as a failback target;
 * :func:`run_sla_placement` — zipf-skewed SLA demands packed by
-  First-Fit vs. the exact optimum (Table 2).
+  First-Fit vs. the exact optimum (Table 2);
+* :func:`run_commit_latency_bench` — 2PC phase latency with fabric
+  latency on, comparing the parallel commit fan-out against the
+  sequential reference coordinator.
 """
 
 from __future__ import annotations
@@ -718,4 +721,92 @@ def run_sla_placement(
         avg_throughput_tps=sum(tpss) / len(tpss),
         machines_first_fit=placement.machines_used,
         machines_optimal=optimal,
+    )
+
+
+@dataclass
+class CommitLatencyBenchResult:
+    """Commit-pipeline latency under one fan-out mode and policy."""
+
+    replicas: int
+    write_policy: WritePolicy
+    parallel_commit: bool
+    committed: int
+    aborted: int
+    sim_seconds: float
+    # {phase: {count, mean, p50, p95, p99}} — "prepare", "commit",
+    # "txn", plus per-branch "branch:prepare" / "branch:commit".
+    latencies: Dict[str, Dict[str, float]]
+    # {label: {count, mean_width, max_width}} per broadcast label.
+    fanouts: Dict[str, Dict[str, float]]
+    metrics: MetricsCollector = field(repr=False, default=None)
+    controller: ClusterController = field(repr=False, default=None)
+
+    def p50(self, phase: str) -> float:
+        summary = self.latencies.get(phase)
+        return summary["p50"] if summary else 0.0
+
+    @property
+    def commit_path_p50(self) -> float:
+        """Median coordinator 2PC cost: PREPARE p50 + COMMIT p50."""
+        return self.p50("prepare") + self.p50("commit")
+
+
+def run_commit_latency_bench(
+    replicas: int = 3,
+    write_policy: WritePolicy = WritePolicy.CONSERVATIVE,
+    parallel_commit: bool = True,
+    clients: int = 4,
+    transactions_per_client: int = 50,
+    keys: int = 64,
+    latency_s: float = 0.003,
+    jitter_s: float = 0.0,
+    seed: int = 11,
+    think_time_s: float = 0.01,
+) -> CommitLatencyBenchResult:
+    """Measure 2PC phase latency with the fabric's latency enabled.
+
+    One cluster of ``replicas`` machines (so every write fans out to
+    all of them), a seeded key-value workload, and a lossless fabric
+    with a fixed one-way ``latency_s`` — the setting where a sequential
+    coordinator pays ``replicas`` round trips per phase and the
+    parallel fan-out pays one. ``parallel_commit`` selects the path;
+    everything else (seed, workload, latency) is identical, so two runs
+    differ only in coordinator scheduling.
+    """
+    sim = Simulator()
+    config = ClusterConfig(
+        write_policy=write_policy,
+        replication_factor=replicas,
+        parallel_commit=parallel_commit,
+        network=NetworkConfig(enabled=True, latency_s=latency_s,
+                              jitter_s=jitter_s, drop_probability=0.0,
+                              seed=seed),
+    )
+    controller = ClusterController(sim, config)
+    controller.add_machines(replicas)
+    workload = KeyValueWorkload(controller, db_name="kv", keys=keys,
+                                seed=seed)
+    workload.install(replicas=replicas)
+
+    stats = [KvStats() for _ in range(clients)]
+    for cid in range(clients):
+        proc = sim.process(workload.client(
+            cid, transactions=transactions_per_client,
+            think_time_s=think_time_s, stats=stats[cid]))
+        proc.defused = True
+    sim.run()
+
+    metrics = controller.metrics
+    return CommitLatencyBenchResult(
+        replicas=replicas,
+        write_policy=write_policy,
+        parallel_commit=parallel_commit,
+        committed=metrics.total_committed(),
+        aborted=sum(s.aborted for s in stats),
+        sim_seconds=sim.now,
+        latencies=metrics.latency_summary(),
+        fanouts=metrics.fanout_summary(),
+        metrics=metrics,
+        controller=controller,
     )

@@ -136,6 +136,10 @@ class SystemController:
         self.declared_dead: set = set()
         self._hb_misses: Dict[str, int] = {}
         self._detector_proc: Optional[Process] = None
+        # Outstanding probe per colo: a probe that outlasts the interval
+        # (slow or cut WAN link) suppresses new probes for that colo so
+        # misses are not double-counted.
+        self._probes: Dict[str, Process] = {}
         self._reprotect_procs: Dict[str, Process] = {}
 
     # -- membership ------------------------------------------------------------
@@ -439,9 +443,13 @@ class SystemController:
         try:
             while True:
                 for name in list(self.colos):
+                    outstanding = self._probes.get(name)
+                    if outstanding is not None and outstanding.is_alive:
+                        continue  # earlier probe still in flight
                     probe = self.sim.process(self._probe_colo(name),
                                              name=f"colo-hb:{name}")
                     probe.defused = True
+                    self._probes[name] = probe
                 yield self.sim.timeout(self.heartbeat_interval_s)
         except Interrupt:
             return

@@ -220,9 +220,14 @@ class TestReplicationAccounting:
         while link.shipped == 0:       # step until the commit ships
             t += 0.01
             platform.sim.run(until=t)
-        # Step just past the WAN latency: the replay transaction is in
-        # flight on the standby but has not applied yet.
-        platform.sim.run(until=t + 0.055)
+        # Step until the applier has taken the entry off the log (the
+        # replay transaction is in flight on the standby) but has not
+        # applied yet. The log pop is the replay's first action, so this
+        # lands mid-transaction regardless of how fast the commit
+        # pipeline runs.
+        while link.log:
+            t += 0.0005
+            platform.sim.run(until=t)
         assert link.applied == 0
         primary, standby = platform.system.placements["app"]
         platform.system.fail_colo(primary)

@@ -159,3 +159,81 @@ class TestMachine:
         vec = machine.capacity_vector()
         assert vec.cpu == 4.0
         assert vec.memory_mb == 8192
+
+
+class TestStmtCacheLru:
+    """The statement-classification cache is LRU-bounded."""
+
+    def make(self, size):
+        from tests.conftest import make_cluster
+        sim = Simulator()
+        return make_cluster(sim, machines=1, stmt_cache_size=size)
+
+    def test_eviction_past_bound(self):
+        controller = self.make(2)
+        for k in range(3):
+            controller._classify(f"SELECT v FROM t WHERE k = {k}")
+        assert len(controller._stmt_cache) == 2
+        assert controller.metrics.stmt_cache_evictions == 1
+        # The oldest entry went; the two newest stayed.
+        assert "SELECT v FROM t WHERE k = 0" not in controller._stmt_cache
+        assert "SELECT v FROM t WHERE k = 2" in controller._stmt_cache
+
+    def test_hit_refreshes_recency(self):
+        controller = self.make(2)
+        controller._classify("SELECT v FROM t WHERE k = 0")
+        controller._classify("SELECT v FROM t WHERE k = 1")
+        controller._classify("SELECT v FROM t WHERE k = 0")  # refresh
+        controller._classify("SELECT v FROM t WHERE k = 2")
+        assert "SELECT v FROM t WHERE k = 0" in controller._stmt_cache
+        assert "SELECT v FROM t WHERE k = 1" not in controller._stmt_cache
+
+    def test_zero_means_unbounded(self):
+        controller = self.make(0)
+        for k in range(50):
+            controller._classify(f"SELECT v FROM t WHERE k = {k}")
+        assert len(controller._stmt_cache) == 50
+        assert controller.metrics.stmt_cache_evictions == 0
+
+    def test_classification_stable_across_eviction(self):
+        controller = self.make(1)
+        sql = "UPDATE t SET v = 1 WHERE k = 0"
+        first = controller._classify(sql)
+        controller._classify("SELECT v FROM t")       # evicts the update
+        assert controller._classify(sql) == first == ("write", "t")
+
+
+class TestProbeCoalescing:
+    """A slow probe suppresses new ones instead of stacking misses."""
+
+    def make_slow_fabric_cluster(self):
+        from repro.cluster.network import NetworkConfig
+        from tests.conftest import make_kv_cluster
+        sim = Simulator()
+        # One ping round trip (1.0s) spans ten heartbeat intervals
+        # (0.1s); every response arrives past its deadline, so each
+        # *completed* probe is one miss. Stacked probes would instead
+        # count one miss per interval for the same silence.
+        controller = make_kv_cluster(
+            sim, machines=2,
+            network=NetworkConfig(enabled=True, latency_s=0.5, seed=1),
+            heartbeat_interval_s=0.1)
+        controller.start_failure_detector()
+        return sim, controller
+
+    def test_outstanding_probe_suppresses_new_ones(self):
+        sim, controller = self.make_slow_fabric_cluster()
+        sim.run(until=2.0)
+        for name in controller.machines:
+            # ~2 completed probes by t=2.0, not ~20 stacked ones.
+            assert controller._hb_misses.get(name, 0) <= 3
+            assert name not in controller.declared_dead
+
+    def test_probe_resumes_after_outstanding_settles(self):
+        sim, controller = self.make_slow_fabric_cluster()
+        sim.run(until=4.0)
+        for name in controller.machines:
+            # Probes keep being issued once the previous one settles:
+            # misses grow with completed probes (roughly one per
+            # round trip), proving the detector did not stall.
+            assert controller._hb_misses.get(name, 0) >= 2
