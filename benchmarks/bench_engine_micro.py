@@ -28,9 +28,18 @@ def make_engine(rows: int = 2000, config: EngineConfig = None):
                         "CREATE TABLE t (k INTEGER PRIMARY KEY, "
                         "v INTEGER, s VARCHAR(20))")
     engine.execute_sync(txn, "db", "CREATE INDEX t_v ON t (v)")
+    # Small dimension table for the join groups: t.v points into d.id,
+    # d.grp fans d out 10 ways (selective via the d_grp index).
+    engine.execute_sync(txn, "db",
+                        "CREATE TABLE d (id INTEGER PRIMARY KEY, "
+                        "grp INTEGER, label VARCHAR(20))")
+    engine.execute_sync(txn, "db", "CREATE INDEX d_grp ON d (grp)")
     for k in range(rows):
         engine.execute_sync(txn, "db", "INSERT INTO t VALUES (?, ?, ?)",
                             (k, k % 50, f"s{k:06d}"))
+    for i in range(100):
+        engine.execute_sync(txn, "db", "INSERT INTO d VALUES (?, ?, ?)",
+                            (i, i % 10, f"d{i:04d}"))
     engine.commit(txn)
     return engine
 
@@ -111,6 +120,66 @@ def test_aggregate_group_by(benchmark, engine):
     assert len(result.rows) == 10
 
 
+@pytest.mark.benchmark(group="engine-micro")
+def test_join_lookup(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db",
+            "SELECT t.k, d.label FROM t, d WHERE d.id = t.v "
+            "AND t.k >= ? AND t.k < ?", (100, 200))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.rowcount == 100
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_join_reorder(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db",
+            "SELECT COUNT(*) FROM t, d WHERE t.v = d.id AND d.grp = ?",
+            (3,))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.scalar() == 200
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_analytic_topn(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db",
+            "SELECT k, v, s FROM t WHERE v >= ? ORDER BY s DESC LIMIT 10",
+            (10,))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.rowcount == 10
+
+
+@pytest.mark.benchmark(group="engine-micro")
+def test_analytic_global_agg(benchmark, engine):
+    txn = engine.begin()
+
+    def op():
+        return engine.execute_sync(
+            txn, "db",
+            "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) FROM t WHERE v < ?",
+            (25,))
+
+    result = benchmark(op)
+    engine.commit(txn)
+    assert result.rows[0][0] == 1000
+
+
 # -- plain mode ---------------------------------------------------------------
 
 
@@ -143,32 +212,50 @@ def _plain_groups():
         return op
 
     return [
-        ("point_select", 1500,
+        ("point_select", 3000,
          lambda e: query(e, "SELECT v FROM t WHERE k = ?", (777,))),
-        ("secondary_index_select", 400,
+        ("secondary_index_select", 1000,
          lambda e: query(e, "SELECT COUNT(*) FROM t WHERE v = ?", (7,))),
-        ("range_scan", 300,
+        ("range_scan", 400,
          lambda e: query(e, "SELECT k FROM t WHERE k >= ? AND k < ? "
                             "ORDER BY k", (100, 200))),
-        ("update_commit_cycle", 300, update_cycle),
-        ("aggregate_group_by", 40,
+        ("update_commit_cycle", 1000, update_cycle),
+        ("aggregate_group_by", 60,
          lambda e: query(e, "SELECT v, COUNT(*) FROM t "
                             "GROUP BY v ORDER BY v LIMIT 10")),
+        ("join_lookup", 100,
+         lambda e: query(e, "SELECT t.k, d.label FROM t, d "
+                            "WHERE d.id = t.v AND t.k >= ? AND t.k < ?",
+                        (100, 200))),
+        ("join_reorder", 100,
+         lambda e: query(e, "SELECT COUNT(*) FROM t, d "
+                            "WHERE t.v = d.id AND d.grp = ?", (3,))),
+        ("analytic_topn", 100,
+         lambda e: query(e, "SELECT k, v, s FROM t WHERE v >= ? "
+                            "ORDER BY s DESC LIMIT 10", (10,))),
+        ("analytic_global_agg", 200,
+         lambda e: query(e, "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) "
+                            "FROM t WHERE v < ?", (25,))),
     ]
 
 
-def run_plain(repeats: int = 5):
+def run_plain(repeats: int = 5, smoke: bool = False):
     """Measure statements/sec per group, compiled vs interpreted.
 
     The two modes are interleaved repeat-by-repeat (not run back to
     back) so a CPU-frequency or scheduler shift mid-run skews both
-    sides equally instead of poisoning the speedup ratio.
+    sides equally instead of poisoning the speedup ratio. ``smoke``
+    shrinks tables and inner loops so CI can exercise every group in a
+    few seconds (numbers are then functional coverage, not results).
     """
     import time
 
     rates = {}
     for name, inner, factory in _plain_groups():
         rows = 500 if name == "update_commit_cycle" else 2000
+        if smoke:
+            rows = min(rows, 300)
+            inner = min(inner, 10)
         ops = {}
         for label, compiled in (("compiled", True), ("interpreted", False)):
             engine = make_engine(rows,
@@ -200,11 +287,16 @@ def main(argv=None) -> int:
         description="MiniSQL engine microbenchmark (plain mode)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repeats per group (best is kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny tables and loops (CI functional pass)")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
 
-    rates = run_plain(repeats=args.repeats)
+    if args.smoke:
+        rates = run_plain(repeats=1, smoke=True)
+    else:
+        rates = run_plain(repeats=args.repeats)
     payload = {
         "benchmark": "engine_micro",
         "unit": "statements_per_sec",

@@ -28,15 +28,18 @@ paths together.
 
 from __future__ import annotations
 
+import heapq
+from dataclasses import dataclass
 from operator import itemgetter
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.engine import planner as p
 from repro.engine.executor import ExecContext, ExecResult
 from repro.engine.locks import LockMode, LockRequest
+from repro.engine.schema import TableSchema
 from repro.engine.sqlparse import nodes as n
 from repro.engine.transactions import UndoEntry
-from repro.engine.types import like_match, sql_compare, sql_eq
+from repro.engine.types import SqlType, like_match, sql_compare, sql_eq
 from repro.engine.wal import RecordType
 from repro.errors import SqlError
 
@@ -44,6 +47,53 @@ from repro.errors import SqlError
 ExprFn = Callable[[Tuple[Any, ...], Tuple[Any, ...]], Any]
 # A compiled plan node: (ctx, outer_row) -> generator of rows/LockRequests.
 NodeFn = Callable[..., Generator]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Compilation knobs, threaded in from :class:`EngineConfig`.
+
+    ``batch`` turns on columnar batch execution for the hot read path:
+    scan/filter chains at slot offset zero emit :class:`Batch` blocks
+    instead of per-row yields, filters evaluate column vectors under a
+    selection vector, and aggregates consume batches directly. Batched
+    subtrees are behavior-identical to row-at-a-time execution on every
+    non-erroring statement (same rows, lock order, page touches, cost
+    counters, history records); when a statement raises mid-scan the
+    batch path may have scanned up to one batch further before the same
+    error surfaces.
+    """
+
+    batch: bool = False
+    batch_size: int = 256
+
+
+class Batch:
+    """A block of rows flowing between batch-aware operators.
+
+    Rows are primary; per-column value lists are materialized lazily and
+    cached, since a filter or aggregate typically touches one or two
+    columns of a wide row. A batch is never mutated once emitted —
+    filters build new, narrower batches.
+    """
+
+    __slots__ = ("rows", "_columns")
+
+    def __init__(self, rows: List[Tuple[Any, ...]]):
+        self.rows = rows
+        self._columns = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, index: int) -> List[Any]:
+        cols = self._columns
+        if cols is None:
+            cols = self._columns = {}
+        col = cols.get(index)
+        if col is None:
+            col = cols[index] = [row[index] for row in self.rows]
+        return col
 
 
 # -- expression compilation ---------------------------------------------------
@@ -398,8 +448,8 @@ def _compile_index_eq_scan(plan: p.IndexEqScan, with_rids: bool) -> NodeFn:
     return run
 
 
-def _compile_index_range_scan(plan: p.IndexRangeScan,
-                              with_rids: bool) -> NodeFn:
+def _compile_index_range_scan(plan: p.IndexRangeScan, with_rids: bool,
+                              batch_size: int = None) -> NodeFn:
     table_name = plan.binding.table
     index_name = plan.index.name
     lo_fn = compile_expr(plan.lo) if plan.lo is not None else None
@@ -410,7 +460,10 @@ def _compile_index_range_scan(plan: p.IndexRangeScan,
     table_mode = _scan_lock_modes(plan.lock_exclusive)[0]
     lock_exclusive = plan.lock_exclusive
     db_name = plan.db
-    fetch = _compile_fetch_loop(plan, with_rids)
+    if batch_size is None:
+        fetch = _compile_fetch_loop(plan, with_rids)
+    else:
+        fetch = _compile_fetch_batches(plan, batch_size)
 
     def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()) -> Generator:
         table = ctx.database.table(table_name)
@@ -452,8 +505,9 @@ def _compile_index_range_scan(plan: p.IndexRangeScan,
     return run
 
 
-def _compile_filter(plan: p.Filter, with_rids: bool) -> NodeFn:
-    child = _compile_node(plan.child, with_rids)
+def _compile_filter(plan: p.Filter, with_rids: bool,
+                    opts: CompileOptions) -> NodeFn:
+    child = _compile_node(plan.child, with_rids, opts)
     pred = compile_expr(plan.predicate)
 
     if with_rids:
@@ -494,8 +548,8 @@ def _compile_projector(exprs: List[n.Expr]) -> ExprFn:
     return lambda row, params: tuple(fn(row, params) for fn in expr_fns)
 
 
-def _compile_project(plan: p.Project) -> NodeFn:
-    child = _compile_node(plan.child, with_rids=False)
+def _compile_project(plan: p.Project, opts: CompileOptions) -> NodeFn:
+    child = _compile_node(plan.child, False, opts)
     project = _compile_projector(plan.exprs)
 
     def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
@@ -509,8 +563,9 @@ def _compile_project(plan: p.Project) -> NodeFn:
     return run
 
 
-def _compile_index_lookup_join(plan: p.IndexLookupJoin) -> NodeFn:
-    outer = _compile_node(plan.outer, with_rids=False)
+def _compile_index_lookup_join(plan: p.IndexLookupJoin,
+                               opts: CompileOptions) -> NodeFn:
+    outer = _compile_node(plan.outer, False, opts)
     inner_plan = plan.inner
     if isinstance(inner_plan, p.IndexEqScan):
         inner = _compile_index_eq_scan(inner_plan, with_rids=False)
@@ -533,9 +588,9 @@ def _compile_index_lookup_join(plan: p.IndexLookupJoin) -> NodeFn:
     return run
 
 
-def _compile_hash_join(plan: p.HashJoin) -> NodeFn:
-    outer = _compile_node(plan.outer, with_rids=False)
-    inner = _compile_node(plan.inner, with_rids=False)
+def _compile_hash_join(plan: p.HashJoin, opts: CompileOptions) -> NodeFn:
+    outer = _compile_node(plan.outer, False, opts)
+    inner = _compile_node(plan.inner, False, opts)
     outer_key_fns = [compile_expr(e) for e in plan.outer_keys]
     inner_key_fns = [compile_expr(e) for e in plan.inner_keys]
     pad = (None,) * plan.inner_offset
@@ -565,9 +620,9 @@ def _compile_hash_join(plan: p.HashJoin) -> NodeFn:
     return run
 
 
-def _compile_cross_join(plan: p.CrossJoin) -> NodeFn:
-    outer = _compile_node(plan.outer, with_rids=False)
-    inner = _compile_node(plan.inner, with_rids=False)
+def _compile_cross_join(plan: p.CrossJoin, opts: CompileOptions) -> NodeFn:
+    outer = _compile_node(plan.outer, False, opts)
+    inner = _compile_node(plan.inner, False, opts)
 
     def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
         inner_rows = []
@@ -660,8 +715,12 @@ def _compile_agg(item: p.AggItem):
     return make_best, update_best, result_best
 
 
-def _compile_aggregate(plan: p.Aggregate) -> NodeFn:
-    child = _compile_node(plan.child, with_rids=False)
+def _compile_aggregate(plan: p.Aggregate, opts: CompileOptions) -> NodeFn:
+    if opts.batch:
+        source = _batch_source(plan.child, opts)
+        if source is not None:
+            return _compile_aggregate_batches(plan, source[0])
+    child = _compile_node(plan.child, False, opts)
     group_fns = [compile_expr(g) for g in plan.group_exprs]
     specs = [_compile_agg(a) for a in plan.aggs]
     makes = [s[0] for s in specs]
@@ -695,8 +754,8 @@ def _compile_aggregate(plan: p.Aggregate) -> NodeFn:
     return run
 
 
-def _compile_sort(plan: p.Sort) -> NodeFn:
-    child = _compile_node(plan.child, with_rids=False)
+def _compile_sort(plan: p.Sort, opts: CompileOptions) -> NodeFn:
+    child = _compile_node(plan.child, False, opts)
     key_specs = [(compile_expr(e), descending) for e, descending in plan.keys]
 
     def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
@@ -724,9 +783,80 @@ def _compile_sort(plan: p.Sort) -> NodeFn:
     return run
 
 
-def _compile_limit(plan: p.Limit) -> NodeFn:
-    child = _compile_node(plan.child, with_rids=False)
+class _Descending:
+    """Key part that inverts comparison order inside a sort key tuple."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def _compile_topn(sort_plan: p.Sort, project: Optional[ExprFn],
+                  limit: int, offset: int, opts: CompileOptions) -> NodeFn:
+    """Fused ``Limit(Sort)`` — a bounded top-N instead of a full sort.
+
+    ``heapq.nsmallest`` is documented equivalent to ``sorted(...)[:n]``
+    (stable), so the emitted prefix is identical to sort-then-limit. The
+    composite key reproduces the layered stable sorts of
+    :func:`_compile_sort`: NULL maps below every value, and descending
+    keys wrap in :class:`_Descending`.
+    """
+    child = _compile_node(sort_plan.child, False, opts)
+    key_specs = [(compile_expr(e), descending)
+                 for e, descending in sort_plan.keys]
+    count = limit + offset
+
+    def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
+        params = ctx.params
+        rows = []
+        append = rows.append
+        for item in child(ctx, outer_row):
+            if isinstance(item, LockRequest):
+                yield item
+            else:
+                append(item)
+
+        def sort_key(row):
+            key = []
+            for fn, descending in key_specs:
+                value = fn(row, params)
+                part = (False, 0) if value is None else (True, value)
+                key.append(_Descending(part) if descending else part)
+            return tuple(key)
+
+        top = heapq.nsmallest(count, rows, key=sort_key)[offset:]
+        if project is None:
+            yield from top
+        else:
+            for row in top:
+                yield project(row, params)
+
+    return run
+
+
+def _compile_limit(plan: p.Limit, opts: CompileOptions) -> NodeFn:
     limit, offset = plan.limit, plan.offset
+    if limit is not None:
+        if isinstance(plan.child, p.Sort):
+            return _compile_topn(plan.child, None, limit, offset, opts)
+        if (isinstance(plan.child, p.Project)
+                and isinstance(plan.child.child, p.Sort)):
+            projector = _compile_projector(plan.child.exprs)
+            return _compile_topn(plan.child.child, projector, limit,
+                                 offset, opts)
+        # An unfused LIMIT stops pulling once the cap is reached, and the
+        # interpreter's per-row scan count reflects exactly where it
+        # stopped. A batched child scans a batch at a time, so its
+        # rows_scanned would run ahead — keep the child row-at-a-time.
+        opts = CompileOptions(batch=False, batch_size=opts.batch_size)
+    child = _compile_node(plan.child, False, opts)
 
     def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
         skipped = 0
@@ -746,8 +876,8 @@ def _compile_limit(plan: p.Limit) -> NodeFn:
     return run
 
 
-def _compile_distinct(plan: p.Distinct) -> NodeFn:
-    child = _compile_node(plan.child, with_rids=False)
+def _compile_distinct(plan: p.Distinct, opts: CompileOptions) -> NodeFn:
+    child = _compile_node(plan.child, False, opts)
 
     def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
         seen = set()
@@ -761,8 +891,13 @@ def _compile_distinct(plan: p.Distinct) -> NodeFn:
     return run
 
 
-def _compile_node(plan: p.Plan, with_rids: bool) -> NodeFn:
+def _compile_node(plan: p.Plan, with_rids: bool,
+                  opts: CompileOptions) -> NodeFn:
     """Compile one read-plan node (``with_rids`` for DML source trees)."""
+    if not with_rids and opts.batch:
+        source = _batch_source(plan, opts)
+        if source is not None:
+            return _flatten_batches(source[0])
     if isinstance(plan, p.SeqScan):
         return _compile_seq_scan(plan, with_rids)
     if isinstance(plan, p.IndexEqScan):
@@ -770,38 +905,651 @@ def _compile_node(plan: p.Plan, with_rids: bool) -> NodeFn:
     if isinstance(plan, p.IndexRangeScan):
         return _compile_index_range_scan(plan, with_rids)
     if isinstance(plan, p.Filter):
-        return _compile_filter(plan, with_rids)
+        return _compile_filter(plan, with_rids, opts)
     if with_rids:
         raise SqlError(f"invalid DML source node {type(plan).__name__}")
     if isinstance(plan, p.IndexLookupJoin):
-        return _compile_index_lookup_join(plan)
+        return _compile_index_lookup_join(plan, opts)
     if isinstance(plan, p.HashJoin):
-        return _compile_hash_join(plan)
+        return _compile_hash_join(plan, opts)
     if isinstance(plan, p.CrossJoin):
-        return _compile_cross_join(plan)
+        return _compile_cross_join(plan, opts)
     if isinstance(plan, p.Project):
-        return _compile_project(plan)
+        return _compile_project(plan, opts)
     if isinstance(plan, p.Aggregate):
-        return _compile_aggregate(plan)
+        return _compile_aggregate(plan, opts)
     if isinstance(plan, p.Sort):
-        return _compile_sort(plan)
+        return _compile_sort(plan, opts)
     if isinstance(plan, p.Limit):
-        return _compile_limit(plan)
+        return _compile_limit(plan, opts)
     if isinstance(plan, p.Distinct):
-        return _compile_distinct(plan)
+        return _compile_distinct(plan, opts)
     raise SqlError(f"cannot compile plan node {type(plan).__name__}")
+
+
+# -- batch (columnar) execution ----------------------------------------------
+# The hot read path — Filter*(SeqScan | IndexRangeScan) at slot offset
+# zero — compiles to operators that move Batch blocks instead of single
+# rows. Everything observable (lock acquisition order, buffer-pool
+# touches, cost counters, history records) is kept identical to the
+# row-at-a-time code; only the shape of the Python loops changes.
+
+
+def _compile_seq_scan_batches(plan: p.SeqScan, batch_size: int) -> NodeFn:
+    table_name = plan.binding.table
+    lock_exclusive = plan.lock_exclusive
+    table_res = ("tbl", plan.db, table_name)
+    pk_positions = plan.binding.schema.pk_positions()
+    table_mode = LockMode.X if lock_exclusive else LockMode.S
+    db_name = plan.db
+
+    def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()) -> Generator:
+        table = ctx.database.table(table_name)
+        cost = ctx.cost
+        nonlocking = ctx.nonlocking_reads and not lock_exclusive
+        if not nonlocking:
+            txn_id = ctx.txn.txn_id
+            if not ctx.locks.try_reentrant(txn_id, table_res, table_mode):
+                request = ctx.locks.acquire(txn_id, table_res, table_mode)
+                if not request.granted:
+                    cost.lock_waits += 1
+                    yield request
+                    if not request.granted:
+                        raise request.error or RuntimeError(
+                            "lock wait failed")
+        ctx.touch(table.heap_pages())
+        history = ctx.history
+        if history is None and not nonlocking:
+            # Rowless fast path: the table lock covers every row, nothing
+            # is recorded per row, so the heap can be sliced wholesale.
+            rows = table.scan_rows()
+            cost.rows_scanned += len(rows)
+            for start in range(0, len(rows), batch_size):
+                yield Batch(rows[start:start + batch_size])
+            return
+        committed_view = ctx.committed_view
+        txn_id = ctx.txn.txn_id
+        buf: List[Tuple[Any, ...]] = []
+        for rid, row in list(table.scan()):
+            if nonlocking:
+                row = committed_view(table_name, rid, row)
+                if row is None:
+                    continue
+            cost.rows_scanned += 1
+            if history is not None:
+                key = (tuple(row[i] for i in pk_positions)
+                       if pk_positions else (rid,))
+                history.record_read(txn_id, (db_name, table_name, key))
+            buf.append(row)
+            if len(buf) >= batch_size:
+                yield Batch(buf)
+                buf = []
+        if buf:
+            yield Batch(buf)
+
+    return run
+
+
+def _compile_fetch_batches(plan, batch_size: int):
+    """Batched variant of :func:`_compile_fetch_loop`.
+
+    Performs the exact per-rid lock/re-check/page-charge sequence of the
+    row loop but accumulates surviving rows into Batches, flushing the
+    buffer before any lock wait is surfaced.
+    """
+    table_name = plan.binding.table
+    row_mode = _scan_lock_modes(plan.lock_exclusive)[1]
+    pk_positions = plan.binding.schema.pk_positions()
+    row_res_prefix = ("row", plan.db, table_name)
+    exclusive = row_mode is LockMode.X
+    db_name = plan.db
+
+    def fetch(ctx: ExecContext, table, rids) -> Generator:
+        cost = ctx.cost
+        locks = ctx.locks
+        try_reentrant = locks.try_reentrant
+        txn_id = ctx.txn.txn_id
+        access = ctx.pool.access
+        history = ctx.history
+        nonlocking_s = ctx.nonlocking_reads and not exclusive
+        get = table.get
+        heap_page = table.heap_page
+        buf: List[Tuple[Any, ...]] = []
+        for rid in rids:
+            row = get(rid)
+            if row is None:
+                continue
+            if nonlocking_s:
+                row = ctx.committed_view(table_name, rid, row)
+                if row is None:
+                    continue
+            else:
+                resource = row_res_prefix + (rid,)
+                if try_reentrant(txn_id, resource, row_mode):
+                    row = get(rid)
+                    if row is None:
+                        continue
+                else:
+                    if buf:
+                        yield Batch(buf)
+                        buf = []
+                    request = locks.acquire(txn_id, resource, row_mode)
+                    if not request.granted:
+                        cost.lock_waits += 1
+                        yield request
+                        if not request.granted:
+                            raise request.error or RuntimeError(
+                                "lock wait failed")
+                    row = get(rid)
+                    if row is None:
+                        continue  # deleted while we waited for the lock
+            if access(heap_page(rid)):
+                cost.cache_hits += 1
+            else:
+                cost.cache_misses += 1
+            cost.rows_scanned += 1
+            if history is not None:
+                key = (tuple(row[i] for i in pk_positions)
+                       if pk_positions else (rid,))
+                history.record_read(txn_id, (db_name, table_name, key))
+            buf.append(row)
+            if len(buf) >= batch_size:
+                yield Batch(buf)
+                buf = []
+        if buf:
+            yield Batch(buf)
+
+    return fetch
+
+
+# Columnar predicate compilation. A conjunct compiles to a closure
+# (batch, sel, params) -> sel' that narrows a selection vector (a list of
+# row indices into the batch). Comparisons against values whose type
+# matches the column's storage class use native Python operators (the
+# storage layer guarantees homogeneous column types); everything else
+# falls back to sql_compare / the compiled row predicate, preserving the
+# interpreter's exact verdicts and error behavior.
+
+_CMP_TESTS = {
+    "<": lambda cmp: cmp < 0,
+    "<=": lambda cmp: cmp <= 0,
+    ">": lambda cmp: cmp > 0,
+    ">=": lambda cmp: cmp >= 0,
+}
+_FLIP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+            "<>": "<>"}
+
+
+def _column_is_numeric(schema: TableSchema, index: int) -> Optional[bool]:
+    if index >= len(schema.columns):
+        return None
+    return schema.columns[index].sql_type in (SqlType.INTEGER, SqlType.FLOAT)
+
+
+def _value_matches(numeric_column: bool, value: Any) -> bool:
+    if numeric_column:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    return isinstance(value, str)
+
+
+def _slot_vs_value(expr: n.Expr):
+    """Normalize ``slot OP value`` / ``value OP slot`` comparisons."""
+    if not (isinstance(expr, n.BinaryOp) and expr.op in _FLIP_OP):
+        return None
+    left, right = expr.left, expr.right
+    if type(left) is p.Slot and isinstance(right, (n.Literal, n.Param)):
+        return left.index, expr.op, right
+    if type(right) is p.Slot and isinstance(left, (n.Literal, n.Param)):
+        return right.index, _FLIP_OP[expr.op], left
+    return None
+
+
+def _and_conjuncts(expr: n.Expr) -> List[n.Expr]:
+    if isinstance(expr, n.BinaryOp) and expr.op == "AND":
+        return _and_conjuncts(expr.left) + _and_conjuncts(expr.right)
+    return [expr]
+
+
+def _compile_columnar_pred(conjunct: n.Expr, schema: TableSchema):
+    """Compile one conjunct to a selection-vector transform."""
+    match = _slot_vs_value(conjunct)
+    if match is not None:
+        index, op, value_expr = match
+        value_fn = compile_expr(value_expr)
+        if op == "=":
+            # Native == matches sql_eq for every non-NULL pair: a type
+            # mismatch yields False either way.
+            def eq_pred(batch, sel, params):
+                rv = value_fn((), params)
+                if rv is None:
+                    return []
+                col = batch.column(index)
+                return [i for i in sel
+                        if col[i] is not None and col[i] == rv]
+            return eq_pred
+        if op == "<>":
+            def ne_pred(batch, sel, params):
+                rv = value_fn((), params)
+                if rv is None:
+                    return []
+                col = batch.column(index)
+                return [i for i in sel
+                        if col[i] is not None and col[i] != rv]
+            return ne_pred
+        numeric = _column_is_numeric(schema, index)
+        if numeric is not None:
+            test = _CMP_TESTS[op]
+            if op == "<":
+                def native(col, sel, rv):
+                    return [i for i in sel
+                            if col[i] is not None and col[i] < rv]
+            elif op == "<=":
+                def native(col, sel, rv):
+                    return [i for i in sel
+                            if col[i] is not None and col[i] <= rv]
+            elif op == ">":
+                def native(col, sel, rv):
+                    return [i for i in sel
+                            if col[i] is not None and col[i] > rv]
+            else:
+                def native(col, sel, rv):
+                    return [i for i in sel
+                            if col[i] is not None and col[i] >= rv]
+
+            def cmp_pred(batch, sel, params):
+                rv = value_fn((), params)
+                if rv is None:
+                    return []
+                col = batch.column(index)
+                if _value_matches(numeric, rv):
+                    return native(col, sel, rv)
+                out = []
+                for i in sel:
+                    cmp = sql_compare(col[i], rv)
+                    if cmp is not None and test(cmp):
+                        out.append(i)
+                return out
+            return cmp_pred
+    if isinstance(conjunct, n.IsNull) and type(conjunct.expr) is p.Slot:
+        index = conjunct.expr.index
+        if conjunct.negated:
+            def notnull_pred(batch, sel, params):
+                col = batch.column(index)
+                return [i for i in sel if col[i] is not None]
+            return notnull_pred
+
+        def isnull_pred(batch, sel, params):
+            col = batch.column(index)
+            return [i for i in sel if col[i] is None]
+        return isnull_pred
+    if (isinstance(conjunct, n.Between)
+            and type(conjunct.expr) is p.Slot
+            and isinstance(conjunct.low, (n.Literal, n.Param))
+            and isinstance(conjunct.high, (n.Literal, n.Param))):
+        index = conjunct.expr.index
+        low_fn = compile_expr(conjunct.low)
+        high_fn = compile_expr(conjunct.high)
+        negated = conjunct.negated
+        numeric = _column_is_numeric(schema, index)
+
+        def between_pred(batch, sel, params):
+            lo = low_fn((), params)
+            hi = high_fn((), params)
+            if lo is None or hi is None:
+                return []
+            col = batch.column(index)
+            if (numeric is not None and _value_matches(numeric, lo)
+                    and _value_matches(numeric, hi)):
+                if negated:
+                    return [i for i in sel if col[i] is not None
+                            and not lo <= col[i] <= hi]
+                return [i for i in sel if col[i] is not None
+                        and lo <= col[i] <= hi]
+            out = []
+            for i in sel:
+                lo_cmp = sql_compare(col[i], lo)
+                hi_cmp = sql_compare(col[i], hi)
+                if lo_cmp is None or hi_cmp is None:
+                    continue
+                if (lo_cmp >= 0 and hi_cmp <= 0) != negated:
+                    out.append(i)
+            return out
+        return between_pred
+
+    row_pred = compile_expr(conjunct)
+
+    def fallback_pred(batch, sel, params):
+        rows = batch.rows
+        return [i for i in sel if _truthy(row_pred(rows[i], params))]
+    return fallback_pred
+
+
+def _compile_filter_batches(plan: p.Filter, child: NodeFn,
+                            schema: TableSchema) -> NodeFn:
+    preds = [_compile_columnar_pred(c, schema)
+             for c in _and_conjuncts(plan.predicate)]
+
+    def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
+        params = ctx.params
+        for item in child(ctx, outer_row):
+            if isinstance(item, LockRequest):
+                yield item
+                continue
+            rows = item.rows
+            sel = range(len(rows))
+            for pred in preds:
+                sel = pred(item, sel, params)
+                if not sel:
+                    break
+            if sel:
+                if len(sel) == len(rows):
+                    yield item
+                else:
+                    yield Batch([rows[i] for i in sel])
+
+    return run
+
+
+def _batch_source(plan: p.Plan, opts: CompileOptions):
+    """Batch-compile a ``Filter*(SeqScan | IndexRangeScan)`` chain.
+
+    Returns ``(node_fn, table_schema)`` — the node yields Batches — or
+    None when the subtree is not batchable. Only chains rooted at slot
+    offset zero qualify: their slot indexes coincide with column
+    positions, which the columnar predicate compiler relies on.
+    """
+    if isinstance(plan, p.SeqScan):
+        if plan.binding.offset != 0:
+            return None
+        return (_compile_seq_scan_batches(plan, opts.batch_size),
+                plan.binding.schema)
+    if isinstance(plan, p.IndexRangeScan):
+        if plan.binding.offset != 0:
+            return None
+        return (_compile_index_range_scan(plan, False, opts.batch_size),
+                plan.binding.schema)
+    if isinstance(plan, p.Filter):
+        source = _batch_source(plan.child, opts)
+        if source is None:
+            return None
+        child_fn, schema = source
+        return _compile_filter_batches(plan, child_fn, schema), schema
+    return None
+
+
+def _flatten_batches(child: NodeFn) -> NodeFn:
+    """Adapt a batch producer to the row protocol for row consumers."""
+
+    def run(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
+        for item in child(ctx, outer_row):
+            if isinstance(item, LockRequest):
+                yield item
+            else:
+                yield from item.rows
+
+    return run
+
+
+# Batched aggregation: simple aggregates (COUNT(*), and COUNT / SUM /
+# AVG / MIN / MAX over a bare column) get flat state lists and tight
+# loops over batch rows; a global aggregate goes fully columnar with
+# the sum/min/max builtins. Anything else — DISTINCT aggregates,
+# expression arguments, expression group keys — runs the generic
+# closure machinery over batch rows, still skipping the per-row
+# generator relay.
+
+_AGG_STAR, _AGG_COUNT, _AGG_SUM, _AGG_AVG, _AGG_MIN, _AGG_MAX = range(6)
+
+
+def _simple_agg_spec(item: p.AggItem):
+    if item.star:
+        return (_AGG_STAR, -1)
+    if type(item.arg) is not p.Slot:
+        return None
+    index = item.arg.index
+    # DISTINCT is a no-op for MIN/MAX; it changes COUNT/SUM/AVG.
+    if item.func == "MIN":
+        return (_AGG_MIN, index)
+    if item.func == "MAX":
+        return (_AGG_MAX, index)
+    if item.distinct:
+        return None
+    if item.func == "COUNT":
+        return (_AGG_COUNT, index)
+    if item.func == "SUM":
+        return (_AGG_SUM, index)
+    if item.func == "AVG":
+        return (_AGG_AVG, index)
+    return None
+
+
+def _simple_agg_result(kind: int, state: List[Any]) -> Any:
+    if kind in (_AGG_STAR, _AGG_COUNT):
+        return state[0]
+    if kind == _AGG_SUM:
+        return state[1] if state[0] else None
+    if kind == _AGG_AVG:
+        return state[1] / state[0] if state[0] else None
+    return state[0]
+
+
+def _compile_aggregate_batches(plan: p.Aggregate, child: NodeFn) -> NodeFn:
+    specs = [_simple_agg_spec(a) for a in plan.aggs]
+    simple_aggs = all(s is not None for s in specs)
+    simple_groups = all(type(g) is p.Slot for g in plan.group_exprs)
+    global_agg = not plan.group_exprs
+
+    if simple_aggs and global_agg:
+        templates = [[0] if k in (_AGG_STAR, _AGG_COUNT)
+                     else [0, 0] if k in (_AGG_SUM, _AGG_AVG)
+                     else [None]
+                     for k, _ in specs]
+        nspecs = len(specs)
+
+        def run_global(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
+            states = [list(t) for t in templates]
+            for item in child(ctx):
+                if isinstance(item, LockRequest):
+                    yield item
+                    continue
+                nrows = len(item.rows)
+                for si in range(nspecs):
+                    kind, index = specs[si]
+                    state = states[si]
+                    if kind == _AGG_STAR:
+                        state[0] += nrows
+                        continue
+                    col = item.column(index)
+                    if kind == _AGG_COUNT:
+                        state[0] += sum(1 for v in col if v is not None)
+                        continue
+                    vals = [v for v in col if v is not None]
+                    if not vals:
+                        continue
+                    if kind in (_AGG_SUM, _AGG_AVG):
+                        state[0] += len(vals)
+                        state[1] += sum(vals)
+                    elif kind == _AGG_MIN:
+                        best = min(vals)
+                        if state[0] is None or best < state[0]:
+                            state[0] = best
+                    else:
+                        best = max(vals)
+                        if state[0] is None or best > state[0]:
+                            state[0] = best
+            yield tuple(_simple_agg_result(specs[si][0], states[si])
+                        for si in range(nspecs))
+
+        return run_global
+
+    if simple_aggs and simple_groups:
+        group_idx = [g.index for g in plan.group_exprs]
+        single = len(group_idx) == 1
+        gi0 = group_idx[0] if single else None
+        nspecs = len(specs)
+
+        if single and nspecs == 1 and specs[0][0] == _AGG_STAR:
+            # GROUP BY col + COUNT(*): plain value -> int dict.
+            def run_counts(ctx: ExecContext,
+                           outer_row: Tuple[Any, ...] = ()):
+                counts = {}
+                order = []
+                get = counts.get
+                for item in child(ctx):
+                    if isinstance(item, LockRequest):
+                        yield item
+                        continue
+                    for row in item.rows:
+                        key = row[gi0]
+                        count = get(key)
+                        if count is None:
+                            counts[key] = 1
+                            order.append(key)
+                        else:
+                            counts[key] = count + 1
+                for key in order:
+                    yield (key, counts[key])
+
+            return run_counts
+
+        templates = [[0] if k in (_AGG_STAR, _AGG_COUNT)
+                     else [0, 0] if k in (_AGG_SUM, _AGG_AVG)
+                     else [None]
+                     for k, _ in specs]
+
+        def run_grouped(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
+            groups = {}
+            order = []
+            get = groups.get
+            for item in child(ctx):
+                if isinstance(item, LockRequest):
+                    yield item
+                    continue
+                for row in item.rows:
+                    key = (row[gi0] if single
+                           else tuple(row[i] for i in group_idx))
+                    states = get(key)
+                    if states is None:
+                        states = groups[key] = [list(t) for t in templates]
+                        order.append(key)
+                    for si in range(nspecs):
+                        kind, index = specs[si]
+                        state = states[si]
+                        if kind == _AGG_STAR:
+                            state[0] += 1
+                            continue
+                        value = row[index]
+                        if value is None:
+                            continue
+                        if kind == _AGG_COUNT:
+                            state[0] += 1
+                        elif kind in (_AGG_SUM, _AGG_AVG):
+                            state[0] += 1
+                            state[1] += value
+                        elif kind == _AGG_MIN:
+                            if state[0] is None or value < state[0]:
+                                state[0] = value
+                        else:
+                            if state[0] is None or value > state[0]:
+                                state[0] = value
+            for key in order:
+                states = groups[key]
+                prefix = (key,) if single else key
+                yield prefix + tuple(
+                    _simple_agg_result(specs[si][0], states[si])
+                    for si in range(nspecs))
+
+        return run_grouped
+
+    # Generic fallback: closure-based updates, batch rows as the feed.
+    group_fns = [compile_expr(g) for g in plan.group_exprs]
+    gen = [_compile_agg(a) for a in plan.aggs]
+    makes = [g[0] for g in gen]
+    updates = [g[1] for g in gen]
+    results = [g[2] for g in gen]
+
+    def run_generic(ctx: ExecContext, outer_row: Tuple[Any, ...] = ()):
+        params = ctx.params
+        groups = {}
+        order = []
+        for item in child(ctx):
+            if isinstance(item, LockRequest):
+                yield item
+                continue
+            for row in item.rows:
+                key = tuple(fn(row, params) for fn in group_fns)
+                states = groups.get(key)
+                if states is None:
+                    states = groups[key] = [make() for make in makes]
+                    order.append(key)
+                for update, state in zip(updates, states):
+                    update(state, row, params)
+        if not groups and global_agg:
+            groups[()] = [make() for make in makes]
+            order.append(())
+        for key in order:
+            states = groups[key]
+            yield key + tuple(result(state)
+                              for result, state in zip(results, states))
+
+    return run_generic
 
 
 # -- top-level statements -----------------------------------------------------
 
 
-def _compile_select(plan: p.SelectPlan) -> Callable[[ExecContext], Generator]:
+def _compile_select(plan: p.SelectPlan,
+                    opts: CompileOptions) -> Callable[[ExecContext],
+                                                      Generator]:
     column_names = plan.column_names
+    if opts.batch:
+        # Batched roots collect whole blocks at a time; a Project root
+        # fuses its projector into the per-batch loop.
+        if isinstance(plan.root, p.Project):
+            source = _batch_source(plan.root.child, opts)
+            if source is not None:
+                child = source[0]
+                project = _compile_projector(plan.root.exprs)
+
+                def run_batched_project(ctx: ExecContext) -> Generator:
+                    params = ctx.params
+                    rows = []
+                    extend = rows.extend
+                    for item in child(ctx):
+                        if isinstance(item, LockRequest):
+                            yield item
+                        else:
+                            extend([project(row, params)
+                                    for row in item.rows])
+                    ctx.cost.rows_returned = len(rows)
+                    return ExecResult(columns=column_names, rows=rows,
+                                      rowcount=len(rows), cost=ctx.cost)
+
+                return run_batched_project
+        else:
+            source = _batch_source(plan.root, opts)
+            if source is not None:
+                child = source[0]
+
+                def run_batched(ctx: ExecContext) -> Generator:
+                    rows = []
+                    extend = rows.extend
+                    for item in child(ctx):
+                        if isinstance(item, LockRequest):
+                            yield item
+                        else:
+                            extend(item.rows)
+                    ctx.cost.rows_returned = len(rows)
+                    return ExecResult(columns=column_names, rows=rows,
+                                      rowcount=len(rows), cost=ctx.cost)
+
+                return run_batched
     # A Project root fuses into the collection loop (row-by-row, same
     # evaluation order as the interpreter) — one generator layer fewer on
     # every SELECT.
     if isinstance(plan.root, p.Project):
-        child = _compile_node(plan.root.child, with_rids=False)
+        child = _compile_node(plan.root.child, False, opts)
         project = _compile_projector(plan.root.exprs)
 
         def run(ctx: ExecContext) -> Generator:
@@ -819,7 +1567,7 @@ def _compile_select(plan: p.SelectPlan) -> Callable[[ExecContext], Generator]:
 
         return run
 
-    root = _compile_node(plan.root, with_rids=False)
+    root = _compile_node(plan.root, False, opts)
 
     def run(ctx: ExecContext) -> Generator:
         rows = []
@@ -890,13 +1638,26 @@ def _compile_insert(plan: p.InsertPlan) -> Callable[[ExecContext], Generator]:
     return run
 
 
-def _compile_update(plan: p.UpdatePlan) -> Callable[[ExecContext], Generator]:
+def _compile_update(plan: p.UpdatePlan,
+                    opts: CompileOptions) -> Callable[[ExecContext],
+                                                      Generator]:
     table_name = plan.binding.table
-    source = _compile_node(plan.source, with_rids=True)
+    source = _compile_node(plan.source, True, opts)
     assignment_fns = [(pos, compile_expr(expr))
                       for pos, expr in plan.assignments]
     pk_positions = plan.binding.schema.pk_positions()
     db_name = plan.db
+    schema = plan.binding.schema
+    # Index maintenance and PK checks hoisted to compile time: only
+    # indexes whose key overlaps the assigned positions can move, and
+    # the duplicate-PK probe is needed only when the PK is assigned.
+    positions = tuple(sorted(set(pos for pos, _ in plan.assignments)))
+    touched_indexes = schema.indexes_touching(positions)
+    pk_affected = bool(set(positions) & set(pk_positions))
+    # Assignments evaluate in statement order but coerce in position
+    # order, matching the full-row path's error sequencing.
+    item_order = sorted(range(len(assignment_fns)),
+                        key=lambda i: assignment_fns[i][0])
 
     def run(ctx: ExecContext) -> Generator:
         table = ctx.database.table(table_name)
@@ -908,37 +1669,51 @@ def _compile_update(plan: p.UpdatePlan) -> Callable[[ExecContext], Generator]:
                 targets.append(item)
         params = ctx.params
         txn = ctx.txn
+        history = ctx.history
+        undo_append = txn.undo.append
         updated = 0
-        for rid, row in targets:
-            if table.get(rid) is None:
-                continue
-            new_row = list(row)
-            for pos, fn in assignment_fns:
-                new_row[pos] = fn(row, params)
-            before, after = table.update(rid, tuple(new_row))
-            ctx.wal.append(txn.txn_id, RecordType.UPDATE, db=db_name,
-                           table=table_name, rid=rid, before=before,
-                           after=after)
-            txn.undo.append(UndoEntry(db_name, table_name, "update",
+        # WAL records are buffered per statement and landed in one batch
+        # append: the loop below never yields, so no other transaction's
+        # records can interleave, and the finally guarantees records for
+        # rows already changed survive a mid-statement error.
+        wal_entries = []
+        try:
+            for rid, row in targets:
+                if table.get(rid) is None:
+                    continue
+                values = [fn(row, params) for _, fn in assignment_fns]
+                items = [(assignment_fns[i][0], values[i])
+                         for i in item_order]
+                before, after = table.update_columns(
+                    rid, items, touched_indexes, pk_affected)
+                wal_entries.append((db_name, table_name, rid, before,
+                                    after))
+                undo_append(UndoEntry(db_name, table_name, "update",
                                       rid, before, after))
-            ctx.mark_dirty(table_name, rid, before)
-            txn.wrote = True
-            if ctx.history is not None:
-                key = (tuple(after[i] for i in pk_positions)
-                       if pk_positions else (rid,))
-                ctx.history.record_write(txn.txn_id,
+                ctx.mark_dirty(table_name, rid, before)
+                txn.wrote = True
+                if history is not None:
+                    key = (tuple(after[i] for i in pk_positions)
+                           if pk_positions else (rid,))
+                    history.record_write(txn.txn_id,
                                          (db_name, table_name, key))
-            ctx.touch([table.heap_page(rid)])
-            updated += 1
+                ctx.touch([table.heap_page(rid)])
+                updated += 1
+        finally:
+            if wal_entries:
+                ctx.wal.append_batch(txn.txn_id, RecordType.UPDATE,
+                                     wal_entries)
         ctx.cost.rows_returned = updated
         return ExecResult(rowcount=updated, cost=ctx.cost)
 
     return run
 
 
-def _compile_delete(plan: p.DeletePlan) -> Callable[[ExecContext], Generator]:
+def _compile_delete(plan: p.DeletePlan,
+                    opts: CompileOptions) -> Callable[[ExecContext],
+                                                      Generator]:
     table_name = plan.binding.table
-    source = _compile_node(plan.source, with_rids=True)
+    source = _compile_node(plan.source, True, opts)
     pk_positions = plan.binding.schema.pk_positions()
     db_name = plan.db
 
@@ -951,43 +1726,53 @@ def _compile_delete(plan: p.DeletePlan) -> Callable[[ExecContext], Generator]:
             else:
                 targets.append(item)
         txn = ctx.txn
+        history = ctx.history
+        undo_append = txn.undo.append
         deleted = 0
-        for rid, row in targets:
-            if table.get(rid) is None:
-                continue
-            before = table.delete(rid)
-            ctx.wal.append(txn.txn_id, RecordType.DELETE, db=db_name,
-                           table=table_name, rid=rid, before=before)
-            txn.undo.append(UndoEntry(db_name, table_name, "delete",
+        wal_entries = []
+        try:
+            for rid, row in targets:
+                if table.get(rid) is None:
+                    continue
+                before = table.delete(rid)
+                wal_entries.append((db_name, table_name, rid, before,
+                                    None))
+                undo_append(UndoEntry(db_name, table_name, "delete",
                                       rid, before, None))
-            ctx.mark_dirty(table_name, rid, before)
-            txn.wrote = True
-            if ctx.history is not None:
-                key = (tuple(before[i] for i in pk_positions)
-                       if pk_positions else (rid,))
-                ctx.history.record_write(txn.txn_id,
+                ctx.mark_dirty(table_name, rid, before)
+                txn.wrote = True
+                if history is not None:
+                    key = (tuple(before[i] for i in pk_positions)
+                           if pk_positions else (rid,))
+                    history.record_write(txn.txn_id,
                                          (db_name, table_name, key))
-            ctx.touch([table.heap_page(rid)])
-            deleted += 1
+                ctx.touch([table.heap_page(rid)])
+                deleted += 1
+        finally:
+            if wal_entries:
+                ctx.wal.append_batch(txn.txn_id, RecordType.DELETE,
+                                     wal_entries)
         ctx.cost.rows_returned = deleted
         return ExecResult(rowcount=deleted, cost=ctx.cost)
 
     return run
 
 
-def compile_statement(plan: p.Plan) -> Callable[[ExecContext], Generator]:
+def compile_statement(plan: p.Plan, options: CompileOptions = None
+                      ) -> Callable[[ExecContext], Generator]:
     """Compile a top-level statement plan to a ``ctx -> generator`` closure.
 
     The returned closure follows the executor protocol: it yields
     :class:`LockRequest` objects on waits and returns an
     :class:`ExecResult` via ``StopIteration``.
     """
+    opts = options if options is not None else CompileOptions()
     if isinstance(plan, p.SelectPlan):
-        return _compile_select(plan)
+        return _compile_select(plan, opts)
     if isinstance(plan, p.InsertPlan):
         return _compile_insert(plan)
     if isinstance(plan, p.UpdatePlan):
-        return _compile_update(plan)
+        return _compile_update(plan, opts)
     if isinstance(plan, p.DeletePlan):
-        return _compile_delete(plan)
+        return _compile_delete(plan, opts)
     raise SqlError(f"cannot compile statement {type(plan).__name__}")

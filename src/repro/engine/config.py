@@ -30,6 +30,17 @@ class EngineConfig:
             Behavior-identical to the interpreter — same rows, locks, and
             cost counters — just faster; disable to debug lock semantics
             against the reference interpreter.
+        cost_based: run the cost-based optimizer stage (see
+            :mod:`repro.engine.optimizer`): selectivity estimation from
+            catalogue statistics, access-path choice by estimated cost,
+            and greedy cost-ordered join enumeration. Disable to get the
+            original purely syntactic heuristic planner, kept as the
+            reference implementation.
+        batch_execution: let the compiled executor run the hot read path
+            over columnar row batches (scan/filter/aggregate) instead of
+            one row at a time. Observable behavior (rows, locks, cost
+            counters) is identical either way.
+        batch_size: rows per batch when batch_execution is on.
         cpu_cost_per_row_us: simulated CPU microseconds charged per row
             examined by the executor.
         cpu_cost_per_statement_us: fixed per-statement overhead (parse,
@@ -45,6 +56,9 @@ class EngineConfig:
     btree_order: int = 32
     release_read_locks_at_prepare: bool = True
     compile_plans: bool = True
+    cost_based: bool = True
+    batch_execution: bool = True
+    batch_size: int = 256
     # InnoDB-style non-locking consistent reads: plain SELECTs take no
     # locks and see the last committed image of rows another transaction
     # is currently changing (read-committed via before-images). Writes,

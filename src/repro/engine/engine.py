@@ -65,7 +65,8 @@ class Engine:
             raise SchemaError(f"database {name!r} already exists on {self.name}")
         database = StoredDatabase(DatabaseSchema(name), self.config)
         self.databases[name] = database
-        self._planners[name] = pl.Planner(database.schema)
+        self._planners[name] = pl.Planner(database.schema, database,
+                                          self.config)
         return database
 
     def attach_database(self, database: StoredDatabase) -> None:
@@ -73,7 +74,8 @@ class Engine:
         if database.name in self.databases:
             raise SchemaError(f"database {database.name!r} already on {self.name}")
         self.databases[database.name] = database
-        self._planners[database.name] = pl.Planner(database.schema)
+        self._planners[database.name] = pl.Planner(database.schema,
+                                                   database, self.config)
 
     def drop_database(self, name: str) -> None:
         self.databases.pop(name, None)
@@ -123,6 +125,7 @@ class Engine:
         txn.require(TxnState.ACTIVE, TxnState.PREPARED)
         self.wal.append(txn.txn_id, RecordType.COMMIT)
         self.wal.flush()
+        self._apply_stats_deltas(txn)
         self._clear_dirty(txn)
         self.locks.release_all(txn.txn_id)
         txn.state = TxnState.COMMITTED
@@ -150,6 +153,32 @@ class Engine:
         txn.state = TxnState.ABORTED
         if self.history is not None:
             self.history.record_abort(txn.txn_id)
+
+    def _apply_stats_deltas(self, txn: Transaction) -> None:
+        """Fold a committing transaction's row changes into the
+        catalogue statistics.
+
+        The undo log already carries exact before/after images for every
+        change, so statistics maintenance is a pure replay of it — no
+        rescans, and aborted transactions (whose physical changes are
+        rolled back) never touch the sketches.
+        """
+        if not txn.undo:
+            return
+        for entry in txn.undo:
+            database = self.databases.get(entry.db)
+            if database is None:
+                continue
+            stats = database.stats.get(entry.table)
+            if stats is None:
+                continue
+            stats.apply_delta(entry.kind, entry.before, entry.after)
+
+    def table_stats(self, db_name: str, table_name: str):
+        """Catalogue statistics for one table (the live object)."""
+        database = self.database(db_name)
+        database.table(table_name)  # raises SchemaError when unknown
+        return database.stats[table_name]
 
     def _clear_dirty(self, txn: Transaction) -> None:
         for key in txn.dirty_keys:
@@ -197,7 +226,10 @@ class Engine:
         plan = self.plan(db_name, sql)
         if isinstance(plan, (pl.SelectPlan, pl.InsertPlan, pl.UpdatePlan,
                              pl.DeletePlan)):
-            compiled = comp.compile_statement(plan)
+            compiled = comp.compile_statement(
+                plan, comp.CompileOptions(
+                    batch=self.config.batch_execution,
+                    batch_size=self.config.batch_size))
         else:
             compiled = None
         self._compiled_cache[key] = compiled
@@ -304,9 +336,13 @@ class Engine:
     def load_table_rows(self, db_name: str, table_name: str,
                         rows: List[Tuple]) -> None:
         """Bulk-load snapshot rows into an (empty) table on this engine."""
-        table = self.database(db_name).table(table_name)
+        database = self.database(db_name)
+        table = database.table(table_name)
+        stats = database.stats.get(table_name)
         for row in rows:
-            table.insert(row)
+            rid = table.insert(row)
+            if stats is not None:
+                stats.add_row(table.get(rid))
 
 
 # -- restart recovery -------------------------------------------------------------
@@ -329,7 +365,8 @@ def recover_engine(name: str, config: EngineConfig,
     for schema in db_schemas:
         fresh = DatabaseSchema(schema.name)
         engine.databases[schema.name] = StoredDatabase(fresh, config)
-        engine._planners[schema.name] = pl.Planner(fresh)
+        engine._planners[schema.name] = pl.Planner(
+            fresh, engine.databases[schema.name], config)
         for tschema in schema.tables.values():
             engine.databases[schema.name].add_table(
                 TableSchema(tschema.name, list(tschema.columns),
@@ -400,4 +437,24 @@ def recover_engine(name: str, config: EngineConfig,
         engine.wal.append(txn_id, RecordType.PREPARE)
         in_doubt_txns.append(txn)
     engine.wal.flush()
+
+    # Catalogue statistics: rebuild from the replayed storage state,
+    # then back out the in-doubt transactions' deltas so the sketches
+    # reflect committed state only. When an in-doubt transaction is
+    # later decided, commit() re-applies its deltas and abort() rolls
+    # back its rows — either way the stats stay exact.
+    from repro.engine.stats import TableStats
+    for database in engine.databases.values():
+        for tname, table in database.tables.items():
+            database.stats[tname] = TableStats.rebuild(
+                len(table.schema.columns),
+                (row for _, row in table.scan()))
+    for txn in in_doubt_txns:
+        for entry in txn.undo:
+            database = engine.databases.get(entry.db)
+            if database is None:
+                continue
+            stats = database.stats.get(entry.table)
+            if stats is not None:
+                stats.revert_delta(entry.kind, entry.before, entry.after)
     return engine, in_doubt_txns

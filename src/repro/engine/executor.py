@@ -30,6 +30,7 @@ layer convert one statement into simulated CPU and disk time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from functools import cmp_to_key
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
@@ -575,16 +576,11 @@ def _aggregate(plan: p.Aggregate, ctx: ExecContext) -> Generator:
         yield key + tuple(state.result() for state in groups[key])
 
 
-def _sort(plan: p.Sort, ctx: ExecContext) -> Generator:
-    rows: List[Tuple[Any, ...]] = []
-    for item in run_plan(plan.child, ctx):
-        if isinstance(item, LockRequest):
-            yield item
-        else:
-            rows.append(item)
+def _sort_comparator(keys, ctx: ExecContext):
+    """The ORDER BY comparator: NULLs first ascending, last descending."""
 
     def compare(a: Tuple[Any, ...], b: Tuple[Any, ...]) -> int:
-        for expr, descending in plan.keys:
+        for expr, descending in keys:
             va = eval_expr(expr, a, ctx)
             vb = eval_expr(expr, b, ctx)
             if va is None and vb is None:
@@ -599,12 +595,51 @@ def _sort(plan: p.Sort, ctx: ExecContext) -> Generator:
                 return -cmp if descending else cmp
         return 0
 
-    rows.sort(key=cmp_to_key(compare))
+    return compare
+
+
+def _sort(plan: p.Sort, ctx: ExecContext) -> Generator:
+    rows: List[Tuple[Any, ...]] = []
+    for item in run_plan(plan.child, ctx):
+        if isinstance(item, LockRequest):
+            yield item
+        else:
+            rows.append(item)
+    rows.sort(key=cmp_to_key(_sort_comparator(plan.keys, ctx)))
     for row in rows:
         yield row
 
 
 def _limit(plan: p.Limit, ctx: ExecContext) -> Generator:
+    if plan.limit is not None:
+        # Fuse Limit(Sort) / Limit(Project(Sort)) into a bounded top-N.
+        # heapq.nsmallest is documented equivalent to sorted(...)[:n]
+        # (stable), so the emitted prefix matches sort-then-limit.
+        sort_plan = None
+        project_plan = None
+        if isinstance(plan.child, p.Sort):
+            sort_plan = plan.child
+        elif (isinstance(plan.child, p.Project)
+              and isinstance(plan.child.child, p.Sort)):
+            sort_plan = plan.child.child
+            project_plan = plan.child
+        if sort_plan is not None:
+            rows: List[Tuple[Any, ...]] = []
+            for item in run_plan(sort_plan.child, ctx):
+                if isinstance(item, LockRequest):
+                    yield item
+                else:
+                    rows.append(item)
+            key = cmp_to_key(_sort_comparator(sort_plan.keys, ctx))
+            top = heapq.nsmallest(plan.limit + plan.offset, rows,
+                                  key=key)[plan.offset:]
+            for row in top:
+                if project_plan is None:
+                    yield row
+                else:
+                    yield tuple(eval_expr(e, row, ctx)
+                                for e in project_plan.exprs)
+            return
     skipped = 0
     emitted = 0
     for item in run_plan(plan.child, ctx):

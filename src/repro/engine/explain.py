@@ -118,22 +118,45 @@ def _children(plan) -> List:
     return []
 
 
-def explain(plan) -> str:
-    """Render a plan (or SelectPlan/DML plan) as an indented tree."""
+def _estimate_suffix(node) -> str:
+    """Cost-based annotations, when the optimizer stamped this node."""
+    est = getattr(node, "est_rows", None)
+    cost = getattr(node, "est_cost", None)
+    if est is None or cost is None:
+        return ""
+    return f"  (~{est:.0f} rows, cost {cost:.1f})"
+
+
+def explain(plan, verbose: bool = False) -> str:
+    """Render a plan (or SelectPlan/DML plan) as an indented tree.
+
+    Nodes the cost-based optimizer estimated carry a ``(~N rows,
+    cost C)`` suffix. With ``verbose``, plans the optimizer considered
+    and rejected (alternative access paths, join orders, join
+    algorithms) are listed after the tree.
+    """
+    rejected: List[str] = []
     if isinstance(plan, p.SelectPlan):
+        rejected = plan.rejected
         plan = plan.root
     lines: List[str] = []
 
     def walk(node, depth):
-        lines.append("  " * depth + "-> " + _describe(node))
+        lines.append("  " * depth + "-> " + _describe(node)
+                     + _estimate_suffix(node))
         for child in _children(node):
             walk(child, depth + 1)
 
     walk(plan, 0)
+    if verbose and rejected:
+        lines.append("rejected plans:")
+        for note in rejected:
+            lines.append("  " + note)
     return "\n".join(lines)
 
 
-def explain_statement(engine, db_name: str, sql: str) -> str:
+def explain_statement(engine, db_name: str, sql: str,
+                      verbose: bool = False) -> str:
     """Explain a statement as the engine would run it.
 
     Renders the plan tree plus an execution-mode line: ``compiled`` when
@@ -145,4 +168,4 @@ def explain_statement(engine, db_name: str, sql: str) -> str:
     plan = engine.plan(db_name, sql)
     mode = "compiled" if engine.compiled(db_name, sql) is not None \
         else "interpreted"
-    return explain(plan) + f"\n[execution: {mode}]"
+    return explain(plan, verbose=verbose) + f"\n[execution: {mode}]"

@@ -1,0 +1,603 @@
+"""Cost-based optimization over catalogue statistics.
+
+This stage sits between binding and physical plan construction. Given
+the per-table :mod:`~repro.engine.stats` sketches it:
+
+* estimates conjunct selectivities (equality against a literal reads the
+  value's exact frequency from the sketch; parameters fall back to
+  ``1/ndv``; ranges interpolate over the value counts);
+* prices each access path (seq scan vs index-eq vs index-range) and each
+  join edge (IndexLookupJoin vs HashJoin vs CrossJoin) with a simple
+  page/row/probe cost model that mirrors what the executor actually
+  charges to the buffer pool;
+* replaces the syntactic join order with a greedy cost-ordered
+  enumeration (smallest estimated frontier first);
+* annotates every constructed operator with ``est_rows`` / ``est_cost``
+  and records rejected alternatives for ``EXPLAIN ... verbose``.
+
+Decisions degrade conservatively: any table with no statistics yet (row
+count zero) makes the affected decision fall back to the heuristic
+planner's choice, so schema-only workloads plan exactly as before.
+The heuristic planner itself remains available wholesale behind
+``EngineConfig.cost_based=False`` as the reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine import planner as pl
+from repro.engine.sqlparse import nodes as n
+from repro.engine.stats import UNKNOWN, TableStats
+
+# Cost units: ~one row examined by the executor. PAGE covers a
+# sequential heap-page touch, PROBE one B+Tree root-to-leaf traversal,
+# FETCH one rid fetch through an index (row lock + heap page), ROW one
+# row flowing through an operator.
+PAGE_COST = 1.0
+ROW_COST = 1.0
+PROBE_COST = 2.0
+FETCH_COST = 2.0
+
+DEFAULT_SEL = 0.33
+LIKE_SEL = 0.25
+
+
+class CostModel:
+    """Statistics access + cost arithmetic for one database."""
+
+    def __init__(self, storage):
+        self.storage = storage
+        self.db_name = storage.name
+        self.rows_per_page = storage.config.rows_per_page
+
+    def stats(self, table_name: str) -> Optional[TableStats]:
+        return self.storage.stats.get(table_name)
+
+    def pages(self, row_count: int) -> int:
+        return max(1, -(-row_count // self.rows_per_page))
+
+    def seq_cost(self, row_count: int) -> float:
+        return self.pages(row_count) * PAGE_COST + row_count * ROW_COST
+
+
+class SlotMap:
+    """Resolve a global row slot back to its binding and column stats."""
+
+    def __init__(self, bindings: Sequence[pl.Binding], model: CostModel):
+        self.model = model
+        self._ranges: List[Tuple[int, int, pl.Binding]] = [
+            (b.offset, b.offset + b.width, b) for b in bindings
+        ]
+        self.all_slots: Set[int] = set()
+        for lo, hi, _ in self._ranges:
+            self.all_slots.update(range(lo, hi))
+
+    def binding_of(self, slot: int) -> Optional[pl.Binding]:
+        for lo, hi, binding in self._ranges:
+            if lo <= slot < hi:
+                return binding
+        return None
+
+    def column(self, slot: int):
+        """(ColumnStats, table row count) for a slot, or None."""
+        binding = self.binding_of(slot)
+        if binding is None:
+            return None
+        stats = self.model.stats(binding.table)
+        if stats is None:
+            return None
+        return stats.columns[slot - binding.offset], stats.row_count
+
+
+def _probe_value(expr: n.Expr) -> Any:
+    """Plan-time value of a comparison's non-slot side (UNKNOWN if not
+    a literal — parameters and outer-row expressions resolve at run
+    time)."""
+    if isinstance(expr, n.Literal):
+        return expr.value
+    return UNKNOWN
+
+
+def _product(values) -> float:
+    out = 1.0
+    for v in values:
+        out *= v
+    return out
+
+
+def conjunct_selectivity(conjunct: n.Expr, slot_map: SlotMap) -> float:
+    """Estimated fraction of rows a filter conjunct keeps."""
+    parsed = pl._match_comparison(conjunct, slot_map.all_slots,
+                                  slot_map.all_slots)
+    if parsed is not None:
+        op, slot_expr, other = parsed
+        resolved = slot_map.column(slot_expr.index)
+        if resolved is None:
+            return DEFAULT_SEL
+        col, rows = resolved
+        if op == "=":
+            if isinstance(other, pl.Slot):
+                other_resolved = slot_map.column(other.index)
+                other_ndv = other_resolved[0].distinct if other_resolved else 1
+                return 1.0 / max(1, col.distinct, other_ndv)
+            return col.eq_fraction(_probe_value(other), rows)
+        value = UNKNOWN if pl.expr_slots(other) else _probe_value(other)
+        if op == "<":
+            return col.range_fraction(None, value, True, False, rows)
+        if op == "<=":
+            return col.range_fraction(None, value, True, True, rows)
+        if op == ">":
+            return col.range_fraction(value, None, False, True, rows)
+        return col.range_fraction(value, None, True, True, rows)
+    if isinstance(conjunct, n.IsNull) and isinstance(conjunct.expr, pl.Slot):
+        resolved = slot_map.column(conjunct.expr.index)
+        if resolved is None:
+            return DEFAULT_SEL
+        col, rows = resolved
+        frac = col.nulls / rows if rows else 0.0
+        return 1.0 - frac if conjunct.negated else frac
+    if isinstance(conjunct, n.Between) and isinstance(conjunct.expr, pl.Slot):
+        resolved = slot_map.column(conjunct.expr.index)
+        if resolved is None:
+            return DEFAULT_SEL
+        col, rows = resolved
+        lo = UNKNOWN if pl.expr_slots(conjunct.low) else _probe_value(
+            conjunct.low)
+        hi = UNKNOWN if pl.expr_slots(conjunct.high) else _probe_value(
+            conjunct.high)
+        sel = col.range_fraction(lo, hi, True, True, rows)
+        return 1.0 - sel if conjunct.negated else sel
+    if isinstance(conjunct, n.InList) and isinstance(conjunct.expr, pl.Slot):
+        resolved = slot_map.column(conjunct.expr.index)
+        if resolved is None:
+            return DEFAULT_SEL
+        col, rows = resolved
+        sel = min(1.0, sum(col.eq_fraction(_probe_value(item), rows)
+                           for item in conjunct.items))
+        return 1.0 - sel if conjunct.negated else sel
+    if (isinstance(conjunct, n.BinaryOp) and conjunct.op == "<>"
+            and isinstance(conjunct.left, pl.Slot)):
+        resolved = slot_map.column(conjunct.left.index)
+        if resolved is None:
+            return DEFAULT_SEL
+        col, rows = resolved
+        return 1.0 - col.eq_fraction(_probe_value(conjunct.right), rows)
+    if isinstance(conjunct, n.BinaryOp) and conjunct.op == "LIKE":
+        return LIKE_SEL
+    return DEFAULT_SEL
+
+
+def annotate(plan: pl.Plan, est_rows: float, est_cost: float) -> None:
+    plan.est_rows = est_rows
+    plan.est_cost = est_cost
+
+
+# -- candidate enumeration ----------------------------------------------------
+
+
+class Candidate:
+    """One priced physical alternative for a scan or join edge."""
+
+    __slots__ = ("kind", "cost", "rows", "used", "build")
+
+    def __init__(self, kind: str, cost: float, rows: float,
+                 used: List[n.Expr], build):
+        self.kind = kind       # display label for rejected-plan notes
+        self.cost = cost       # total cost of producing `rows`
+        self.rows = rows       # estimated output rows
+        self.used = used       # conjuncts the alternative consumes
+        self.build = build     # () -> Plan
+
+
+def _parse_access_conjuncts(binding: pl.Binding, conjuncts: List[n.Expr],
+                            available: Set[int]):
+    """Split conjuncts into per-column eq and range maps (heuristic's
+    shapes, shared so cost-based plans stay structurally identical)."""
+    local = set(range(binding.offset, binding.offset + binding.width))
+    eq: Dict[str, Tuple[n.Expr, n.Expr]] = {}
+    ranges: Dict[str, List[Tuple[str, n.Expr, n.Expr]]] = {}
+    for conjunct in conjuncts:
+        parsed = pl._match_comparison(conjunct, local, available)
+        if parsed is None:
+            continue
+        op, slot_expr, other = parsed
+        col = binding.schema.columns[slot_expr.index - binding.offset].name
+        if op == "=":
+            eq.setdefault(col, (conjunct, other))
+        else:
+            ranges.setdefault(col, []).append((op, conjunct, other))
+    return eq, ranges
+
+
+def access_candidates(binding: pl.Binding, conjuncts: List[n.Expr],
+                      available: Set[int], model: CostModel,
+                      lock_exclusive: bool = False) -> List[Candidate]:
+    """All priced access paths for one table (seq scan always included)."""
+    stats = model.stats(binding.table)
+    if stats is None:
+        stats = TableStats(len(binding.schema.columns))
+    rows = stats.row_count
+    eq, ranges = _parse_access_conjuncts(binding, conjuncts, available)
+    out: List[Candidate] = []
+    db = model.db_name
+
+    for index in binding.schema.indexes.values():
+        prefix: List[str] = []
+        for col in index.columns:
+            if col in eq:
+                prefix.append(col)
+            else:
+                break
+        if prefix:
+            sel = 1.0
+            for col in prefix:
+                pos = binding.schema.column_position(col)
+                other = eq[col][1]
+                value = (UNKNOWN if pl.expr_slots(other)
+                         else _probe_value(other))
+                sel *= stats.columns[pos].eq_fraction(value, rows)
+            est = rows * sel
+            cost = PROBE_COST + est * FETCH_COST
+            used = [eq[c][0] for c in prefix]
+            key_exprs = [eq[c][1] for c in prefix]
+
+            def build_eq(index=index, key_exprs=key_exprs):
+                return pl.IndexEqScan(binding, db, index, key_exprs,
+                                      lock_exclusive=lock_exclusive)
+
+            out.append(Candidate(f"IndexEqScan({index.name})", cost, est,
+                                 used, build_eq))
+            continue
+        col = index.columns[0]
+        if col in ranges:
+            lo = hi = None
+            lo_inc = hi_inc = True
+            used = []
+            for op, conjunct, other in ranges[col]:
+                if op in (">", ">=") and lo is None:
+                    lo, lo_inc = other, (op == ">=")
+                    used.append(conjunct)
+                elif op in ("<", "<=") and hi is None:
+                    hi, hi_inc = other, (op == "<=")
+                    used.append(conjunct)
+            if used:
+                pos = binding.schema.column_position(col)
+                lo_v = (None if lo is None
+                        else UNKNOWN if pl.expr_slots(lo)
+                        else _probe_value(lo))
+                hi_v = (None if hi is None
+                        else UNKNOWN if pl.expr_slots(hi)
+                        else _probe_value(hi))
+                sel = stats.columns[pos].range_fraction(
+                    lo_v, hi_v, lo_inc, hi_inc, rows)
+                est = rows * sel
+                cost = (PROBE_COST + est * FETCH_COST
+                        + model.pages(int(est)) * PAGE_COST)
+
+                def build_range(index=index, lo=lo, hi=hi, lo_inc=lo_inc,
+                                hi_inc=hi_inc):
+                    return pl.IndexRangeScan(binding, db, index, lo, hi,
+                                             lo_inc, hi_inc,
+                                             lock_exclusive=lock_exclusive)
+
+                out.append(Candidate(f"IndexRangeScan({index.name})", cost,
+                                     est, used, build_range))
+
+    def build_seq():
+        return pl.SeqScan(binding, db, lock_exclusive=lock_exclusive)
+
+    out.append(Candidate("SeqScan", model.seq_cost(rows), float(rows), [],
+                         build_seq))
+    return out
+
+
+def join_candidates(outer: Optional[pl.Plan], outer_rows: float,
+                    binding: pl.Binding, conjuncts: List[n.Expr],
+                    available: Set[int], model: CostModel,
+                    slot_map: SlotMap) -> List[Candidate]:
+    """Priced ways to join the next table onto a frontier of
+    ``outer_rows`` estimated rows. ``outer`` may be None when only the
+    numbers are needed (join-order search)."""
+    stats = model.stats(binding.table)
+    rows = stats.row_count if stats is not None else 0
+    out: List[Candidate] = []
+    db = model.db_name
+
+    # Index lookup: any index access path usable with the outer slots
+    # available (the heuristic wraps every such path in IndexLookupJoin).
+    for cand in access_candidates(binding, conjuncts, available, model):
+        if cand.kind == "SeqScan":
+            continue
+        per_probe = cand.rows
+        cost = outer_rows * (PROBE_COST + per_probe * FETCH_COST)
+        result = outer_rows * per_probe
+
+        def build_ilj(cand=cand):
+            return pl.IndexLookupJoin(outer, cand.build())
+
+        out.append(Candidate(f"IndexLookupJoin/{cand.kind}", cost, result,
+                             cand.used, build_ilj))
+
+    # Hash join on equality conjuncts linking outer and inner.
+    local = set(range(binding.offset, binding.offset + binding.width))
+    outer_keys: List[n.Expr] = []
+    inner_keys: List[n.Expr] = []
+    hash_used: List[n.Expr] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, n.BinaryOp) or conjunct.op != "=":
+            continue
+        left_slots = pl.expr_slots(conjunct.left)
+        right_slots = pl.expr_slots(conjunct.right)
+        if left_slots <= available and right_slots <= local and right_slots:
+            outer_keys.append(conjunct.left)
+            inner_keys.append(conjunct.right)
+            hash_used.append(conjunct)
+        elif right_slots <= available and left_slots <= local and left_slots:
+            outer_keys.append(conjunct.right)
+            inner_keys.append(conjunct.left)
+            hash_used.append(conjunct)
+    if outer_keys:
+        join_sel = 1.0
+        for o_key, i_key in zip(outer_keys, inner_keys):
+            inner_ndv = 1
+            if isinstance(i_key, pl.Slot):
+                resolved = slot_map.column(i_key.index)
+                if resolved is not None:
+                    inner_ndv = resolved[0].distinct
+            outer_ndv = 1
+            if isinstance(o_key, pl.Slot):
+                resolved = slot_map.column(o_key.index)
+                if resolved is not None:
+                    outer_ndv = resolved[0].distinct
+            join_sel *= 1.0 / max(1, inner_ndv, outer_ndv)
+        result = outer_rows * rows * join_sel
+        cost = (model.seq_cost(rows) + outer_rows * ROW_COST
+                + result * ROW_COST)
+
+        def build_hash():
+            return pl.HashJoin(outer, pl.SeqScan(binding, db),
+                               outer_keys, inner_keys,
+                               binding.width, binding.offset)
+
+        out.append(Candidate("HashJoin", cost, result, hash_used,
+                             build_hash))
+
+    result = outer_rows * rows
+    cost = model.seq_cost(rows) + result * ROW_COST
+
+    def build_cross():
+        return pl.CrossJoin(outer, pl.SeqScan(binding, db))
+
+    out.append(Candidate("CrossJoin", cost, result, [], build_cross))
+    return out
+
+
+def _pick(candidates: List[Candidate]) -> Candidate:
+    """Cheapest candidate; ties resolve in enumeration order, which
+    mirrors the heuristic's index-first preference."""
+    best = candidates[0]
+    for cand in candidates[1:]:
+        if cand.cost < best.cost:
+            best = cand
+    return best
+
+
+def _note_choice(what: str, chosen: Candidate,
+                 candidates: List[Candidate]) -> Optional[str]:
+    losers = [c for c in candidates if c is not chosen]
+    if not losers:
+        return None
+    lost = ", ".join(f"{c.kind} cost={c.cost:.1f}" for c in losers)
+    return (f"{what}: kept {chosen.kind} cost={chosen.cost:.1f} "
+            f"rows={chosen.rows:.1f}; rejected {lost}")
+
+
+# -- join-order search ---------------------------------------------------------
+
+
+def choose_join_order(bindings: List[pl.Binding], conjuncts: List[n.Expr],
+                      model: CostModel
+                      ) -> Optional[Tuple[List[int], List[str]]]:
+    """Greedy cost-ordered join enumeration.
+
+    Returns a permutation of binding positions plus rejected-order
+    notes, or None to keep the syntactic order (any table without
+    statistics yet, including empty tables, defers to the heuristic).
+    """
+    count = len(bindings)
+    all_stats = [model.stats(b.table) for b in bindings]
+    if any(s is None or s.row_count <= 0 for s in all_stats):
+        return None
+    slot_map = SlotMap(bindings, model)
+    local_slots = [set(range(b.offset, b.offset + b.width))
+                   for b in bindings]
+    local_conjs: List[List[n.Expr]] = [[] for _ in range(count)]
+    for conjunct in conjuncts:
+        slots = pl.expr_slots(conjunct)
+        for i, owned in enumerate(local_slots):
+            if slots and slots <= owned:
+                local_conjs[i].append(conjunct)
+                break
+    local_sel = [
+        _product(conjunct_selectivity(c, slot_map) for c in local_conjs[i])
+        for i in range(count)
+    ]
+    eff_rows = [all_stats[i].row_count * local_sel[i] for i in range(count)]
+
+    notes: List[str] = []
+    scores = []
+    for i in range(count):
+        access = _pick(access_candidates(bindings[i], conjuncts, set(),
+                                         model))
+        scores.append((access.cost + eff_rows[i], i))
+    start = min(scores)[1]
+    rejected_starts = ", ".join(
+        f"{bindings[i].name} score={score:.1f}"
+        for score, i in sorted(scores) if i != start)
+    if rejected_starts:
+        notes.append(f"join order: start {bindings[start].name} "
+                     f"score={min(scores)[0]:.1f}; rejected "
+                     f"{rejected_starts}")
+
+    order = [start]
+    frontier = eff_rows[start]
+    placed = set(local_slots[start])
+    remaining = [i for i in range(count) if i != start]
+    while remaining:
+        step_scores = []
+        for j in remaining:
+            cand = _pick(join_candidates(None, frontier, bindings[j],
+                                         conjuncts, placed, model,
+                                         slot_map))
+            result = cand.rows * local_sel[j]
+            step_scores.append((cand.cost + result, j, result))
+        step_scores.sort()
+        _, chosen, result = step_scores[0]
+        if len(step_scores) > 1:
+            notes.append(
+                f"join order: next {bindings[chosen].name} "
+                f"score={step_scores[0][0]:.1f}; rejected "
+                + ", ".join(f"{bindings[j].name} score={s:.1f}"
+                            for s, j, _ in step_scores[1:]))
+        order.append(chosen)
+        frontier = result
+        placed |= local_slots[chosen]
+        remaining.remove(chosen)
+    return order, notes
+
+
+# -- cost-based plan construction ---------------------------------------------
+
+
+def plan_joins(planner, bindings: List[pl.Binding],
+               conjuncts: List[n.Expr], model: CostModel,
+               rejected: List[str]) -> pl.Plan:
+    """Cost-based analogue of ``Planner._plan_joins``.
+
+    Same conjunct bookkeeping (consume on use, filter as soon as a
+    conjunct's slots are available) so every plan it emits is one the
+    interpreter executes identically; only the choices are priced.
+    Tables without statistics defer each decision to the heuristic.
+    """
+    slot_map = SlotMap(bindings, model)
+    remaining = list(conjuncts)
+    available: Set[int] = set()
+
+    def usable(expr: n.Expr) -> bool:
+        return pl.expr_slots(expr) <= available
+
+    first = bindings[0]
+    first_stats = model.stats(first.table)
+    if first_stats is None or first_stats.row_count <= 0:
+        root, used = planner._access_path(first, remaining, available)
+        est = 0.0
+        cost = 0.0
+    else:
+        candidates = access_candidates(first, remaining, available, model)
+        chosen = _pick(candidates)
+        note = _note_choice(f"scan {first.name}", chosen, candidates)
+        if note:
+            rejected.append(note)
+        root, used, est, cost = (chosen.build(), chosen.used, chosen.rows,
+                                 chosen.cost)
+    annotate(root, est, cost)
+    for conjunct in used:
+        remaining.remove(conjunct)
+    available |= set(range(first.offset, first.offset + first.width))
+    root, est = _apply_filters(root, remaining, usable, slot_map, est, cost)
+
+    for binding in bindings[1:]:
+        stats = model.stats(binding.table)
+        if stats is None or stats.row_count <= 0:
+            root, used = planner._join_one(root, binding, remaining,
+                                           available)
+            est = 0.0
+        else:
+            candidates = join_candidates(root, est, binding, remaining,
+                                         available, model, slot_map)
+            chosen = _pick(candidates)
+            note = _note_choice(f"join {binding.name}", chosen, candidates)
+            if note:
+                rejected.append(note)
+            cost += chosen.cost
+            root, used, est = chosen.build(), chosen.used, chosen.rows
+        annotate(root, est, cost)
+        for conjunct in used:
+            remaining.remove(conjunct)
+        available |= set(range(binding.offset,
+                               binding.offset + binding.width))
+        root, est = _apply_filters(root, remaining, usable, slot_map, est,
+                                   cost)
+    if remaining:
+        raise pl.SqlError(f"unplaceable predicates: {remaining}")
+    return root
+
+
+def _apply_filters(plan: pl.Plan, remaining: List[n.Expr], usable,
+                   slot_map: SlotMap, est: float,
+                   cost: float) -> Tuple[pl.Plan, float]:
+    for conjunct in [c for c in remaining if usable(c)]:
+        plan = pl.Filter(plan, conjunct)
+        est *= conjunct_selectivity(conjunct, slot_map)
+        annotate(plan, est, cost)
+        remaining.remove(conjunct)
+    return plan, est
+
+
+def finalize_estimates(plan: pl.Plan, slot_map: SlotMap) -> None:
+    """Propagate row/cost estimates to operators above the join tree."""
+    _walk_estimates(plan, slot_map)
+
+
+def _walk_estimates(plan, slot_map: SlotMap):
+    if not isinstance(plan, pl.Plan):
+        return None
+    existing = getattr(plan, "est_rows", None)
+    if existing is not None:
+        # Scans/joins/filters were annotated during construction, but
+        # still descend so nested subtrees get visited.
+        for attr in ("child", "outer", "inner"):
+            node = getattr(plan, attr, None)
+            if node is not None:
+                _walk_estimates(node, slot_map)
+        return existing, getattr(plan, "est_cost", 0.0)
+    child = getattr(plan, "child", None)
+    below = _walk_estimates(child, slot_map) if child is not None else None
+    if below is None:
+        return None
+    child_rows, child_cost = below
+    if isinstance(plan, pl.Aggregate):
+        if not plan.group_exprs:
+            rows = 1.0
+        else:
+            rows = child_rows
+            ndv_product = 1.0
+            for group in plan.group_exprs:
+                if isinstance(group, pl.Slot):
+                    resolved = slot_map.column(group.index)
+                    if resolved is not None:
+                        ndv_product *= max(1, resolved[0].distinct)
+                else:
+                    ndv_product = float("inf")
+                    break
+            rows = min(child_rows, ndv_product)
+        cost = child_cost + child_rows * ROW_COST
+    elif isinstance(plan, pl.Sort):
+        rows = child_rows
+        cost = child_cost + child_rows * ROW_COST
+    elif isinstance(plan, pl.Limit):
+        rows = child_rows
+        if plan.limit is not None:
+            rows = min(rows, float(plan.limit + plan.offset))
+        cost = child_cost
+    elif isinstance(plan, pl.Distinct):
+        rows = child_rows
+        cost = child_cost + child_rows * ROW_COST
+    elif isinstance(plan, (pl.Project, pl.Filter)):
+        rows = child_rows
+        cost = child_cost
+    else:
+        return None
+    annotate(plan, rows, cost)
+    return rows, cost

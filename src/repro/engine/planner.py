@@ -319,36 +319,92 @@ class DeletePlan(Plan):
 class SelectPlan(Plan):
     root: Plan
     column_names: List[str]
+    # Alternatives the cost-based optimizer priced and discarded
+    # (EXPLAIN verbose); empty under the heuristic planner.
+    rejected: List[str] = field(default_factory=list)
 
 
 # -- planner ---------------------------------------------------------------------
 
 
 class Planner:
-    """Builds physical plans for one database's statements."""
+    """Builds physical plans for one database's statements.
 
-    def __init__(self, db_schema: DatabaseSchema):
+    With ``storage`` and a ``config`` whose ``cost_based`` flag is on,
+    SELECT planning runs the cost-based optimizer stage (see
+    :mod:`repro.engine.optimizer`): join order, access paths, and join
+    methods are priced against the catalogue statistics, and plan nodes
+    carry ``est_rows``/``est_cost`` annotations. Without them the
+    original purely syntactic heuristics apply (the reference path
+    behind ``EngineConfig.cost_based=False``). DML target scans always
+    use the heuristic access path: their lock granularity (row X vs
+    table X) is part of the concurrency behavior tests pin down.
+    """
+
+    def __init__(self, db_schema: DatabaseSchema, storage=None,
+                 config=None):
         self.db = db_schema
+        self.storage = storage
+        self.config = config
+
+    def _cost_model(self):
+        if (self.storage is None or self.config is None
+                or not self.config.cost_based):
+            return None
+        from repro.engine import optimizer
+        return optimizer.CostModel(self.storage)
 
     # .. SELECT ..................................................................
 
-    def plan_select(self, stmt: n.Select) -> SelectPlan:
-        bindings: List[Binding] = []
+    def _make_bindings(self, refs, order: List[int]
+                       ) -> Tuple[List[Binding], Scope]:
+        """Bindings in syntactic list order, slot offsets assigned in
+        join order (``order`` permutes syntactic positions)."""
+        bindings: List[Optional[Binding]] = [None] * len(refs)
         offset = 0
-        refs = list(stmt.tables) + [j.table for j in stmt.joins]
-        for ref in refs:
+        for idx in order:
+            ref = refs[idx]
             schema = self.db.table(ref.table)
-            bindings.append(Binding(ref.binding, ref.table, schema, offset))
+            bindings[idx] = Binding(ref.binding, ref.table, schema, offset)
             offset += len(schema.columns)
-        scope = Scope(bindings)
+        return bindings, Scope(bindings)
 
+    def _bind_conjuncts(self, stmt: n.Select, scope: Scope) -> List[n.Expr]:
         conjuncts: List[n.Expr] = []
         if stmt.where is not None:
             _split_conjuncts(bind_expr(stmt.where, scope), conjuncts)
         for join in stmt.joins:
             _split_conjuncts(bind_expr(join.condition, scope), conjuncts)
+        return conjuncts
 
-        root = self._plan_joins(bindings, conjuncts)
+    def plan_select(self, stmt: n.Select) -> SelectPlan:
+        refs = list(stmt.tables) + [j.table for j in stmt.joins]
+        order = list(range(len(refs)))
+        model = self._cost_model()
+        rejected: List[str] = []
+        if model is not None and len(refs) > 1:
+            from repro.engine import optimizer
+            # Bind once in syntactic order purely for cardinality
+            # analysis; the real bindings below re-assign slot offsets
+            # in the chosen join order and everything is rebound.
+            syn_bindings, syn_scope = self._make_bindings(refs, order)
+            syn_conjuncts = self._bind_conjuncts(stmt, syn_scope)
+            picked = optimizer.choose_join_order(syn_bindings,
+                                                 syn_conjuncts, model)
+            if picked is not None:
+                order, notes = picked
+                rejected.extend(notes)
+
+        bindings, scope = self._make_bindings(refs, order)
+        conjuncts = self._bind_conjuncts(stmt, scope)
+        join_sequence = [bindings[i] for i in order]
+
+        if model is not None:
+            from repro.engine import optimizer
+            root = optimizer.plan_joins(self, join_sequence, conjuncts,
+                                        model, rejected)
+        else:
+            root = self._plan_joins(join_sequence, conjuncts)
         if stmt.for_update:
             _set_exclusive_recursive(root)
 
@@ -414,7 +470,11 @@ class Planner:
             root = Distinct(root)
         if stmt.limit is not None or stmt.offset is not None:
             root = Limit(root, stmt.limit, stmt.offset or 0)
-        return SelectPlan(root, column_names)
+        if model is not None:
+            from repro.engine import optimizer
+            optimizer.finalize_estimates(
+                root, optimizer.SlotMap(bindings, model))
+        return SelectPlan(root, column_names, rejected=rejected)
 
     def _plan_aggregate(self, stmt: n.Select, scope: Scope, child: Plan,
                         items: List[Tuple[n.Expr, str]]) -> Aggregate:

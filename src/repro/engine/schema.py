@@ -62,6 +62,7 @@ class TableSchema:
             self._positions[c] for c in self.primary_key
         )
         self._index_positions: Dict[str, Tuple[int, ...]] = {}
+        self._touching_cache: Dict[Tuple[int, ...], Tuple[str, ...]] = {}
         self.indexes: Dict[str, IndexDef] = {}
         if self.primary_key:
             self.indexes["__pk__"] = IndexDef("__pk__", self.primary_key, unique=True)
@@ -89,6 +90,24 @@ class TableSchema:
             self._index_positions[index.name] = positions
         return positions
 
+    def indexes_touching(self, positions: Sequence[int]) -> Tuple[str, ...]:
+        """Names of indexes whose key includes any of ``positions``.
+
+        Memoized: compiled UPDATE closures call this once per plan to
+        know which indexes an assignment set can invalidate, instead of
+        re-deriving key positions per row.
+        """
+        key = tuple(sorted(set(positions)))
+        cached = self._touching_cache.get(key)
+        if cached is None:
+            wanted = set(key)
+            cached = tuple(
+                name for name, index in self.indexes.items()
+                if wanted.intersection(self.index_positions(index))
+            )
+            self._touching_cache[key] = cached
+        return cached
+
     def add_index(self, index: IndexDef) -> None:
         if index.name in self.indexes:
             raise SchemaError(f"duplicate index {index.name!r} on {self.name!r}")
@@ -98,6 +117,7 @@ class TableSchema:
                     f"index column {col!r} not in table {self.name!r}"
                 )
         self.indexes[index.name] = index
+        self._touching_cache.clear()
 
     def index_on(self, columns: Sequence[str]) -> Optional[IndexDef]:
         """Find an index whose key is a prefix-match of ``columns``."""

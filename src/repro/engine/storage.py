@@ -13,6 +13,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.engine.btree import BPlusTree
 from repro.engine.config import EngineConfig
 from repro.engine.schema import DatabaseSchema, IndexDef, TableSchema
+from repro.engine.stats import TableStats
 from repro.engine.types import coerce
 from repro.errors import ConstraintError, SchemaError
 
@@ -63,6 +64,11 @@ class HeapTable:
         """All (rid, row) pairs in rid order."""
         for rid in sorted(self._rows):
             yield rid, self._rows[rid]
+
+    def scan_rows(self) -> List[Row]:
+        """All rows in rid order (batch scans; no rids materialized)."""
+        rows = self._rows
+        return [rows[rid] for rid in sorted(rows)]
 
     def index_key(self, index: IndexDef, row: Row) -> Tuple[Any, ...]:
         return tuple(row[p] for p in self.schema.index_positions(index))
@@ -183,6 +189,54 @@ class HeapTable:
                 self.indexes[name].insert(new_ik, rid)
         return before, after
 
+    def update_columns(self, rid: int, items: Sequence[Tuple[int, Any]],
+                       touched_indexes: Sequence[str],
+                       pk_affected: bool) -> Tuple[Row, Row]:
+        """Update only the given (position, value) pairs of one row.
+
+        Equivalent to :meth:`update` with a full replacement row, but the
+        caller precomputes (once per plan, not once per row) which
+        indexes the assignment set can invalidate and whether the primary
+        key is touched, so unassigned columns are never re-coerced and
+        untouched indexes are never probed. ``items`` must be sorted by
+        position so constraint errors surface in the same column order
+        as the full-row path.
+        """
+        if rid not in self._rows:
+            raise ConstraintError(f"no row {rid} in {self.schema.name}")
+        before = self._rows[rid]
+        after_list = list(before)
+        columns = self.schema.columns
+        for pos, value in items:
+            column = columns[pos]
+            try:
+                stored = coerce(value, column.sql_type)
+            except ValueError as exc:
+                raise ConstraintError(str(exc)) from exc
+            if stored is None and not column.nullable:
+                raise ConstraintError(
+                    f"{self.schema.name}.{column.name} is NOT NULL"
+                )
+            after_list[pos] = stored
+        after = tuple(after_list)
+        if pk_affected and self.schema.primary_key:
+            old_key = self.pk_key(before)
+            new_key = self.pk_key(after)
+            if new_key != old_key and self.indexes["__pk__"].contains(new_key):
+                raise ConstraintError(
+                    f"{self.schema.name}: duplicate primary key {new_key}"
+                )
+        self._rows[rid] = after
+        schema_indexes = self.schema.indexes
+        for name in touched_indexes:
+            index = schema_indexes[name]
+            old_ik = self.index_key(index, before)
+            new_ik = self.index_key(index, after)
+            if old_ik != new_ik:
+                self.indexes[name].delete(old_ik, rid)
+                self.indexes[name].insert(new_ik, rid)
+        return before, after
+
     def lookup_pk(self, key: Tuple[Any, ...]) -> Optional[int]:
         """rid of the row with the given primary key, if present."""
         if not self.schema.primary_key:
@@ -214,6 +268,13 @@ class StoredDatabase:
             name: HeapTable(schema.name, tschema, config)
             for name, tschema in schema.tables.items()
         }
+        # Catalogue statistics live with the storage so they travel with
+        # the database on attach/failover. Maintained incrementally by
+        # Engine.commit / bulk load; rebuilt on crash recovery.
+        self.stats: Dict[str, TableStats] = {
+            name: TableStats(len(tschema.columns))
+            for name, tschema in schema.tables.items()
+        }
 
     @property
     def name(self) -> str:
@@ -227,6 +288,7 @@ class StoredDatabase:
     def add_table(self, tschema: TableSchema) -> None:
         self.schema.add_table(tschema)
         self.tables[tschema.name] = HeapTable(self.name, tschema, self.config)
+        self.stats[tschema.name] = TableStats(len(tschema.columns))
 
     def estimated_bytes(self) -> int:
         return sum(t.estimated_bytes() for t in self.tables.values())
