@@ -35,6 +35,12 @@ machine_failed     a machine died (``affected`` lists databases that lost
 copy_abandoned     a live copy lost its source or target to a failure
 rereplication_*    queued / start / done / abandoned / skipped, from the
                    recovery manager
+delta_snapshot     a log-structured copy pinned the commit log at the
+                   dump's snapshot instant (``lsn``)
+delta_drain_start  the delta handoff began rejecting writes (drain)
+delta_handoff      the delta replay converged (``reject_s`` window)
+machine_catchup_*  start / done / failed, per database, of a declared
+                   machine rejoining with data via delta catch-up
 migration_*        start / done / abandoned, from the migration manager
 takeover*          process-pair takeover and its per-transaction outcomes
 machine_crashed    a machine powered off silently (detector must notice)
@@ -42,7 +48,9 @@ machine_suspected  K consecutive heartbeats went unanswered
 machine_unsuspected a suspected machine answered again (false suspicion)
 machine_declared   the detector declared a silent machine dead
 machine_fenced     a declared machine was fenced (serves nothing stale)
-machine_readmitted a fenced machine rejoined as a blank spare
+machine_readmitted a falsely declared machine rejoined (``mode`` is
+                   "spare" for a blank wipe, "catchup" for a delta
+                   rejoin from its last durable LSN)
 machine_repaired   a failed machine was repaired into a blank spare
 link_cut/healed    one fabric link was cut / healed by fault injection
 net_partition      the fabric was split into disconnected groups
@@ -99,6 +107,9 @@ EVENT_KINDS = frozenset({
     "machine_failed", "copy_abandoned",
     "rereplication_queued", "rereplication_start", "rereplication_done",
     "rereplication_abandoned", "rereplication_skipped",
+    "delta_snapshot", "delta_drain_start", "delta_handoff",
+    "machine_catchup_start", "machine_catchup_done",
+    "machine_catchup_failed",
     "migration_start", "migration_done", "migration_abandoned",
     "takeover", "takeover_commit", "takeover_abort",
     "machine_crashed", "machine_suspected", "machine_unsuspected",

@@ -62,6 +62,23 @@ class ClusterConfig:
     lock_wait_timeout_s: float = 5.0
     # Recovery: number of concurrent database copy processes.
     recovery_threads: int = 1
+    # Log-structured delta re-replication: dump the snapshot at a pinned
+    # LSN *without* rejecting writes, stream it, replay the retained
+    # per-database commit log on the target, and shrink Algorithm 1's
+    # write-rejection window to the final log-drain handoff. When False
+    # the original full-copy path (rejection for the copy's whole
+    # duration) is the reference implementation.
+    delta_recovery: bool = True
+    # Entries of the per-database commit log retained for delta catch-up
+    # (snapshot pins hold truncation back further while a copy is in
+    # flight). A rejoining machine whose last durable LSN fell behind
+    # the retained tail is wiped to a blank spare instead.
+    replication_log_retain: int = 512
+    # Bounded live-replay rounds before the delta handoff: if sustained
+    # write load keeps the target behind after this many catch-up
+    # passes, the drain (reject) window starts anyway and convergence is
+    # forced by rejection.
+    delta_max_replay_rounds: int = 10
     machine: MachineConfig = field(default_factory=MachineConfig)
     # Record operation histories for serializability checking (adds
     # overhead; enable in correctness experiments).

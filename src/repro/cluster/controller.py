@@ -40,6 +40,7 @@ from repro.cluster.network import CONTROLLER, NetworkFabric
 from repro.cluster.replica_map import ReplicaMap
 from repro.cluster.routing import ReadOption, ReadRouter, WritePolicy
 from repro.engine.schema import DatabaseSchema
+from repro.engine.wal import RetainedTail
 from repro.engine.sqlparse import nodes as n
 from repro.engine.sqlparse.parser import parse
 from repro.errors import (ControllerFailedError, DeadlockError,
@@ -204,9 +205,31 @@ class ClusterController:
             OrderedDict())
         self.schemas: Dict[str, DatabaseSchema] = {}
         self.ddl: Dict[str, List[str]] = {}
-        # Called with (db, txn_id, write_log) after each successful commit
-        # of a writing transaction; the platform layer uses this to ship
-        # writes asynchronously to the disaster-recovery colo.
+        # The log-structured replication stream: one LSN-addressed
+        # retained tail of committed write statements per database, fed
+        # at the 2PC decision point. Delta re-replication snapshots at a
+        # pinned LSN and replays this tail on the target.
+        self.db_logs: Dict[str, RetainedTail] = {}
+        # db -> machine -> last contiguously applied LSN. A replica that
+        # misses a commit (gap) is dropped from tracking — it can no
+        # longer rejoin by delta catch-up.
+        self.replica_lsns: Dict[str, Dict[str, int]] = {}
+        # Holdings of declared-dead machines: name -> {db: last LSN}
+        # captured at declaration, so a machine that comes back with its
+        # data intact can catch up from its last durable LSN.
+        self._stale_holdings: Dict[str, Dict[str, int]] = {}
+        # db -> number of open transactions that have written to it;
+        # the delta handoff drains until this reaches zero.
+        self._open_writers: Dict[str, int] = {}
+        # Called with (db, txn_id, write_log) at the decision point of
+        # each writing transaction's 2PC (the commit is decided and
+        # mirrored; it can no longer abort). The platform layer uses
+        # this to ship writes asynchronously to the disaster-recovery
+        # colo. Firing at the decision — before any COMMIT reaches a
+        # machine — means a snapshot taken under the dump tool's S locks
+        # (which an applying commit's X locks exclude) observes a commit
+        # if and only if its hook has fired, so a log attached at the
+        # snapshot instant sequences exactly the post-snapshot suffix.
         self.commit_hooks: List = []
         # Called with (db,) after each successful statement; the platform
         # layer uses this to measure RTO (first statement served by a
@@ -220,6 +243,10 @@ class ClusterController:
         # with its data (failed, declared dead) or rejoins blank; the
         # colo releases its placement bin.
         self.machine_reset_hook = None
+        # Called with (machine_name,) when a declared machine rejoins
+        # *with its data* after delta catch-up; the colo re-counts its
+        # hosted databases against its placement bin.
+        self.machine_rejoin_hook = None
         # Failure-detector state (heartbeats over the fabric).
         self.suspected: Dict[str, float] = {}   # name -> suspected-at time
         self.declared_dead: Set[str] = set()
@@ -306,6 +333,9 @@ class ClusterController:
         self.replica_map.add_database(db, list(machines))
         self.schemas[db] = self.machines[machines[0]].engine.database(db).schema
         self.ddl[db] = list(ddl)
+        self.db_logs[db] = RetainedTail(
+            retain=self.config.replication_log_retain)
+        self.replica_lsns[db] = {name: 0 for name in machines}
 
     def bulk_load(self, db: str, table: str, rows: Sequence[Sequence[Any]]) -> None:
         """Load identical rows into every replica (setup phase)."""
@@ -331,6 +361,9 @@ class ClusterController:
         self.schemas.pop(db, None)
         self.ddl.pop(db, None)
         self.copy_states.pop(db, None)
+        self.db_logs.pop(db, None)
+        self.replica_lsns.pop(db, None)
+        self._open_writers.pop(db, None)
 
     def reset_as_blank(self) -> None:
         """Wipe the whole cluster back to blank spares (colo failback).
@@ -349,6 +382,10 @@ class ClusterController:
         self.schemas.clear()
         self.ddl.clear()
         self.copy_states.clear()
+        self.db_logs.clear()
+        self.replica_lsns.clear()
+        self._stale_holdings.clear()
+        self._open_writers.clear()
         self.suspected.clear()
         self.declared_dead.clear()
         self.fenced.clear()
@@ -356,6 +393,109 @@ class ClusterController:
         self._probes.clear()
         self.primary_alive = True
         self.trace.emit("cluster_reset")
+
+    # -- the per-database replication log ------------------------------------------------
+
+    def database_log(self, db: str) -> RetainedTail:
+        """The LSN-addressed commit log of ``db`` (created on demand for
+        databases registered before this controller grew logs)."""
+        log = self.db_logs.get(db)
+        if log is None:
+            log = RetainedTail(retain=self.config.replication_log_retain)
+            self.db_logs[db] = log
+        return log
+
+    def open_writers(self, db: str) -> int:
+        """Open transactions that have written to ``db`` (drain gauge)."""
+        return self._open_writers.get(db, 0)
+
+    def _sequence_commit(self, txn: _TxnState) -> Optional[int]:
+        """Assign the decided commit its per-database LSN and fire the
+        commit hooks. Runs at the decision point: the commit is mirrored
+        and irrevocable, but no COMMIT message has left yet — so any
+        machine-side apply of this transaction happens after its LSN
+        exists, and a dump snapshot (which its X locks exclude until the
+        apply finishes) can never contain a commit the log missed."""
+        if not txn.write_log:
+            return None
+        lsn = self.database_log(txn.db).append(
+            (txn.txn_id, list(txn.write_log)))
+        for hook in self.commit_hooks:
+            hook(txn.db, txn.txn_id, list(txn.write_log))
+        return lsn
+
+    def _advance_replica_lsn(self, db: str, machine: str, lsn: int) -> None:
+        """Record that ``machine`` applied the commit at ``lsn``.
+
+        Only contiguous progress counts: a gap means the replica missed
+        a commit (it died or timed out around it), so its durable prefix
+        can no longer be extended by replay — it is dropped from
+        tracking and a later rejoin falls back to the blank-spare path.
+        """
+        lsns = self.replica_lsns.get(db)
+        if lsns is None or machine not in lsns:
+            return
+        if lsn == lsns[machine] + 1:
+            lsns[machine] = lsn
+        elif lsn > lsns[machine] + 1:
+            del lsns[machine]
+
+    def note_replica_caught_up(self, db: str, machine: str,
+                               lsn: int) -> None:
+        """A recovery handoff left ``machine`` consistent through
+        ``lsn``; start tracking its contiguous progress from there."""
+        self.replica_lsns.setdefault(db, {})[machine] = lsn
+
+    def delta_replay_and_handoff(self, db: str, target: Machine,
+                                 from_lsn: int, state: CopyState,
+                                 skip_txns: Optional[Set[int]] = None
+                                 ) -> Generator:
+        """Replay the retained log onto ``target``, then drain to handoff.
+
+        Live phase: batches of retained entries after ``from_lsn``
+        replay on the target while writes keep flowing to the serving
+        replicas (``state`` stays passive, so Algorithm 1 rejects
+        nothing). Once a replay pass finds the log head stable — or
+        after ``delta_max_replay_rounds`` passes under sustained load —
+        the drain begins: ``state.copying_all`` flips, new writes are
+        rejected, and the loop replays stragglers until the head stops
+        moving and no open transaction has unfinished writes to ``db``.
+        Returns ``(applied_lsn, reject_seconds, replayed_entries)``;
+        the caller adds the replica and clears the copy state (no sim
+        time passes after the drain completes).
+        """
+        log = self.database_log(db)
+        applied = from_lsn
+        replayed = 0
+        rounds = 0
+        drain_started = None
+        while True:
+            head = log.last_lsn
+            entries = log.since(applied)
+            todo = ([(l, p) for l, p in entries if p[0] not in skip_txns]
+                    if skip_txns else entries)
+            if todo:
+                yield target.run_copy(target.apply_log_body(db, todo),
+                                      label=f"delta-apply:{db}")
+                replayed += len(todo)
+            applied = head
+            if drain_started is None:
+                rounds += 1
+                if not entries or rounds >= self.config.delta_max_replay_rounds:
+                    drain_started = self.sim.now
+                    state.copying_all = True
+                    self.trace.emit("delta_drain_start", db=db,
+                                    machine=target.name, lsn=applied)
+                continue
+            if log.last_lsn == applied and self.open_writers(db) == 0:
+                break
+            # In-flight writers may still commit (rejection stops only
+            # *new* writes); let their 2PC land, then replay the stragglers.
+            yield self.sim.timeout(0.005)
+        reject_s = self.sim.now - drain_started
+        self.trace.emit("delta_handoff", db=db, machine=target.name,
+                        lsn=applied, reject_s=reject_s, replayed=replayed)
+        return applied, reject_s, replayed
 
     def connect(self, db: str) -> Connection:
         self.replica_map.replicas(db)  # raises if unknown
@@ -399,7 +539,15 @@ class ClusterController:
         return conn.txn
 
     def _finish(self, conn: Connection, txn: _TxnState) -> None:
+        if txn.finished:
+            return
         txn.finished = True
+        if txn.wrote:
+            count = self._open_writers.get(txn.db, 0)
+            if count > 1:
+                self._open_writers[txn.db] = count - 1
+            else:
+                self._open_writers.pop(txn.db, None)
         self.router.forget(txn.txn_id)
         conn.txn = None
 
@@ -684,6 +832,13 @@ class ClusterController:
             self.metrics.record_fanout(label, len(branches))
         return branches
 
+    def _still_replica(self, db: str, name: str) -> bool:
+        """Is ``name`` still in ``db``'s replica set? False once the
+        failure detector declared it dead mid-operation (its in-flight
+        branch outcomes are moot — survivors carry the transaction)."""
+        return (db in self.replica_map.databases()
+                and name in self.replica_map.replicas(db))
+
     def _live_targets(self, names: Sequence[str]) -> List[str]:
         """Filter to machines that exist, are alive, and are not fenced."""
         targets = []
@@ -814,7 +969,10 @@ class ClusterController:
             txn.writes_sent[name] = txn.writes_sent.get(name, 0) + 1
             self.trace.emit("write_issued", db=txn.db, txn=txn.txn_id,
                             machine=name)
-        txn.wrote = True
+        if not txn.wrote:
+            txn.wrote = True
+            self._open_writers[txn.db] = (
+                self._open_writers.get(txn.db, 0) + 1)
         txn.write_log.append((sql, params))
         if self.config.write_policy is WritePolicy.CONSERVATIVE:
             result = yield from self._await_all_writes(txn, writes)
@@ -849,6 +1007,14 @@ class ClusterController:
                 continue  # replica lost; survivors carry the write
             except (DeadlockError, LockTimeoutError) as exc:
                 failure = exc
+            except Exception:
+                if not self._still_replica(txn.db, name):
+                    # The machine was declared dead — and possibly wiped
+                    # to a blank spare — while the write was in flight:
+                    # its branch is moot, survivors carry the write,
+                    # exactly as for a machine that visibly failed.
+                    continue
+                raise
             finally:
                 self._write_settled(txn, name, proc, issued_at)
         if failure is not None:
@@ -889,6 +1055,10 @@ class ClusterController:
                     if result is None:
                         result = proc.value
                 elif isinstance(proc.value, MachineFailedError):
+                    continue
+                elif not self._still_replica(txn.db, name):
+                    # Declared dead (possibly wiped to a spare) while
+                    # the write was in flight: the branch is moot.
                     continue
                 else:
                     failure = proc.value
@@ -1024,6 +1194,9 @@ class ClusterController:
                         decision="commit", mirrored=self.backup is not None,
                         participants=prepared, actor="primary")
         self.metrics.record_phase_latency("prepare", decision_at - phase1_at)
+        # Sequence the decided commit into the per-database replication
+        # log (and fire the DR shipping hooks) before any COMMIT leaves.
+        lsn = self._sequence_commit(txn)
 
         # Phase 2: COMMIT on all touched machines (read locks too) — one
         # concurrent broadcast. The decision is made and mirrored, so
@@ -1043,6 +1216,8 @@ class ClusterController:
         redelivering = False
         for outcome in outcomes:
             if outcome.ok:
+                if lsn is not None and outcome.machine in txn.write_participants:
+                    self._advance_replica_lsn(txn.db, outcome.machine, lsn)
                 continue
             if isinstance(outcome.value, RPCTimeoutError):
                 # The decision is made and durable; an unreachable
@@ -1064,8 +1239,6 @@ class ClusterController:
         self.metrics.record_phase_latency("commit", self.sim.now - decision_at)
         self.metrics.record_phase_latency("txn", self.sim.now - txn.started_at)
         self.trace.emit("committed", db=txn.db, txn=txn.txn_id)
-        for hook in self.commit_hooks:
-            hook(txn.db, txn.txn_id, list(txn.write_log))
         self._finish(conn, txn)
         return True
 
@@ -1095,6 +1268,9 @@ class ClusterController:
             raise ValueError(f"unknown machine {name!r}")
         machine.fail()
         affected = self.replica_map.remove_machine(name)
+        for db in affected:
+            self.replica_lsns.get(db, {}).pop(name, None)
+        self._stale_holdings.pop(name, None)
         self.trace.emit("machine_failed", machine=name,
                         affected=sorted(affected))
         self._abandon_copies(name)
@@ -1147,6 +1323,7 @@ class ClusterController:
         self.declared_dead.discard(name)
         self.fenced.discard(name)
         self.suspected.pop(name, None)
+        self._stale_holdings.pop(name, None)
         self._hb_misses[name] = 0
         if self.machine_reset_hook is not None:
             self.machine_reset_hook(name)
@@ -1281,6 +1458,17 @@ class ClusterController:
         self.fenced.add(name)
         was_alive = machine.alive
         machine.fence()
+        # Remember what the machine held and how far it had applied: if
+        # it comes back with its data intact (a false declaration), it
+        # can catch up from these LSNs instead of being wiped.
+        holdings: Dict[str, int] = {}
+        for db in self.replica_map.hosted_on(name):
+            lsn = self.replica_lsns.get(db, {}).get(name)
+            if lsn is not None:
+                holdings[db] = lsn
+            self.replica_lsns.get(db, {}).pop(name, None)
+        if holdings:
+            self._stale_holdings[name] = holdings
         affected = self.replica_map.remove_machine(name)
         self.trace.emit("machine_declared", machine=name, reason=reason,
                         was_alive=was_alive, affected=sorted(affected))
@@ -1294,16 +1482,101 @@ class ClusterController:
 
     def _readmit(self, name: str) -> None:
         """A declared-dead machine answered a heartbeat: a false
-        suspicion. Its replicas were already handed to recovery, so its
-        state is stale and must never be served — it re-enters as a
-        blank spare (fresh empty engine), eligible as a copy target."""
+        suspicion. With delta recovery on, databases it still holds
+        intact — and whose commit suffix the retained log still covers —
+        catch up from their last durable LSN and rejoin; everything else
+        is stale and dropped. Without delta recovery (or when nothing is
+        catchable) it re-enters as a blank spare (fresh empty engine),
+        eligible as a copy target."""
         machine = self.machines[name]
         self.declared_dead.discard(name)
         self.fenced.discard(name)
         self.suspected.pop(name, None)
         self._hb_misses[name] = 0
-        machine.readmit_as_spare()
-        if self.machine_reset_hook is not None:
-            self.machine_reset_hook(name)
+        holdings = self._stale_holdings.pop(name, {})
+        eligible: Dict[str, int] = {}
+        if self.config.delta_recovery and machine.alive:
+            for db, lsn in holdings.items():
+                log = self.db_logs.get(db)
+                if (log is not None and log.covers(lsn)
+                        and machine.engine.hosts(db)
+                        and db not in self.copy_states
+                        and db in self.replica_map.databases()
+                        and name not in self.replica_map.replicas(db)
+                        and (self.replica_map.replica_count(db)
+                             < self.config.replication_factor)):
+                    eligible[db] = lsn
         self.metrics.record_false_suspicion()
-        self.trace.emit("machine_readmitted", machine=name)
+        if not eligible:
+            machine.readmit_as_spare()
+            if self.machine_reset_hook is not None:
+                self.machine_reset_hook(name)
+            self.trace.emit("machine_readmitted", machine=name, mode="spare")
+            return
+        machine.rejoin_with_data()
+        # Databases whose suffix was truncated away (or that recovery
+        # already re-protected elsewhere) are stale: drop them.
+        for db in holdings:
+            if db not in eligible and machine.engine.hosts(db):
+                machine.engine.drop_database(db)
+        # Mark the catch-ups in copy_states *now* (same instant as the
+        # readmission) so a queued full re-replication of the same
+        # database skips instead of racing this catch-up, and pin the
+        # logs so truncation cannot outrun the replay.
+        pins = {}
+        for db, lsn in eligible.items():
+            state = CopyState(db, name, source=name)
+            self.copy_states[db] = state
+            pins[db] = (state, self.database_log(db).pin(lsn))
+        self.trace.emit("machine_readmitted", machine=name, mode="catchup",
+                        dbs=sorted(eligible))
+        proc = self.sim.process(self._catch_up_machine(name, eligible, pins),
+                                name=f"catchup:{name}")
+        proc.defused = True
+
+    def _catch_up_machine(self, name: str,
+                          eligible: Dict[str, int],
+                          pins: Dict[str, tuple]) -> Generator:
+        """Delta catch-up of a readmitted machine, one database at a time.
+
+        Every database replays the retained log from the machine's last
+        durable LSN, skipping entries whose COMMIT is already durable in
+        its WAL (applied pre-declaration but never acked), then drains
+        through the shrunken reject window and rejoins the replica map.
+        A failure mid-catch-up drops the partial database and hands it
+        back to normal re-replication.
+        """
+        machine = self.machines[name]
+        skip = machine.committed_txn_ids()
+        for db, from_lsn in eligible.items():
+            state, pin = pins[db]
+            log = self.database_log(db)
+            self.trace.emit("machine_catchup_start", db=db, machine=name,
+                            lsn=from_lsn)
+            try:
+                try:
+                    applied, reject_s, replayed = (
+                        yield from self.delta_replay_and_handoff(
+                            db, machine, from_lsn, state, skip_txns=skip))
+                    if (db in self.replica_map.databases()
+                            and name not in self.replica_map.replicas(db)):
+                        self.replica_map.add_replica(db, name)
+                        self.note_replica_caught_up(db, name, applied)
+                    self.trace.emit("machine_catchup_done", db=db,
+                                    machine=name, lsn=applied,
+                                    replayed=replayed, reject_s=reject_s)
+                finally:
+                    if self.copy_states.get(db) is state:
+                        del self.copy_states[db]
+                    log.release(pin)
+            except Exception as exc:
+                self.trace.emit("machine_catchup_failed", db=db,
+                                machine=name, error=type(exc).__name__)
+                if machine.alive and not machine.fenced \
+                        and machine.engine.hosts(db) \
+                        and name not in self.replica_map.replicas(db):
+                    machine.engine.drop_database(db)
+                if self.recovery is not None:
+                    self.recovery.schedule_databases([db])
+        if self.machine_rejoin_hook is not None:
+            self.machine_rejoin_hook(name)

@@ -123,6 +123,38 @@ class Machine:
         """Return a failed machine to service as a blank spare."""
         self.readmit_as_spare()
 
+    def rejoin_with_data(self) -> None:
+        """Re-enter the cluster keeping the engine's data (delta rejoin).
+
+        A machine declared dead whose data survived intact catches up
+        from its last durable LSN instead of being wiped. Transaction
+        branches left open by the fencing (including in-doubt prepares
+        whose decision it never received) are rolled back first: their
+        effects are re-delivered by the log replay if they committed
+        globally, and never were commits otherwise.
+        """
+        for txn in list(self.engine.transactions.values()):
+            if not txn.finished:
+                self.engine.abort(txn)
+        self.fenced = False
+        self.alive = True
+        self.failed_at = None
+        self._tails.clear()
+        self._active.clear()
+        self._rpc_cache.clear()
+        self._write_counts.clear()
+
+    def committed_txn_ids(self) -> set:
+        """Transactions whose COMMIT is durable in this machine's WAL.
+
+        The rejoin catch-up replays only log entries outside this set, so
+        a commit the machine applied but never acked (the ack was lost
+        right before it was declared) is not applied twice.
+        """
+        from repro.engine.wal import RecordType
+        return {r.txn_id for r in self.engine.wal.durable_records()
+                if r.kind is RecordType.COMMIT}
+
     def _check_alive(self) -> None:
         if not self.alive:
             raise MachineFailedError(self.name)
@@ -354,18 +386,31 @@ class Machine:
 
     # -- copy tool (recovery) -----------------------------------------------------
 
-    def dump_table_body(self, db: str, table: str) -> Generator:
-        """Run the copy tool for one table, charging disk read time."""
+    def dump_table_body(self, db: str, table: str,
+                        on_snapshot=None) -> Generator:
+        """Run the copy tool for one table, charging disk read time.
+
+        ``on_snapshot`` (if given) is called synchronously at the
+        snapshot instant — the dump's S locks were just granted and the
+        rows copied, but the I/O charge has not started — so the caller
+        can pin the replication log's LSN that the snapshot reflects.
+        """
         self._check_alive()
         gen = dump_table(self.engine, db, table)
         dump = yield from self._drive_dump(gen)
+        if on_snapshot is not None:
+            on_snapshot(dump)
         yield from self._charge_copy_io(dump.bytes_estimate)
         return dump
 
-    def dump_database_body(self, db: str) -> Generator:
+    def dump_database_body(self, db: str, on_snapshot=None) -> Generator:
+        """Dump every table of ``db``; see :meth:`dump_table_body` for
+        the ``on_snapshot`` snapshot-instant callback."""
         self._check_alive()
         gen = dump_database(self.engine, db)
         dumps = yield from self._drive_dump(gen)
+        if on_snapshot is not None:
+            on_snapshot(dumps)
         yield from self._charge_copy_io(sum(d.bytes_estimate for d in dumps))
         return dumps
 
@@ -403,6 +448,37 @@ class Machine:
         per_chunk = seconds / chunks
         for _ in range(chunks):
             yield from self.disk.use(per_chunk)
+
+    def apply_log_body(self, db: str, entries) -> Generator:
+        """Replay retained-log entries (delta catch-up apply stream).
+
+        ``entries`` is ``[(lsn, (txn_id, [(sql, params), ...])), ...]``
+        in LSN order. Each entry replays as one local transaction under
+        its original transaction id, so the machine's WAL records it as
+        committed and a repeated catch-up skips it. The machine is not
+        in the replica map while this runs, so the replay never contends
+        with foreground traffic.
+        """
+        self._check_alive()
+        applied = 0
+        try:
+            for _lsn, (txn_id, writes) in entries:
+                self._check_alive()
+                txn = self.engine.begin(txn_id)
+                try:
+                    for sql, params in writes:
+                        result = self.engine.execute_sync(txn, db, sql,
+                                                          params)
+                        yield from self._charge(result)
+                    self.engine.commit(txn)
+                except BaseException:
+                    if not txn.finished:
+                        self.engine.abort(txn)
+                    raise
+                applied += 1
+        except Interrupt as exc:
+            raise MachineFailedError(self.name) from exc
+        return applied
 
     def load_rows_body(self, db: str, table: str, rows) -> Generator:
         """Bulk-load copied rows on the destination machine."""

@@ -4,7 +4,16 @@ When a machine fails, every database it hosted drops below its
 replication factor. The :class:`RecoveryManager` runs a configurable
 number of *recovery threads* (the x-axis of the paper's Figure 8); each
 thread takes one under-replicated database at a time and copies it to a
-new machine with the dump tool, at either granularity:
+new machine with the dump tool.
+
+With ``ClusterConfig.delta_recovery`` on (the default), the copy is
+*log-structured*: the dump snapshots the database at a pinned LSN of the
+per-database commit log **without rejecting writes**, the snapshot
+streams to the target while writes keep flowing, and the retained log
+replays on the target from the pinned LSN. Algorithm 1's write-rejection
+window shrinks to the final log-drain handoff — independent of database
+size. The original full-copy reference path (``delta_recovery=False``)
+rejects at either granularity:
 
 * ``TABLE`` — tables are copied one at a time; only writes to the table
   *currently* being copied are rejected (Algorithm 1 line 11);
@@ -19,18 +28,22 @@ with database size like the paper's ~2 minutes for 200 MB.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Iterable, List, Optional
 
 from repro.cluster.controller import ClusterController, CopyState
 from repro.cluster.network import CONTROLLER
-from repro.errors import MachineFailedError, NoReplicaError
+from repro.errors import NoReplicaError
 from repro.sim import Process, Simulator, Store
 
 
 class CopyGranularity(enum.Enum):
     TABLE = "table"
     DATABASE = "database"
+
+
+class CopyInFlight(Exception):
+    """Another copy pipeline (a rejoin catch-up) owns this database."""
 
 
 @dataclass
@@ -44,6 +57,7 @@ class RecoveryRecord:
     finished_at: float
     bytes_copied: int
     succeeded: bool
+    mode: str = "full"
 
     @property
     def duration(self) -> float:
@@ -88,6 +102,12 @@ class RecoveryManager:
             if db in self.in_progress:
                 continue
             if self.controller.replica_map.replica_count(db) >= want:
+                # A rejoin catch-up (or an earlier retry) restored the
+                # factor between queue and re-schedule; resolve any
+                # outstanding queue entry in the trace so the
+                # rereplication-restores-factor audit sees closure.
+                self.controller.trace.emit("rereplication_skipped", db=db,
+                                           reason="already-replicated")
                 continue
             self.in_progress.add(db)
             self.controller.trace.emit("rereplication_queued", db=db)
@@ -99,29 +119,39 @@ class RecoveryManager:
             try:
                 yield from self._recover_database(db)
             except Exception:
-                # Source or target died mid-copy, or no machine can host
-                # the replica yet: back off, then retry if still needed.
-                self._cleanup(db)
+                # Source or target died mid-copy, no machine can host
+                # the replica yet, or another pipeline owns the copy:
+                # back off, then retry if still needed. All partial-state
+                # cleanup already happened inside _recover_database with
+                # the copy's source/target still in hand; by the time
+                # control returns here the copy state is gone, so a
+                # second state-keyed cleanup pass would find nothing.
                 self.in_progress.discard(db)
                 yield self.sim.timeout(self.retry_delay_s)
                 self.schedule_databases([db])
             else:
                 self.in_progress.discard(db)
-
-    def _cleanup(self, db: str) -> None:
-        state = self.controller.copy_states.pop(db, None)
-        if state is not None:
-            target = self.controller.machines.get(state.target)
-            if target is not None and target.alive and target.engine.hosts(db):
-                target.engine.drop_database(db)
+                # One copy restores one replica. If the database is
+                # still short (e.g. the copy's *source* also died
+                # mid-flight, and its failure's schedule call was
+                # suppressed because this copy was in progress), go
+                # again until the factor is met.
+                want = self.controller.config.replication_factor
+                if (db in self.controller.replica_map.databases()
+                        and self.controller.replica_map.replica_count(db)
+                        < want):
+                    self.schedule_databases([db])
 
     # -- placement of the new replica ----------------------------------------------
 
     def _choose_target(self, db: str) -> str:
-        """First live machine not already hosting the database.
+        """Best-fit placement: the live machine not already hosting the
+        database that currently hosts the *fewest* replicas.
 
-        Mirrors Algorithm 2's greedy flavor: pick the first machine with
-        room, by current database count.
+        Mirrors Algorithm 2's greedy flavor at recovery time: packing
+        the new replica onto the emptiest machine keeps the per-machine
+        database counts level, so a later failure re-replicates a
+        balanced share instead of a pile-up.
         """
         hosting = set(self.controller.replica_map.replicas(db))
         candidates = [
@@ -142,6 +172,13 @@ class RecoveryManager:
 
     def _recover_database(self, db: str) -> Generator:
         controller = self.controller
+        if db in controller.copy_states:
+            # A rejoin catch-up (or another worker's copy) already owns
+            # this database; retry after it settles rather than racing
+            # two pipelines toward the same replica.
+            controller.trace.emit("rereplication_skipped", db=db,
+                                  reason="copy-in-flight")
+            raise CopyInFlight(db)
         replicas = controller.live_replicas(db)
         if not replicas:
             # All replicas lost; nothing to copy from.
@@ -157,23 +194,35 @@ class RecoveryManager:
         target_name = self._choose_target(db)
         source = controller.machines[source_name]
         target = controller.machines[target_name]
+        delta = controller.config.delta_recovery
+        mode = "delta" if delta else self.granularity.value
 
         started = self.sim.now
         copied_bytes = 0
+        applied_lsn = None
 
-        # Create the (empty) database on the target from the saved DDL.
-        target.engine.create_database(db)
-        setup = target.engine.begin()
-        for statement in controller.ddl[db]:
-            target.engine.execute_sync(setup, db, statement)
-        target.engine.commit(setup)
-
+        # Register the copy state *before* touching the target: every
+        # setup step from here on runs under the abandonment protocol
+        # (fail_machine finds the state, the except arm below drops the
+        # partial replica), so a failure mid-setup can no longer strand
+        # an orphaned half-created database on the target.
         state = CopyState(db, target_name, source=source_name)
         controller.copy_states[db] = state
         controller.trace.emit("rereplication_start", db=db,
-                              machine=target_name, source=source_name)
+                              machine=target_name, source=source_name,
+                              mode=mode)
         try:
-            if self.granularity is CopyGranularity.DATABASE:
+            # Create the (empty) database on the target from the saved DDL.
+            target.engine.create_database(db)
+            setup = target.engine.begin()
+            for statement in controller.ddl[db]:
+                target.engine.execute_sync(setup, db, statement)
+            target.engine.commit(setup)
+
+            if delta:
+                copied_bytes, applied_lsn = yield from self._copy_delta(
+                    db, state, source, target)
+            elif self.granularity is CopyGranularity.DATABASE:
                 copied_bytes = yield from self._copy_database(
                     db, state, source, target)
             else:
@@ -182,8 +231,8 @@ class RecoveryManager:
         except Exception as exc:
             # Clean the partial replica off a surviving target here, with
             # the target still in hand: when the *source* died,
-            # fail_machine has already dropped the CopyState, so the
-            # worker's state-based cleanup cannot find the target.
+            # fail_machine has already dropped the CopyState, so a
+            # state-based cleanup could not find the target.
             partial_dropped = False
             if target.alive and target.engine.hosts(db):
                 target.engine.drop_database(db)
@@ -194,19 +243,77 @@ class RecoveryManager:
                                   partial_dropped=partial_dropped)
             self.records.append(RecoveryRecord(
                 db, source_name, target_name, started, self.sim.now,
-                copied_bytes, succeeded=False))
+                copied_bytes, succeeded=False, mode=mode))
             raise
         finally:
-            controller.copy_states.pop(db, None)
+            # Pop only our own state: a failure may have routed through
+            # _abandon_copies already, and a rejoin catch-up could have
+            # registered a fresh state for the same database since.
+            if controller.copy_states.get(db) is state:
+                del controller.copy_states[db]
 
         controller.replica_map.add_replica(db, target_name)
+        if applied_lsn is not None:
+            controller.note_replica_caught_up(db, target_name, applied_lsn)
         controller.trace.emit(
             "rereplication_done", db=db, machine=target_name,
             replicas=controller.replica_map.replica_count(db),
-            bytes=copied_bytes)
+            bytes=copied_bytes, mode=mode)
         self.records.append(RecoveryRecord(
             db, source_name, target_name, started, self.sim.now,
-            copied_bytes, succeeded=True))
+            copied_bytes, succeeded=True, mode=mode))
+
+    def _copy_delta(self, db: str, state: CopyState, source,
+                    target) -> Generator:
+        """Log-structured copy: snapshot at a pinned LSN, no rejection.
+
+        The dump still takes its whole-database S-lock footprint, but
+        only for the instant the rows are read (in-flight writers drain
+        into it; the bulk I/O charge happens after release), and the
+        copy state stays passive — Algorithm 1 rejects nothing while
+        the snapshot streams and loads. ``on_snapshot`` pins the
+        commit log at the dump instant: the S locks guarantee every
+        commit with an assigned LSN has been applied on the source, so
+        the snapshot contains exactly the commits with LSN <= pin and
+        the retained tail after the pin is exactly what the target is
+        missing. Replay then catches the target up live, and only the
+        final drain handoff rejects writes.
+        """
+        controller = self.controller
+        log = controller.database_log(db)
+        fabric = controller.fabric
+        holder = {}
+
+        def on_snapshot(_dumps):
+            holder["pin"] = log.pin()
+            controller.trace.emit("delta_snapshot", db=db,
+                                  machine=target.name,
+                                  lsn=holder["pin"].lsn)
+
+        try:
+            if fabric.enabled:
+                fabric.copy_gate(CONTROLLER, source.name)
+            dumps = yield source.run_copy(
+                source.dump_database_body(db, on_snapshot=on_snapshot),
+                label=f"dump:{db}")
+            total = 0
+            for dump in dumps:
+                yield from self._transfer(source.name, target.name,
+                                          dump.bytes_estimate)
+                if fabric.enabled:
+                    fabric.copy_gate(CONTROLLER, target.name)
+                yield target.run_copy(
+                    target.load_rows_body(db, dump.table, dump.rows),
+                    label=f"load:{db}.{dump.table}")
+                total += dump.bytes_estimate
+            applied, _reject_s, _replayed = (
+                yield from controller.delta_replay_and_handoff(
+                    db, target, holder["pin"].lsn, state))
+            return total, applied
+        finally:
+            pin = holder.get("pin")
+            if pin is not None:
+                log.release(pin)
 
     def _copy_tables(self, db: str, state: CopyState, source,
                      target) -> Generator:

@@ -270,6 +270,14 @@ class LockManager:
             self._remove_from_queue(pending)
             if pending.pending:
                 pending._fail(DeadlockError(f"txn {txn_id} aborted"))
+            # FIFO queueing means an incompatible head blocks compatible
+            # followers; removing a queued request can therefore unblock
+            # the requests behind it even when this txn held nothing on
+            # the resource.
+            self._regrant(pending.resource)
+            table = self._tables.get(pending.resource)
+            if table is not None and table.empty():
+                del self._tables[pending.resource]
         resources = list(self._held.pop(txn_id, {}))
         for resource in resources:
             table = self._tables[resource]

@@ -1,4 +1,4 @@
-"""Write-ahead logging and restart recovery.
+"""Write-ahead logging, restart recovery, and the retained log tail.
 
 The WAL is the engine's durability story: every row change is logged
 before it is applied, COMMIT and PREPARE force the log, and
@@ -9,13 +9,22 @@ but no outcome are restored *in doubt* — their effects applied and their
 exclusive locks re-taken — so the cluster controller (the 2PC coordinator)
 can still decide them. Everything uncommitted and unprepared is discarded
 (presumed abort).
+
+The log is also the *replication stream*: :class:`RetainedTail` is the
+LSN-addressed retained suffix machinery shared by the engine WAL and the
+cluster's per-database commit logs. Entries get dense, monotonically
+increasing LSNs; a bounded tail of recent entries is retained for delta
+catch-up, and :class:`SnapshotPin`\\ s mark LSNs that an in-flight
+snapshot copy still needs — truncation never advances past the lowest
+pinned LSN, so a replica built from a snapshot taken at a pinned LSN can
+always replay forward from it.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class RecordType(enum.Enum):
@@ -58,23 +67,221 @@ class LogRecord:
                 f"rid={self.rid})")
 
 
+class SnapshotPin:
+    """A claim on the retained tail: "keep everything after ``lsn``".
+
+    Handed out by :meth:`RetainedTail.pin` (and the WAL's
+    :meth:`WriteAheadLog.pin_snapshot`) at the instant a snapshot copy is
+    taken. While the pin is held, truncation keeps every entry with an
+    LSN greater than ``lsn`` so the snapshot's consumer can replay the
+    suffix. Release exactly once via the owning tail.
+    """
+
+    __slots__ = ("lsn", "released")
+
+    def __init__(self, lsn: int):
+        self.lsn = lsn
+        self.released = False
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "held"
+        return f"SnapshotPin(lsn={self.lsn}, {state})"
+
+
+class RetainedTail:
+    """An LSN-addressed, truncatable suffix of an append-only log.
+
+    Entries are addressed by dense LSNs starting at 1. At most ``retain``
+    entries are kept (``retain=None`` keeps everything); older entries
+    are truncated on append, except that truncation never advances past
+    the lowest held :class:`SnapshotPin`. ``start_lsn`` is the lowest
+    LSN still retained; :meth:`covers` tells a catch-up whether it can
+    replay forward from a given LSN or must fall back to a full copy.
+    """
+
+    def __init__(self, retain: Optional[int] = None):
+        self.retain = retain
+        self._entries: List[Any] = []
+        self._start_lsn = 1          # LSN of _entries[0]
+        self._pins: List[SnapshotPin] = []
+        self.truncated = 0           # entries dropped so far (stat)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_lsn(self) -> int:
+        """The highest LSN assigned so far (0 when empty)."""
+        return self._start_lsn + len(self._entries) - 1
+
+    @property
+    def start_lsn(self) -> int:
+        """The lowest LSN still retained (last_lsn + 1 when drained)."""
+        return self._start_lsn
+
+    def append(self, payload: Any) -> int:
+        """Append one entry; returns its LSN."""
+        self._entries.append(payload)
+        lsn = self.last_lsn
+        self._truncate()
+        return lsn
+
+    def covers(self, from_lsn: int) -> bool:
+        """True when every entry *after* ``from_lsn`` is still retained,
+        i.e. a consumer at ``from_lsn`` can catch up by replay alone."""
+        return from_lsn + 1 >= self._start_lsn
+
+    def since(self, from_lsn: int) -> List[Tuple[int, Any]]:
+        """Retained ``(lsn, payload)`` pairs with ``lsn > from_lsn``.
+
+        Raises :class:`ValueError` when the requested suffix has been
+        truncated away (the caller must fall back to a full copy).
+        """
+        if not self.covers(from_lsn):
+            raise ValueError(
+                f"log truncated: need entries after {from_lsn}, "
+                f"tail starts at {self._start_lsn}")
+        lo = max(from_lsn + 1, self._start_lsn)
+        offset = lo - self._start_lsn
+        return [(self._start_lsn + i, self._entries[i])
+                for i in range(offset, len(self._entries))]
+
+    def pin(self, lsn: Optional[int] = None) -> SnapshotPin:
+        """Pin the tail at ``lsn`` (default: the current head)."""
+        if lsn is None:
+            lsn = self.last_lsn
+        if not self.covers(lsn):
+            raise ValueError(
+                f"cannot pin at {lsn}: tail starts at {self._start_lsn}")
+        pin = SnapshotPin(lsn)
+        self._pins.append(pin)
+        return pin
+
+    def release(self, pin: SnapshotPin) -> None:
+        """Release a pin; truncation may advance past its LSN again."""
+        if pin.released:
+            return
+        pin.released = True
+        self._pins.remove(pin)
+        self._truncate()
+
+    def min_pinned_lsn(self) -> Optional[int]:
+        return min((p.lsn for p in self._pins), default=None)
+
+    def _truncate(self) -> None:
+        if self.retain is None:
+            return
+        # Keep at most `retain` entries, but never drop an entry some
+        # snapshot still needs (lsn > pin.lsn must stay replayable).
+        floor = self.last_lsn - self.retain + 1
+        pinned = self.min_pinned_lsn()
+        if pinned is not None:
+            floor = min(floor, pinned + 1)
+        if floor <= self._start_lsn:
+            return
+        drop = floor - self._start_lsn
+        del self._entries[:drop]
+        self._start_lsn = floor
+        self.truncated += drop
+
+
 @dataclass
 class WalStats:
     records: int = 0
     flushes: int = 0
+    truncated: int = 0
 
 
 class WriteAheadLog:
-    """An append-only log with an explicit flush horizon."""
+    """An append-only log with an explicit flush horizon.
+
+    The log keeps an LSN-addressed retained tail: records below
+    ``start_lsn`` have been truncated (after a checkpoint made them
+    redundant), and :meth:`pin_snapshot` holds truncation back so a
+    snapshot taken at that LSN can always be caught up by replaying
+    :meth:`records_since`. By default nothing is ever truncated —
+    :meth:`truncate` is an explicit checkpoint operation.
+    """
 
     def __init__(self):
         self._records: List[LogRecord] = []
+        self._start_lsn = 1           # LSN of _records[0]
         self._next_lsn = 1
         self.flushed_lsn = 0
+        self._pins: List[SnapshotPin] = []
         self.stats = WalStats()
 
     def __len__(self) -> int:
         return len(self._records)
+
+    # -- the LSN-addressed tail ------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN appended so far (0 when nothing was logged)."""
+        return self._next_lsn - 1
+
+    @property
+    def start_lsn(self) -> int:
+        """Lowest LSN still retained."""
+        return self._start_lsn
+
+    def covers(self, from_lsn: int) -> bool:
+        """True when every record after ``from_lsn`` is still retained."""
+        return from_lsn + 1 >= self._start_lsn
+
+    def records_since(self, from_lsn: int) -> List[LogRecord]:
+        """Retained records with ``lsn > from_lsn`` (the catch-up suffix)."""
+        if not self.covers(from_lsn):
+            raise ValueError(
+                f"WAL truncated: need records after {from_lsn}, "
+                f"tail starts at {self._start_lsn}")
+        offset = max(from_lsn + 1, self._start_lsn) - self._start_lsn
+        return self._records[offset:]
+
+    def pin_snapshot(self, lsn: Optional[int] = None) -> SnapshotPin:
+        """Pin the tail at ``lsn`` (default: the log head) so records
+        after it survive truncation until :meth:`release_snapshot`."""
+        if lsn is None:
+            lsn = self.last_lsn
+        if not self.covers(lsn):
+            raise ValueError(
+                f"cannot pin at {lsn}: tail starts at {self._start_lsn}")
+        pin = SnapshotPin(lsn)
+        self._pins.append(pin)
+        return pin
+
+    def release_snapshot(self, pin: SnapshotPin) -> None:
+        if pin.released:
+            return
+        pin.released = True
+        self._pins.remove(pin)
+
+    def min_pinned_lsn(self) -> Optional[int]:
+        return min((p.lsn for p in self._pins), default=None)
+
+    def truncate(self, upto_lsn: int) -> int:
+        """Drop records with ``lsn <= upto_lsn`` (checkpoint).
+
+        Truncation is clamped to the flush horizon (unflushed records
+        are not yet redundant) and to the lowest snapshot pin (a pinned
+        suffix must stay replayable). Returns the number of records
+        dropped.
+        """
+        floor = min(upto_lsn, self.flushed_lsn)
+        pinned = self.min_pinned_lsn()
+        if pinned is not None:
+            floor = min(floor, pinned)
+        if floor < self._start_lsn:
+            return 0
+        drop = 0
+        while drop < len(self._records) and self._records[drop].lsn <= floor:
+            drop += 1
+        if drop:
+            del self._records[:drop]
+            self._start_lsn = floor + 1
+            self.stats.truncated += drop
+        return drop
 
     def append(self, txn_id: int, kind: RecordType, db: str = None,
                table: str = None, rid: int = None,

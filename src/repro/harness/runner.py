@@ -6,6 +6,9 @@ Seven drivers cover the paper's evaluation section plus the soaks:
   chosen read option / write policy / replication factor (Figures 2-7);
 * :func:`run_recovery_experiment` — induce a machine failure mid-run and
   measure rejections and throughput during re-replication (Figures 8-9);
+* :func:`run_delta_recovery_bench` — one database, one induced failure:
+  the write-rejection window of log-structured delta re-replication vs
+  the full-copy reference, across database sizes;
 * :func:`run_fault_soak` — MTBF-driven random machine failures with
   background recovery, the trace/invariant-checker demonstration run;
 * :func:`run_partition_soak` — the unreliable-fabric soak: lossy links,
@@ -32,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.metrics import MetricsCollector
 from repro.cluster import (ClusterConfig, ClusterController, CopyGranularity,
                            ReadOption, RecoveryManager, WritePolicy)
+from repro.cluster.controller import TransactionAborted
 from repro.cluster.network import NetworkConfig
 from repro.cluster.process_pair import ProcessPairBackup
 from repro.cluster.recovery import RecoveryRecord
@@ -190,6 +194,7 @@ def run_recovery_experiment(
     seed: int = 11,
     think_time_s: float = 0.3,
     copy_bytes_factor: float = 800.0,
+    delta_recovery: bool = True,
 ) -> RecoveryExperimentResult:
     """Kill one machine mid-run and measure Algorithm 1's behaviour.
 
@@ -197,7 +202,10 @@ def run_recovery_experiment(
     databases need re-replication at once — making the recovery-thread
     count (the x-axis of Figure 8) matter. ``copy_bytes_factor`` scales
     the generated databases (a few hundred KB) up to the paper's 200 MB
-    class for copy-duration purposes.
+    class for copy-duration purposes. ``delta_recovery`` selects the
+    log-structured pipeline (write rejection only during the final log
+    drain) versus the full-copy reference (rejection for the copy's
+    whole duration).
     """
     sim = Simulator()
     scale = scale or TpcwScale(items=400, emulated_browsers=clients_per_db)
@@ -205,6 +213,7 @@ def run_recovery_experiment(
         sim, mix_name, ReadOption.OPTION_1, WritePolicy.CONSERVATIVE,
         machines, n_databases, replicas, scale, seed, None, 5.0)
     controller.config.machine.copy_bytes_factor = copy_bytes_factor
+    controller.config.delta_recovery = delta_recovery
     recovery = RecoveryManager(controller, granularity=granularity,
                                threads=recovery_threads)
     recovery.start()
@@ -262,6 +271,108 @@ def run_recovery_experiment(
 
 
 @dataclass
+class DeltaRecoveryBenchResult:
+    """One size point of the delta-vs-full recovery comparison."""
+
+    sim_seconds: float
+    delta: bool
+    copy_bytes_factor: float
+    committed: int
+    rejections: int
+    recovery_duration_s: Optional[float]
+    #: Seconds during which Algorithm 1 rejected writes: the whole copy
+    #: for the full pipeline, only the log-drain handoff for delta.
+    reject_window_s: Optional[float]
+    #: Retained-log entries replayed on the target (delta only).
+    replayed: Optional[int]
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def run_delta_recovery_bench(
+    delta: bool,
+    copy_bytes_factor: float = 20_000.0,
+    machines: int = 4,
+    keys: int = 300,
+    clients: int = 4,
+    duration_s: float = 60.0,
+    failure_time_s: float = 5.0,
+    think_time_s: float = 0.05,
+    seed: int = 7,
+) -> DeltaRecoveryBenchResult:
+    """Kill one replica of a single database under steady write load and
+    measure the re-replication's write-rejection window.
+
+    ``copy_bytes_factor`` scales the database size (hence the copy's
+    dump/transfer/load time); the full-copy reference rejects writes for
+    that whole duration, while the delta pipeline's reject window is
+    the log-drain handoff — independent of size.
+    """
+    sim = Simulator()
+    config = ClusterConfig(replication_factor=2, delta_recovery=delta)
+    config.machine.copy_bytes_factor = copy_bytes_factor
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    workload = KeyValueWorkload(controller, db_name="kv", keys=keys,
+                                seed=seed)
+    workload.install(replicas=2)
+    recovery = RecoveryManager(controller,
+                               granularity=CopyGranularity.DATABASE)
+    recovery.start()
+
+    def writer(client_id: int):
+        rng = SeededRNG(seed).fork(f"delta-writer-{client_id}")
+        conn = controller.connect("kv")
+        while sim.now < duration_s:
+            try:
+                yield conn.execute("UPDATE kv SET v = v + 1 WHERE k = ?",
+                                   (rng.randint(0, keys - 1),))
+                yield conn.commit()
+            except TransactionAborted:
+                pass
+            yield sim.timeout(rng.expovariate(1.0 / think_time_s))
+        conn.close()
+
+    for client_id in range(clients):
+        proc = sim.process(writer(client_id), name=f"writer-{client_id}")
+        proc.defused = True
+
+    victim = controller.replica_map.replicas("kv")[1]
+
+    def failure_injector():
+        yield sim.timeout(failure_time_s)
+        controller.fail_machine(victim)
+
+    sim.process(failure_injector())
+    sim.run(until=duration_s)
+
+    record = next((r for r in recovery.records if r.succeeded), None)
+    handoff = next((e for e in controller.trace.events()
+                    if e.kind == "delta_handoff" and e.db == "kv"), None)
+    if delta:
+        reject_window = (handoff.extra.get("reject_s")
+                         if handoff is not None else None)
+        replayed = (handoff.extra.get("replayed")
+                    if handoff is not None else None)
+    else:
+        # The full-copy pipeline rejects for the copy's whole duration.
+        reject_window = record.duration if record is not None else None
+        replayed = None
+    return DeltaRecoveryBenchResult(
+        sim_seconds=duration_s,
+        delta=delta,
+        copy_bytes_factor=copy_bytes_factor,
+        committed=controller.metrics.total_committed(),
+        rejections=controller.metrics.total_rejected(),
+        recovery_duration_s=record.duration if record is not None else None,
+        reject_window_s=reject_window,
+        replayed=replayed,
+        metrics=controller.metrics,
+        controller=controller,
+    )
+
+
+@dataclass
 class FaultSoakResult:
     """Outcome of one MTBF-driven failure soak."""
 
@@ -292,6 +403,7 @@ def run_fault_soak(
     think_time_s: float = 0.2,
     copy_bytes_factor: float = 1000.0,
     min_live_machines: int = 3,
+    delta_recovery: bool = True,
 ) -> FaultSoakResult:
     """Sustained Poisson machine failures under a key-value workload.
 
@@ -303,7 +415,8 @@ def run_fault_soak(
     config = ClusterConfig(write_policy=write_policy,
                            replication_factor=replicas,
                            recovery_threads=recovery_threads,
-                           lock_wait_timeout_s=2.0)
+                           lock_wait_timeout_s=2.0,
+                           delta_recovery=delta_recovery)
     config.machine.copy_bytes_factor = copy_bytes_factor
     controller = ClusterController(sim, config)
     controller.add_machines(machines)
@@ -394,6 +507,7 @@ def run_partition_soak(
     drop_probability: float = 0.01,
     latency_s: float = 0.002,
     jitter_s: float = 0.001,
+    delta_recovery: bool = True,
 ) -> PartitionSoakResult:
     """The robustness soak: everything bad the fabric can do, at once.
 
@@ -413,6 +527,7 @@ def run_partition_soak(
         replication_factor=replicas,
         recovery_threads=recovery_threads,
         lock_wait_timeout_s=2.0,
+        delta_recovery=delta_recovery,
         network=NetworkConfig(enabled=True, latency_s=latency_s,
                               jitter_s=jitter_s,
                               drop_probability=drop_probability,

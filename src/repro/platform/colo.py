@@ -70,6 +70,8 @@ class ColoController:
             self._provision(cluster)
         cluster.free_machine_hook = lambda c=cluster: self.provision_machine(c)
         cluster.machine_reset_hook = self._release_machine_bin
+        cluster.machine_rejoin_hook = (
+            lambda m, c=cluster: self._rebind_machine_bin(c, m))
         self.clusters[name] = cluster
         return cluster
 
@@ -100,6 +102,26 @@ class ColoController:
             if machines and machine_name in machines:
                 machines.remove(machine_name)
         machine_bin.reset()
+
+    def _rebind_machine_bin(self, cluster: ClusterController,
+                            machine_name: str) -> None:
+        """A declared machine rejoined *with its data* (delta catch-up):
+        re-account the databases it now serves against its bin, which
+        :meth:`_release_machine_bin` emptied at the declaration."""
+        machine_bin = self._bins.get(machine_name)
+        if machine_bin is None:
+            return
+        for db in cluster.replica_map.hosted_on(machine_name):
+            machines = self._db_machines.get(db)
+            requirement = self._db_requirements.get(db)
+            if machines is None or requirement is None:
+                continue  # not placed through this colo's bins
+            if machine_name in machines:
+                continue  # bin never released (already accounted)
+            if not machine_bin.can_fit(requirement):
+                continue  # packed over meanwhile; leave under-accounted
+            machine_bin.place(DatabaseLoad(db, requirement, replicas=1))
+            machines.append(machine_name)
 
     def cluster_of(self, db: str) -> ClusterController:
         if db not in self._db_cluster:

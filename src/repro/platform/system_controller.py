@@ -104,11 +104,17 @@ class SystemController:
                  wan_mbps: float = 50.0,
                  apply_retries: Optional[int] = None,
                  reprotect_retry_s: float = 5.0,
+                 delta_reprotect: bool = True,
                  trace_capacity: int = 65536):
         self.sim = sim
         self.wan_latency_s = wan_latency_s
         self.wan_config = wan or NetworkConfig()
         self.wan_mbps = wan_mbps
+        # Log-structured re-protection: attach the replication link at
+        # the dump's snapshot instant instead of rejecting writes for
+        # the dump's whole duration. The full-copy reference path
+        # (rejection via Algorithm 1) is kept behind False.
+        self.delta_reprotect = delta_reprotect
         # Fabric-path apply conflicts retry until they succeed by
         # default (None = unbounded), preserving the prefix guarantee;
         # a bound turns exhausted entries into counted drops.
@@ -713,12 +719,18 @@ class SystemController:
                         target_name: str) -> Generator:
         """One snapshot-copy + catch-up attempt toward ``target_name``.
 
-        The snapshot is dumped under Algorithm 1's write-rejection
-        window (writes to the database are refused for the dump's
-        duration), so the instant the dump completes there are no
-        in-flight writes: the fresh link attached at that instant
-        sequences exactly the commits after the snapshot — catch-up
-        replays them and the standby is a transaction-consistent prefix.
+        Delta mode (the default): the dump runs *without* rejecting
+        writes, and the replication link is attached at the snapshot
+        instant — the dump's S locks guarantee every commit whose hook
+        has fired is in the snapshot, and every later commit's hook
+        lands in the fresh link's log, so catch-up replays exactly the
+        suffix after the snapshot. Reference mode
+        (``delta_reprotect=False``): the snapshot is dumped under
+        Algorithm 1's write-rejection window (writes to the database
+        are refused for the dump's duration), so the instant the dump
+        completes there are no in-flight writes and the link attached
+        then sequences the same precise suffix. Either way the standby
+        is a transaction-consistent prefix.
         """
         primary_colo = self.colos[primary]
         target_colo = self.colos[target_name]
@@ -727,26 +739,47 @@ class SystemController:
         if not sources:
             raise NoReplicaError(f"no live replica of {db!r} to copy")
         self.trace.emit("dr_reprotect_start", db=db, src=primary,
-                        target=target_name)
+                        target=target_name,
+                        mode="delta" if self.delta_reprotect else "full")
         target_colo.place_database(db, record.ddl, record.requirement,
                                    record.standby_replicas)
         link: Optional[ReplicationLink] = None
         try:
             source = cluster.machines[sources[-1]]  # spare the primary
-            state = CopyState(db, f"colo:{target_name}",
-                              source=source.name)
-            state.copying_all = True
-            cluster.copy_states[db] = state
-            try:
-                dumps = yield source.run_copy(source.dump_database_body(db),
-                                              label=f"dr-dump:{db}")
-                # The dump just finished and writes were rejected
-                # throughout, so nothing is in flight *now*: attach the
-                # link at this exact instant (no yields) and the log is
-                # the precise commit suffix after the snapshot.
-                link = self._attach_link(db, primary, target_name)
-            finally:
-                cluster.copy_states.pop(db, None)
+            if self.delta_reprotect:
+                # No copy state, no rejection: commit hooks fire at the
+                # decision point, and a decided-but-unapplied commit's X
+                # locks block the dump — so attaching the link inside
+                # the dump's synchronous snapshot step (no yields)
+                # splits commits exactly: hooks fired before the attach
+                # are in the rows read, hooks after land in the link log.
+                holder: Dict[str, ReplicationLink] = {}
+
+                def on_snapshot(_dumps):
+                    holder["link"] = self._attach_link(db, primary,
+                                                       target_name)
+
+                dumps = yield source.run_copy(
+                    source.dump_database_body(db, on_snapshot=on_snapshot),
+                    label=f"dr-dump:{db}")
+                link = holder.get("link")
+            else:
+                state = CopyState(db, f"colo:{target_name}",
+                                  source=source.name)
+                state.copying_all = True
+                cluster.copy_states[db] = state
+                try:
+                    dumps = yield source.run_copy(
+                        source.dump_database_body(db),
+                        label=f"dr-dump:{db}")
+                    # The dump just finished and writes were rejected
+                    # throughout, so nothing is in flight *now*: attach
+                    # the link at this exact instant (no yields) and the
+                    # log is the precise commit suffix after the snapshot.
+                    link = self._attach_link(db, primary, target_name)
+                finally:
+                    if cluster.copy_states.get(db) is state:
+                        del cluster.copy_states[db]
             nbytes = sum(dump.bytes_estimate for dump in dumps)
             yield from self._wan_transfer(primary, target_name, nbytes)
             if (not primary_colo.alive or primary_colo.fenced

@@ -105,7 +105,11 @@ class TestMachineFailure:
 
 class TestRecoveryAlgorithm1:
     def _setup(self, sim, granularity, threads=1):
-        controller = make_kv_cluster(sim, machines=4, keys=40)
+        # These tests pin the full-copy reference path: Algorithm 1's
+        # reject windows at both granularities (delta recovery replaces
+        # them with the log-drain handoff, tested separately).
+        controller = make_kv_cluster(sim, machines=4, keys=40,
+                                     delta_recovery=False)
         controller.config.machine.copy_bytes_factor = 50_000.0
         recovery = RecoveryManager(controller, granularity=granularity,
                                    threads=threads)

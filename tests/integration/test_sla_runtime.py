@@ -26,7 +26,10 @@ class TestSlaRuntime:
         assert all(r.compliant for r in reports)
 
     def test_recovery_rejections_feed_availability_estimate(self, sim):
-        controller = make_kv_cluster(sim, machines=4, keys=40)
+        # Pins the full-copy reference path: the whole-copy reject
+        # window is what feeds the Section 4.1 availability estimate.
+        controller = make_kv_cluster(sim, machines=4, keys=40,
+                                     delta_recovery=False)
         controller.config.machine.copy_bytes_factor = 100_000.0
         recovery = RecoveryManager(controller,
                                    granularity=CopyGranularity.DATABASE)

@@ -135,6 +135,20 @@ class TestAcquireRelease:
         assert pending.error is not None
         assert failures
 
+    def test_release_of_queued_txn_unblocks_followers(self):
+        # txn 2 queues an IX behind txn 1's S; txn 3's IS queues behind
+        # txn 2 (FIFO, no overtaking) even though IS is compatible with
+        # S. When txn 2 aborts while still queued — holding nothing —
+        # txn 3 must be granted, not left stuck behind a ghost.
+        lm = LockManager()
+        lm.acquire(1, ROW_A, LockMode.S)
+        lm.acquire(2, ROW_A, LockMode.IX)
+        follower = lm.acquire(3, ROW_A, LockMode.IS)
+        assert follower.pending
+        lm.release_all(2)
+        assert follower.granted
+        assert lm.holds(3, ROW_A, at_least=LockMode.IS)
+
     def test_grant_callbacks_fire(self):
         lm = LockManager()
         lm.acquire(1, ROW_A, LockMode.X)

@@ -1,6 +1,9 @@
 """Unit tests for the write-ahead log."""
 
-from repro.engine.wal import RecordType, WriteAheadLog, analyze
+import pytest
+
+from repro.engine.wal import (RecordType, RetainedTail, WriteAheadLog,
+                              analyze)
 
 
 class TestWal:
@@ -78,3 +81,98 @@ class TestAnalyze:
         assert state.committed == [1]
         assert state.in_doubt == [2]
         assert state.discarded == [3]
+
+
+class TestRetainedTail:
+    def test_append_assigns_dense_lsns(self):
+        tail = RetainedTail()
+        assert tail.last_lsn == 0 and tail.start_lsn == 1
+        assert [tail.append(c) for c in "abc"] == [1, 2, 3]
+        assert tail.since(0) == [(1, "a"), (2, "b"), (3, "c")]
+        assert tail.since(2) == [(3, "c")]
+        assert tail.since(3) == []
+
+    def test_bounded_retention_truncates_prefix(self):
+        tail = RetainedTail(retain=3)
+        for i in range(10):
+            tail.append(i)
+        assert len(tail) == 3
+        assert tail.start_lsn == 8
+        assert tail.truncated == 7
+        assert tail.covers(7) and not tail.covers(6)
+        assert tail.since(7) == [(8, 7), (9, 8), (10, 9)]
+        with pytest.raises(ValueError):
+            tail.since(5)
+
+    def test_pin_blocks_truncation_until_release(self):
+        tail = RetainedTail(retain=2)
+        for i in range(3):
+            tail.append(i)
+        pin = tail.pin()                 # pins at head (lsn 3)
+        for i in range(3, 10):
+            tail.append(i)
+        # Everything after the pin survives despite retain=2.
+        assert tail.covers(pin.lsn)
+        assert [lsn for lsn, _ in tail.since(pin.lsn)] == list(range(4, 11))
+        tail.release(pin)
+        assert len(tail) == 2            # retention applies again
+        assert tail.start_lsn == 9
+        tail.release(pin)                # idempotent
+
+    def test_pin_at_truncated_lsn_rejected(self):
+        tail = RetainedTail(retain=1)
+        for i in range(5):
+            tail.append(i)
+        with pytest.raises(ValueError):
+            tail.pin(lsn=1)
+
+    def test_min_pinned_lsn_tracks_oldest(self):
+        tail = RetainedTail()
+        tail.append("a")
+        first = tail.pin()
+        tail.append("b")
+        second = tail.pin()
+        assert tail.min_pinned_lsn() == first.lsn == 1
+        tail.release(first)
+        assert tail.min_pinned_lsn() == second.lsn == 2
+        tail.release(second)
+        assert tail.min_pinned_lsn() is None
+
+
+class TestWalRetainedTail:
+    def _filled(self, n=5):
+        wal = WriteAheadLog()
+        for i in range(n):
+            wal.append(1, RecordType.INSERT, db="d", table="t", rid=i)
+        return wal
+
+    def test_truncate_clamped_to_flush_horizon(self):
+        wal = self._filled()
+        assert wal.truncate(4) == 0      # nothing flushed yet
+        wal.flush()
+        assert wal.truncate(3) == 3
+        assert wal.start_lsn == 4
+        assert wal.stats.truncated == 3
+        assert [r.lsn for r in wal.records_since(3)] == [4, 5]
+        with pytest.raises(ValueError):
+            wal.records_since(2)
+        assert wal.covers(3) and not wal.covers(2)
+
+    def test_snapshot_pin_blocks_checkpoint(self):
+        wal = self._filled()
+        wal.flush()
+        pin = wal.pin_snapshot(2)
+        assert wal.truncate(5) == 2      # clamped to the pin's LSN
+        assert wal.start_lsn == 3
+        wal.release_snapshot(pin)
+        assert wal.truncate(5) == 3
+        assert wal.start_lsn == 6
+        assert len(wal) == 0
+
+    def test_durable_records_survive_truncation_boundary(self):
+        wal = self._filled()
+        wal.flush()
+        wal.append(2, RecordType.COMMIT)
+        wal.truncate(2)
+        kinds = [r.kind for r in wal.durable_records()]
+        assert kinds == [RecordType.INSERT] * 3
