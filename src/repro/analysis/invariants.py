@@ -23,6 +23,17 @@ correctness properties the paper's controller design promises:
 * **no-split-brain** — after the process-pair backup's take-over, the
   old primary never logs another decision or sends another COMMIT; and
   at most one take-over happens per trace.
+* **single-leader-per-term** — consensus controller elections produce
+  strictly increasing terms, never the same term twice, and never a new
+  leader while another node's traced lease is still unexpired (lease
+  mutual exclusion).
+* **log-prefix-agreement** — every consensus replica applies log
+  entries in contiguous ascending index order, and any two replicas
+  that apply the same index apply the identical command (by digest):
+  all applied prefixes agree.
+* **decision-only-under-valid-lease** — a consensus-replicated commit
+  decision (``decision_logged`` carrying a ``term``) is only taken by a
+  node whose traced leader lease covers the decision instant.
 * **fenced-replica-never-serves** — between ``machine_fenced`` and
   readmission/repair, no write, PREPARE, or COMMIT is issued to the
   machine and it is never a re-replication source or target (its state
@@ -146,6 +157,12 @@ class InvariantChecker:
         # db -> outstanding (shipped - applied - dropped) on the live link.
         link_lag: Dict[str, int] = {}
         link_lag_seq: Dict[str, int] = {}   # seq of the last ship, for anchors
+        # Consensus control plane (ctl_* traces).
+        ctl_terms_seen: Set[int] = set()
+        last_ctl_term = 0
+        node_lease: Dict[str, float] = {}      # node -> traced lease_until
+        ctl_applied_next: Dict[str, int] = {}  # node -> next expected index
+        ctl_digests: Dict[int, tuple] = {}     # index -> (digest, node, seq)
 
         def audit(txn_id: Optional[int]) -> Optional[_TxnAudit]:
             if txn_id is None:
@@ -195,6 +212,19 @@ class InvariantChecker:
                         "no-split-brain",
                         "old primary logged a decision after take-over",
                         txn=e.txn, db=e.db, seq=e.seq))
+                if "term" in e.extra and not truncated:
+                    # Consensus path: the deciding node must hold a
+                    # traced leader lease covering the decision instant.
+                    actor = e.extra.get("actor")
+                    lease = node_lease.get(actor)
+                    if lease is None or lease < e.t:
+                        self.violations.append(Violation(
+                            "decision-only-under-valid-lease",
+                            f"decision by {actor} at t={e.t:.4f} without "
+                            "a valid leader lease"
+                            + (f" (lease expired {e.t - lease:.4f}s "
+                               "earlier)" if lease is not None else ""),
+                            txn=e.txn, db=e.db, seq=e.seq))
             elif e.kind == "commit_sent":
                 if state.decision_seq is None:
                     self.violations.append(Violation(
@@ -231,6 +261,67 @@ class InvariantChecker:
                 suspected_at.setdefault(e.machine, e.seq)
             elif e.kind == "machine_unsuspected":
                 suspected_at.pop(e.machine, None)
+            elif e.kind == "ctl_leader_elected":
+                term = e.extra.get("term")
+                lease_until = e.extra.get("lease_until")
+                if term is not None and not truncated:
+                    if term in ctl_terms_seen:
+                        self.violations.append(Violation(
+                            "single-leader-per-term",
+                            f"term {term} elected twice", seq=e.seq))
+                    elif term <= last_ctl_term:
+                        self.violations.append(Violation(
+                            "single-leader-per-term",
+                            f"election term {term} does not advance past "
+                            f"{last_ctl_term}", seq=e.seq))
+                    ctl_terms_seen.add(term)
+                    last_ctl_term = max(last_ctl_term, term)
+                if not truncated:
+                    for other, until in sorted(node_lease.items()):
+                        if other != e.machine and until > e.t:
+                            self.violations.append(Violation(
+                                "single-leader-per-term",
+                                f"{e.machine} elected at t={e.t:.4f} while "
+                                f"{other}'s lease runs to {until:.4f}",
+                                seq=e.seq))
+                if lease_until is not None:
+                    node_lease[e.machine] = lease_until
+            elif e.kind == "ctl_lease_renewed":
+                lease_until = e.extra.get("lease_until")
+                if lease_until is not None:
+                    node_lease[e.machine] = lease_until
+            elif e.kind == "ctl_stepdown":
+                node_lease.pop(e.machine, None)
+            elif e.kind == "ctl_applied":
+                index = e.extra.get("index")
+                digest = e.extra.get("digest")
+                if index is not None:
+                    want = ctl_applied_next.get(e.machine)
+                    if want is None:
+                        # A complete trace sees every apply from entry 1;
+                        # a truncated one may join each node mid-stream.
+                        if index != 1 and not truncated:
+                            self.violations.append(Violation(
+                                "log-prefix-agreement",
+                                f"{e.machine} first applied entry {index}, "
+                                "not 1", seq=e.seq))
+                    elif index != want:
+                        self.violations.append(Violation(
+                            "log-prefix-agreement",
+                            f"{e.machine} applied entry {index}, expected "
+                            f"{want} (non-contiguous apply)", seq=e.seq))
+                    ctl_applied_next[e.machine] = max(
+                        index + 1, ctl_applied_next.get(e.machine, 0))
+                    if digest is not None:
+                        seen = ctl_digests.get(index)
+                        if seen is None:
+                            ctl_digests[index] = (digest, e.machine, e.seq)
+                        elif seen[0] != digest:
+                            self.violations.append(Violation(
+                                "log-prefix-agreement",
+                                f"entry {index} diverges: {e.machine} "
+                                f"applied {digest}, {seen[1]} applied "
+                                f"{seen[0]}", seq=e.seq))
             elif e.kind == "takeover":
                 if takeover_seq is not None:
                     self.violations.append(Violation(

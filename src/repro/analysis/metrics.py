@@ -65,6 +65,8 @@ class NetworkCounters:
     rpc_timeouts: int = 0          # controller-side per-message timeouts
     rpc_retries: int = 0           # retransmissions after a timeout
     false_suspicions: int = 0      # suspected or declared, but alive
+    elections: int = 0             # consensus campaigns started
+    leader_changes: int = 0        # elections won by a different node
 
     @property
     def delivered(self) -> int:
@@ -247,6 +249,14 @@ class MetricsCollector:
     def record_false_suspicion(self) -> None:
         self.network.false_suspicions += 1
 
+    def record_election(self) -> None:
+        """A consensus controller replica started a leader campaign."""
+        self.network.elections += 1
+
+    def record_leader_change(self) -> None:
+        """An election was won by a node other than the previous leader."""
+        self.network.leader_changes += 1
+
     def record_link_latency(self, src: str, dst: str,
                             seconds: float) -> None:
         key = f"{src}->{dst}"
@@ -265,6 +275,8 @@ class MetricsCollector:
             "rpc_timeouts": self.network.rpc_timeouts,
             "rpc_retries": self.network.rpc_retries,
             "false_suspicions": self.network.false_suspicions,
+            "elections": self.network.elections,
+            "leader_changes": self.network.leader_changes,
             "links": {link: histogram.summary()
                       for link, histogram in
                       sorted(self.link_latencies.items())},

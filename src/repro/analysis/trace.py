@@ -56,6 +56,22 @@ link_cut/healed    one fabric link was cut / healed by fault injection
 net_partition      the fabric was split into disconnected groups
 net_heal_all       every cut fabric link was healed
 primary_crashed    the acting primary controller crashed (process pair)
+ctl_election_start a consensus controller replica started a leader campaign
+                   (``term`` it is campaigning for)
+ctl_leader_elected a campaign won its quorum (``term``, ``lease_until``)
+ctl_lease_renewed  a leader's lease was extended by a renewal quorum
+                   (``term``, new ``lease_until``)
+ctl_stepdown       a leader stopped leading (``term``, ``reason``)
+ctl_applied        a replica applied log entry ``index`` (``command`` kind,
+                   ``digest`` of the command) to its state machine
+ctl_takeover       a newly elected leader finished take-over cleanup
+                   (``term``, ``previous`` leader, ``completed``/``aborted``
+                   transaction counts)
+ctl_crashed        a consensus controller replica was fail-stopped
+ctl_repaired       a crashed consensus replica rejoined as a follower
+txn_orphaned       an in-flight transaction straddled a controller
+                   leadership change and was cleaned up by take-over
+                   (``term`` it began in, ``current_term``)
 dr_protect         a database was placed under cross-colo protection
                    (``primary``/``standby`` colos, ``base_seq`` of the log)
 dr_ship            one committed transaction was sequenced into a database's
@@ -117,6 +133,9 @@ EVENT_KINDS = frozenset({
     "machine_repaired",
     "link_cut", "link_healed", "net_partition", "net_heal_all",
     "primary_crashed",
+    "ctl_election_start", "ctl_leader_elected", "ctl_lease_renewed",
+    "ctl_stepdown", "ctl_applied", "ctl_takeover", "ctl_crashed",
+    "ctl_repaired", "txn_orphaned",
     "dr_protect", "dr_ship", "dr_apply", "dr_drop", "dr_link_torn",
     "colo_crashed", "colo_failed", "colo_suspected", "colo_unsuspected",
     "colo_declared", "colo_fenced", "colo_repaired",

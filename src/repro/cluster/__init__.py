@@ -8,6 +8,8 @@ and places databases to satisfy SLAs.
 """
 
 from repro.cluster.config import ClusterConfig, MachineConfig
+from repro.cluster.consensus import (ConsensusConfig, ConsensusControlPlane,
+                                     PaxosGroup)
 from repro.cluster.controller import ClusterController, Connection
 from repro.cluster.deadlock_detector import DistributedDeadlockDetector
 from repro.cluster.machine import Machine
@@ -21,11 +23,14 @@ __all__ = [
     "ClusterConfig",
     "ClusterController",
     "Connection",
+    "ConsensusConfig",
+    "ConsensusControlPlane",
     "CopyGranularity",
     "DistributedDeadlockDetector",
     "Machine",
     "MachineConfig",
     "MigrationManager",
+    "PaxosGroup",
     "ProcessPairBackup",
     "ReadOption",
     "RecoveryManager",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.config import EngineConfig
+from repro.cluster.consensus import ConsensusConfig
 from repro.cluster.network import NetworkConfig
 from repro.cluster.routing import ReadOption, WritePolicy
 
@@ -99,3 +100,12 @@ class ClusterConfig:
     heartbeat_interval_s: float = 0.5
     suspect_after_misses: int = 2
     declare_after_misses: int = 5
+    # Consensus-replicated control plane (repro.cluster.consensus): run
+    # the controller as a multi-Paxos group with leader leases instead
+    # of the process pair. Metadata mutations and 2PC commit decisions
+    # replicate through the group's log; leadership (and the data
+    # plane) fails over to whichever replica wins the next election.
+    # Off by default — the process pair stays the reference path and
+    # the default configuration replays identically.
+    consensus_enabled: bool = False
+    consensus: ConsensusConfig = field(default_factory=ConsensusConfig)

@@ -28,8 +28,8 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Generator, List, Optional, Sequence,
-                    Set, Tuple)
+from typing import (Any, Callable, Dict, Generator, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.analysis.history import GlobalHistory
 from repro.analysis.metrics import MetricsCollector
@@ -108,6 +108,10 @@ class _TxnState:
     txn_id: int
     db: str
     started_at: float
+    # Controller term (consensus mode) the transaction began under; a
+    # transaction from an earlier term was cleaned up at take-over and
+    # must not continue under the new leader.
+    term: int = 0
     touched: Set[str] = field(default_factory=set)       # machines with locks
     write_participants: Set[str] = field(default_factory=set)
     wrote: bool = False
@@ -198,6 +202,7 @@ class ClusterController:
         self.copy_states: Dict[str, CopyState] = {}
         self.recovery = None          # attached by RecoveryManager
         self.backup = None            # attached by ProcessPair
+        self.consensus = None         # attached by ConsensusControlPlane
         self._txn_ids = itertools.count(1)
         # Statement-classification cache, LRU-bounded by
         # config.stmt_cache_size (0 = unbounded).
@@ -218,9 +223,12 @@ class ClusterController:
         # captured at declaration, so a machine that comes back with its
         # data intact can catch up from its last durable LSN.
         self._stale_holdings: Dict[str, Dict[str, int]] = {}
-        # db -> number of open transactions that have written to it;
-        # the delta handoff drains until this reaches zero.
-        self._open_writers: Dict[str, int] = {}
+        # db -> ids of open transactions that have written to it; the
+        # delta handoff drains until this empties. Tracked as a set (not
+        # a count) so a take-over can resolve transactions whose
+        # coordinator died with the old controller — a phantom count
+        # would pin the drain gauge forever.
+        self._open_writers: Dict[str, Set[int]] = {}
         # Called with (db, txn_id, write_log) at the decision point of
         # each writing transaction's 2PC (the commit is decided and
         # mirrored; it can no longer abort). The platform layer uses
@@ -262,6 +270,11 @@ class ClusterController:
         # fences the old primary (no decision/COMMIT may leave it).
         self.primary_alive = True
         self._msg_ids = itertools.count(1)
+        if self.config.consensus_enabled:
+            # Imported lazily: consensus is optional and config already
+            # imports its ConsensusConfig.
+            from repro.cluster.consensus import ConsensusControlPlane
+            ConsensusControlPlane(self, self.config.consensus).start()
 
     # -- cluster membership ----------------------------------------------------
 
@@ -336,6 +349,7 @@ class ClusterController:
         self.db_logs[db] = RetainedTail(
             retain=self.config.replication_log_retain)
         self.replica_lsns[db] = {name: 0 for name in machines}
+        self._propose_meta("db_create", db=db, machines=list(machines))
 
     def bulk_load(self, db: str, table: str, rows: Sequence[Sequence[Any]]) -> None:
         """Load identical rows into every replica (setup phase)."""
@@ -364,6 +378,7 @@ class ClusterController:
         self.db_logs.pop(db, None)
         self.replica_lsns.pop(db, None)
         self._open_writers.pop(db, None)
+        self._propose_meta("db_drop", db=db)
 
     def reset_as_blank(self) -> None:
         """Wipe the whole cluster back to blank spares (colo failback).
@@ -407,7 +422,25 @@ class ClusterController:
 
     def open_writers(self, db: str) -> int:
         """Open transactions that have written to ``db`` (drain gauge)."""
-        return self._open_writers.get(db, 0)
+        return len(self._open_writers.get(db, ()))
+
+    def resolve_stale_writers(self, txn_ids: Iterable[int]) -> None:
+        """Drop take-over-resolved transactions from the drain gauge.
+
+        A coordinator that dies with the old controller never reaches
+        ``_finish``, so its transaction would count as an open writer
+        forever and wedge any later delta-handoff drain on that
+        database. The take-over settles every such transaction
+        (committing decided ones, presuming the rest aborted), after
+        which none of them can append new log entries — remove them
+        from the gauge.
+        """
+        drop = set(txn_ids)
+        for db in list(self._open_writers):
+            writers = self._open_writers[db]
+            writers.difference_update(drop)
+            if not writers:
+                del self._open_writers[db]
 
     def _sequence_commit(self, txn: _TxnState) -> Optional[int]:
         """Assign the decided commit its per-database LSN and fire the
@@ -445,6 +478,7 @@ class ClusterController:
         """A recovery handoff left ``machine`` consistent through
         ``lsn``; start tracking its contiguous progress from there."""
         self.replica_lsns.setdefault(db, {})[machine] = lsn
+        self._propose_meta("replica_add", db=db, machine=machine)
 
     def delta_replay_and_handoff(self, db: str, target: Machine,
                                  from_lsn: int, state: CopyState,
@@ -498,6 +532,9 @@ class ClusterController:
         return applied, reject_s, replayed
 
     def connect(self, db: str) -> Connection:
+        if self.consensus is not None:
+            # A non-leader controller replica redirects the client.
+            self.consensus.check_leader()
         self.replica_map.replicas(db)  # raises if unknown
         return Connection(self, db)
 
@@ -535,6 +572,8 @@ class ClusterController:
     def _ensure_txn(self, conn: Connection) -> _TxnState:
         if conn.txn is None or conn.txn.finished:
             conn.txn = _TxnState(next(self._txn_ids), conn.db, self.sim.now)
+            if self.consensus is not None:
+                conn.txn.term = self.consensus.term
             self.trace.emit("txn_begin", db=conn.db, txn=conn.txn.txn_id)
         return conn.txn
 
@@ -543,11 +582,11 @@ class ClusterController:
             return
         txn.finished = True
         if txn.wrote:
-            count = self._open_writers.get(txn.db, 0)
-            if count > 1:
-                self._open_writers[txn.db] = count - 1
-            else:
-                self._open_writers.pop(txn.db, None)
+            writers = self._open_writers.get(txn.db)
+            if writers is not None:
+                writers.discard(txn.txn_id)
+                if not writers:
+                    self._open_writers.pop(txn.db, None)
         self.router.forget(txn.txn_id)
         conn.txn = None
 
@@ -855,6 +894,10 @@ class ClusterController:
         if conn.closed:
             raise TransactionError("connection is closed")
         self._check_primary()
+        if (self.consensus is not None and conn.txn is not None
+                and not conn.txn.finished
+                and conn.txn.term != self.consensus.term):
+            self._orphan_txn(conn)
         txn = self._ensure_txn(conn)
         if txn.poisoned is not None:
             exc = txn.poisoned
@@ -971,8 +1014,7 @@ class ClusterController:
                             machine=name)
         if not txn.wrote:
             txn.wrote = True
-            self._open_writers[txn.db] = (
-                self._open_writers.get(txn.db, 0) + 1)
+            self._open_writers.setdefault(txn.db, set()).add(txn.txn_id)
         txn.write_log.append((sql, params))
         if self.config.write_policy is WritePolicy.CONSERVATIVE:
             result = yield from self._await_all_writes(txn, writes)
@@ -1104,6 +1146,9 @@ class ClusterController:
         if conn.txn is None or conn.txn.finished:
             return None  # nothing to do
         self._check_primary()
+        if (self.consensus is not None
+                and conn.txn.term != self.consensus.term):
+            self._orphan_txn(conn)
         txn = conn.txn
         if txn.poisoned is not None:
             exc = txn.poisoned
@@ -1183,16 +1228,40 @@ class ClusterController:
             self._record_failure(txn, exc)
             raise TransactionAborted(f"2PC prepare failed: {exc}", cause=exc)
 
-        # Decision point: mirror to the process-pair backup before any
-        # COMMIT message leaves the controller.
+        # Decision point: make the decision durable before any COMMIT
+        # message leaves the controller. Consensus mode replicates it
+        # through the Paxos log under the leader lease (no decision may
+        # leave a controller whose lease lapsed — replicate_decision
+        # re-checks the lease after the quorum round trip); otherwise it
+        # is mirrored to the process-pair backup.
         self._check_primary()
-        if self.backup is not None:
+        decision_machines = sorted(set(prepared) | txn.touched)
+        if self.consensus is not None:
+            try:
+                yield from self.consensus.replicate_decision(
+                    txn.db, txn.txn_id, "commit", decision_machines)
+            except ControllerFailedError:
+                # The lease lapsed (or leadership moved) mid-decision:
+                # this controller must go silent. The machines keep
+                # their PREPAREd branches; the new leader's take-over
+                # resolves them from the replicated decision table.
+                self._finish(conn, txn)
+                raise
+        elif self.backup is not None:
             self.backup.log_decision(txn.txn_id, "commit",
-                                     sorted(set(prepared) | txn.touched))
+                                     decision_machines)
         decision_at = self.sim.now
-        self.trace.emit("decision_logged", db=txn.db, txn=txn.txn_id,
-                        decision="commit", mirrored=self.backup is not None,
-                        participants=prepared, actor="primary")
+        if self.consensus is not None:
+            self.trace.emit("decision_logged", db=txn.db, txn=txn.txn_id,
+                            decision="commit", mirrored=True,
+                            participants=prepared,
+                            actor=self.consensus.acting,
+                            term=self.consensus.term)
+        else:
+            self.trace.emit("decision_logged", db=txn.db, txn=txn.txn_id,
+                            decision="commit",
+                            mirrored=self.backup is not None,
+                            participants=prepared, actor="primary")
         self.metrics.record_phase_latency("prepare", decision_at - phase1_at)
         # Sequence the decided commit into the per-database replication
         # log (and fire the DR shipping hooks) before any COMMIT leaves.
@@ -1229,11 +1298,17 @@ class ClusterController:
                 continue
             else:
                 raise outcome.value
-        if self.backup is not None and not redelivering:
-            # Keep the mirrored decision while any participant still owes
+        if not redelivering:
+            # Keep the durable decision while any participant still owes
             # an ack — a take-over must redrive COMMIT, not presume abort.
-            self.backup.clear_decision(txn.txn_id)
-            self.trace.emit("decision_cleared", db=txn.db, txn=txn.txn_id)
+            if self.consensus is not None:
+                self.consensus.clear_decision(txn.db, txn.txn_id)
+                self.trace.emit("decision_cleared", db=txn.db,
+                                txn=txn.txn_id)
+            elif self.backup is not None:
+                self.backup.clear_decision(txn.txn_id)
+                self.trace.emit("decision_cleared", db=txn.db,
+                                txn=txn.txn_id)
         self.metrics.record_commit(txn.db, self.sim.now,
                                    self.sim.now - txn.started_at)
         self.metrics.record_phase_latency("commit", self.sim.now - decision_at)
@@ -1273,6 +1348,8 @@ class ClusterController:
         self._stale_holdings.pop(name, None)
         self.trace.emit("machine_failed", machine=name,
                         affected=sorted(affected))
+        self._propose_meta("machine_removed", machine=name,
+                           affected=sorted(affected))
         self._abandon_copies(name)
         if self.machine_reset_hook is not None:
             self.machine_reset_hook(name)
@@ -1328,6 +1405,7 @@ class ClusterController:
         if self.machine_reset_hook is not None:
             self.machine_reset_hook(name)
         self.trace.emit("machine_repaired", machine=name)
+        self._propose_meta("machine_repaired", machine=name)
 
     # -- primary crash (process-pair, Section 2) -----------------------------------------
 
@@ -1335,6 +1413,33 @@ class ClusterController:
         if not self.primary_alive:
             raise ControllerFailedError(
                 f"controller {self.name} is no longer primary")
+        if self.consensus is not None and not self.consensus.lease_valid():
+            # The acting replica's leader lease lapsed (or it was never
+            # elected): the lease is the fence, so it must not act.
+            raise ControllerFailedError(
+                f"controller {self.name}: leader lease is not valid")
+
+    def _orphan_txn(self, conn: Connection) -> None:
+        """Finish a transaction that began under an earlier controller
+        term: the new leader's take-over already presumed-aborted (or
+        takeover-committed) it on the machines, so its connection-side
+        state is an orphan and must not drive further 2PC."""
+        txn = conn.txn
+        self.trace.emit("txn_orphaned", db=txn.db, txn=txn.txn_id,
+                        term=txn.term, current_term=self.consensus.term)
+        self.metrics.record_other_abort(txn.db)
+        self._finish(conn, txn)
+        raise TransactionAborted(
+            "controller leadership changed; the transaction was cleaned "
+            "up during take-over")
+
+    def _propose_meta(self, kind: str, **payload) -> None:
+        """Mirror one metadata mutation into the replicated controller
+        log (consensus mode). Fire-and-forget: the data plane does not
+        wait, and a command lost to a leader change is folded in by the
+        next leader's reconcile snapshot."""
+        if self.consensus is not None:
+            self.consensus.propose_async(kind, payload)
 
     def crash_primary(self) -> None:
         """Crash the acting primary controller (fault injection).
@@ -1473,6 +1578,8 @@ class ClusterController:
         self.trace.emit("machine_declared", machine=name, reason=reason,
                         was_alive=was_alive, affected=sorted(affected))
         self.trace.emit("machine_fenced", machine=name)
+        self._propose_meta("machine_declared", machine=name,
+                           affected=sorted(affected))
         self._abandon_copies(name)
         if self.machine_reset_hook is not None:
             self.machine_reset_hook(name)
@@ -1512,6 +1619,8 @@ class ClusterController:
             if self.machine_reset_hook is not None:
                 self.machine_reset_hook(name)
             self.trace.emit("machine_readmitted", machine=name, mode="spare")
+            self._propose_meta("machine_readmitted", machine=name,
+                               mode="spare")
             return
         machine.rejoin_with_data()
         # Databases whose suffix was truncated away (or that recovery
@@ -1530,6 +1639,8 @@ class ClusterController:
             pins[db] = (state, self.database_log(db).pin(lsn))
         self.trace.emit("machine_readmitted", machine=name, mode="catchup",
                         dbs=sorted(eligible))
+        self._propose_meta("machine_readmitted", machine=name,
+                           mode="catchup")
         proc = self.sim.process(self._catch_up_machine(name, eligible, pins),
                                 name=f"catchup:{name}")
         proc.defused = True

@@ -27,9 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.cluster.consensus import takeover_cleanup
 from repro.cluster.controller import ClusterController
 from repro.cluster.network import BACKUP, CONTROLLER
-from repro.engine.transactions import TxnState
 from repro.sim import Process
 
 
@@ -63,13 +63,37 @@ class ProcessPairBackup:
         invokes :meth:`take_over` itself after ``misses`` consecutive
         unanswered rounds — detection-driven fail-over, no oracle.
         """
-        if self._monitor_proc is not None and not self._monitor_proc.triggered:
+        if (self._monitor_proc is not None
+                and not self._monitor_proc.triggered
+                and not self.took_over):
             return self._monitor_proc
+        if self._monitor_proc is not None and self._monitor_proc.is_alive:
+            # The old loop is a zombie: its pair already took over (or
+            # was re-formed), so it exits at its next wake-up. Replace
+            # it instead of handing the stale handle back.
+            self._monitor_proc.interrupt("monitor superseded")
         interval = interval_s or self.controller.config.heartbeat_interval_s
         self._monitor_proc = self.sim.process(
             self._monitor_loop(interval, misses), name="backup:monitor")
         self._monitor_proc.defused = True
         return self._monitor_proc
+
+    def reform(self) -> None:
+        """Re-form the pair after a completed take-over.
+
+        The surviving controller becomes primary again with an empty
+        backup mirror, exactly as a repaired pair restarts in Section 2.
+        Clears the take-over latch and the stale monitor handle so
+        :meth:`start_monitor` can arm a fresh detection loop.
+        """
+        if self._monitor_proc is not None and self._monitor_proc.is_alive:
+            self._monitor_proc.interrupt("pair re-formed")
+        self._monitor_proc = None
+        self.took_over = False
+        self.decisions.clear()
+        self.completed_on_takeover = []
+        self.aborted_on_takeover = []
+        self.controller.primary_alive = True
 
     def _ping_primary(self) -> Generator:
         fabric = self.controller.fabric
@@ -129,32 +153,17 @@ class ProcessPairBackup:
                    decided=sorted(txn_id for txn_id, d in
                                   self.decisions.items()
                                   if d.decision == "commit"))
-        # Phase 1: finish decided commits.
-        for txn_id, decision in sorted(self.decisions.items()):
-            if decision.decision != "commit":
-                continue
-            for machine_name in decision.machines:
-                machine = self.controller.machines.get(machine_name)
-                if machine is None or not machine.alive or machine.fenced:
-                    continue
-                txn = machine.engine.transactions.get(txn_id)
-                if txn is not None and not txn.finished:
-                    machine.engine.commit(txn)
-                machine.forget_txn(txn_id)
-            self.completed_on_takeover.append(txn_id)
-            trace.emit("takeover_commit", txn=txn_id, actor="backup")
+        # Phase 1 completes decided commits; Phase 2 presumed-aborts
+        # every other in-flight transaction on all alive machines —
+        # fenced ones included, since their engines still hold the old
+        # transactions' locks and nothing else will release them.
+        committed, aborted = takeover_cleanup(
+            self.controller,
+            {txn_id: (d.decision, list(d.machines))
+             for txn_id, d in self.decisions.items()},
+            actor="backup")
         self.decisions.clear()
-
-        # Phase 2: presumed abort for everything else in flight.
-        decided = set(self.completed_on_takeover)
-        for machine in self.controller.live_machines():
-            for txn_id, txn in list(machine.engine.transactions.items()):
-                if txn_id in decided or txn.finished:
-                    continue
-                machine.engine.abort(txn)
-                machine.forget_txn(txn_id)
-                if txn_id not in self.aborted_on_takeover:
-                    self.aborted_on_takeover.append(txn_id)
-                    trace.emit("takeover_abort", txn=txn_id, actor="backup")
+        self.completed_on_takeover.extend(committed)
+        self.aborted_on_takeover.extend(aborted)
         return (list(self.completed_on_takeover),
                 list(self.aborted_on_takeover))

@@ -192,6 +192,10 @@ class RecoveryManager:
             return
         source_name = replicas[-1]  # spare the Option-1 primary
         target_name = self._choose_target(db)
+        # Replicate the placement decision through the controller log
+        # (consensus mode) so every replica knows where the new copy of
+        # this database is headed.
+        controller._propose_meta("placement", db=db, target=target_name)
         source = controller.machines[source_name]
         target = controller.machines[target_name]
         delta = controller.config.delta_recovery

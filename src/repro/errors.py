@@ -86,6 +86,20 @@ class ControllerFailedError(PlatformError):
     in-flight transactions during take-over (Section 2)."""
 
 
+class NotLeaderError(PlatformError):
+    """The contacted controller replica does not hold the leader lease.
+
+    With the consensus control plane enabled a client may reach a
+    follower (or a deposed leader whose lease lapsed); the error carries
+    the best-known leader so the client can redirect, mirroring a Paxos
+    group's NOT_MASTER response.
+    """
+
+    def __init__(self, message: str, leader: str = None):
+        super().__init__(message)
+        self.leader = leader
+
+
 class NoReplicaError(PlatformError):
     """No live replica of the requested database exists in the cluster."""
 

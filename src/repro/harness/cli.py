@@ -25,7 +25,8 @@ import sys
 from repro.analysis.invariants import check_controller, check_trace
 from repro.cluster import CopyGranularity, ReadOption, WritePolicy
 from repro.harness.reporting import format_table
-from repro.harness.runner import (run_commit_latency_bench, run_dr_soak,
+from repro.harness.runner import (run_commit_latency_bench,
+                                  run_controller_soak, run_dr_soak,
                                   run_fault_soak, run_partition_soak,
                                   run_recovery_experiment, run_sla_placement,
                                   run_tpcw_cluster)
@@ -183,11 +184,12 @@ def _print_network(metrics) -> None:
     summary = metrics.network_summary()
     print(format_table(
         ["sent", "delivered", "dropped", "cut", "rpc timeouts",
-         "rpc retries", "false suspicions"],
+         "rpc retries", "false suspicions", "elections", "leader changes"],
         [[summary["messages_sent"], summary["delivered"],
           summary["messages_dropped"], summary["messages_cut"],
           summary["rpc_timeouts"], summary["rpc_retries"],
-          summary["false_suspicions"]]]))
+          summary["false_suspicions"], summary["elections"],
+          summary["leader_changes"]]]))
     links = summary["links"]
     if links:
         # Busiest links only; a 6-machine soak has dozens of directions.
@@ -220,6 +222,33 @@ def cmd_partitions(args) -> int:
     _print_network(result.metrics)
     return _export_trace(result.controller, args,
                          expect_recovery_complete=True)
+
+
+def cmd_controllers(args) -> int:
+    """Controller-churn soak: consensus group vs process-pair reference."""
+    violations = 0
+    for label, consensus in (("consensus", True), ("pair", False)):
+        result = run_controller_soak(
+            consensus=consensus, duration_s=args.duration * 2,
+            drain_s=max(args.duration, 15.0), ctl_kill_mtbf_s=args.mtbf,
+            seed=args.seed)
+        mode = ("multi-Paxos group (consensus_enabled=True)" if consensus
+                else "process pair (consensus_enabled=False)")
+        print(f"-- {mode} --")
+        print(format_table(
+            ["ctl kills", "ctl partitions", "elections", "leader changes",
+             "takeovers", "orphaned txns"],
+            [[len(result.kills), len(result.ctl_partitions),
+              result.elections, result.leader_changes, result.takeovers,
+              result.orphaned]]))
+        print(format_table(
+            ["committed", "aborted", "reconnects", "recoveries"],
+            [[result.committed, result.aborted, result.reconnects,
+              sum(1 for r in result.recovery_records if r.succeeded)]]))
+        _print_network(result.metrics)
+        violations += _export_trace(result.controller, args, label=label,
+                                    expect_recovery_complete=True)
+    return violations
 
 
 def cmd_disaster(args) -> int:
@@ -315,6 +344,8 @@ EXPERIMENTS = [
     ("faults", "MTBF failure soak with recovery (trace/invariant demo)"),
     ("partitions", "unreliable-fabric soak: partitions, heartbeat "
                    "detection, fencing, process-pair takeover"),
+    ("controllers", "controller-kill soak: multi-Paxos elections, leader "
+                    "leases, take-over cleanup vs the process pair"),
     ("disaster", "cross-colo DR soak: lossy WAN log shipping, colo kill, "
                  "fenced failover, re-protection, RPO/RTO"),
     ("clustertxn", "2PC phase latency: parallel commit fan-out vs the "
@@ -381,6 +412,9 @@ def main(argv=None) -> int:
         print("\n== Partition soak: unreliable fabric, detection, "
               "takeover ==")
         violations += cmd_partitions(args)
+    if chosen in ("controllers", "all"):
+        print("\n== Controller soak: Paxos elections, leases, take-over ==")
+        violations += cmd_controllers(args)
     if chosen in ("disaster", "all"):
         print("\n== Disaster soak: WAN shipping, colo failover, RPO/RTO ==")
         violations += cmd_disaster(args)

@@ -18,6 +18,12 @@ links or splits the cluster into disconnected groups, healing each
 episode after a random duration — the workload for the partition-soak
 experiment and its no-split-brain / fencing invariants.
 
+:class:`ControllerKillInjector` targets the consensus control plane
+(:mod:`repro.cluster.consensus`): it fail-stops controller replicas —
+preferring the current leader, never below the group's majority — and
+optionally cuts controller↔controller links, so soaks exercise
+elections, lease hand-off, and take-over cleanup under churn.
+
 :class:`WanPartitionInjector` is the cross-colo analogue: it cuts
 colo↔colo WAN links (stalling log shipping until catch-up) or isolates
 a whole colo from the system controller and its peers (starving the
@@ -185,6 +191,125 @@ class FailureInjector(_RestartableInjector):
                 self.controller.repair_machine(machine)
                 self.repairs.append(RepairEvent(sim.now, machine))
         except Interrupt:
+            return
+
+
+@dataclass
+class ControllerKillEvent:
+    when: float
+    node: str
+    was_leader: bool
+    repaired_at: Optional[float] = None
+
+
+class ControllerKillInjector(_RestartableInjector):
+    """Kills consensus controller replicas (preferring the leader), and
+    optionally partitions the control-plane links, then heals both.
+
+    Episodes are sequential: crash one replica, wait an exponential
+    repair delay, repair it. The victim is the current lease holder with
+    probability ``prefer_leader`` (kills that force an election are the
+    interesting ones); the injector never reduces the group below its
+    majority, so the control plane always stays electable. A second loop
+    (when the fabric is enabled and ``partition_mtbf_s`` is set) cuts a
+    random controller↔controller link for an exponential duration —
+    renewals and accepts stall, leases lapse, and deposed leaders must
+    cut off their in-flight COMMITs.
+    """
+
+    def __init__(self, controller: ClusterController, kill_mtbf_s: float,
+                 seed: int = 0, mean_repair_s: float = 5.0,
+                 prefer_leader: float = 0.8,
+                 partition_mtbf_s: Optional[float] = None,
+                 mean_heal_s: float = 2.0):
+        if kill_mtbf_s <= 0:
+            raise ValueError("kill MTBF must be positive")
+        if mean_repair_s <= 0:
+            raise ValueError("mean repair time must be positive")
+        super().__init__(controller)
+        if controller.consensus is None:
+            raise ValueError("ControllerKillInjector needs the consensus "
+                             "control plane (config.consensus_enabled)")
+        self.consensus = controller.consensus
+        self.kill_mtbf_s = kill_mtbf_s
+        self.mean_repair_s = mean_repair_s
+        self.prefer_leader = prefer_leader
+        self.partition_mtbf_s = partition_mtbf_s
+        self.mean_heal_s = mean_heal_s
+        self.rng = SeededRNG(seed).fork("controller-kill-injector")
+        self.events: List[ControllerKillEvent] = []
+        self.partitions: List[PartitionEvent] = []
+
+    def _loops(self) -> List[Tuple[str, Generator]]:
+        loops = [("controller-kill-injector", self._kill_loop())]
+        if (self.partition_mtbf_s is not None
+                and self.controller.fabric.enabled):
+            loops.append(("controller-partition-injector",
+                          self._partition_loop()))
+        return loops
+
+    def _pick_victim(self) -> Optional[str]:
+        group = self.consensus.group
+        alive = sorted(n.name for n in group.nodes.values() if n.alive)
+        if len(alive) <= group.majority:
+            return None          # never make the group unelectable
+        leader = group.leader()
+        if (leader is not None and leader.name in alive
+                and self.rng.random() < self.prefer_leader):
+            return leader.name
+        return self.rng.choice(alive)
+
+    def _kill_loop(self) -> Generator:
+        sim = self.controller.sim
+        group = self.consensus.group
+        try:
+            while True:
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.kill_mtbf_s))
+                victim = self._pick_victim()
+                if victim is None:
+                    continue
+                was_leader = group.nodes[victim].is_leader
+                event = ControllerKillEvent(sim.now, victim, was_leader)
+                self.events.append(event)
+                self.consensus.crash_controller(victim)
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.mean_repair_s))
+                self.consensus.repair_controller(victim)
+                event.repaired_at = sim.now
+        except Interrupt:
+            # Repair whatever this injector still has down so a stopped
+            # soak can drain (and re-elect) cleanly.
+            for event in self.events:
+                if event.repaired_at is None:
+                    self.consensus.repair_controller(event.node)
+                    event.repaired_at = self.controller.sim.now
+            return
+
+    def _partition_loop(self) -> Generator:
+        sim = self.controller.sim
+        fabric = self.controller.fabric
+        names = list(self.consensus.group.names)
+        try:
+            while True:
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.partition_mtbf_s))
+                if len(names) < 2:
+                    continue
+                a, b = self.rng.sample(sorted(names), 2)
+                fabric.cut(a, b)
+                event = PartitionEvent(sim.now, "cut", links=[(a, b)])
+                self.partitions.append(event)
+                yield sim.timeout(
+                    self.rng.expovariate(1.0 / self.mean_heal_s))
+                fabric.heal(a, b)
+                event.healed_at = sim.now
+        except Interrupt:
+            for event in self.partitions:
+                if event.healed_at is None:
+                    for a, b in event.links:
+                        self.controller.fabric.heal(a, b)
+                    event.healed_at = self.controller.sim.now
             return
 
 

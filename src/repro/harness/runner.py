@@ -15,6 +15,12 @@ Seven drivers cover the paper's evaluation section plus the soaks:
   random partitions, silent machine crashes noticed only by the
   heartbeat failure detector, repairs, and a staged primary crash taken
   over by the process-pair backup;
+* :func:`run_controller_soak` — the control-plane soak: consensus
+  controller replicas are killed (preferring the leader) and the
+  controller↔controller links partitioned while reconnecting clients
+  commit through elections, lease hand-offs, and take-over cleanup;
+  ``consensus=False`` runs the process-pair reference under the same
+  workload with a staged primary crash instead;
 * :func:`run_dr_soak` — the cross-colo disaster soak: lossy WAN links
   under log shipping, colo isolation episodes, one colo killed silently
   mid-run (the colo heartbeat detector must suspect, declare, fence,
@@ -40,7 +46,8 @@ from repro.cluster.network import NetworkConfig
 from repro.cluster.process_pair import ProcessPairBackup
 from repro.cluster.recovery import RecoveryRecord
 from repro.errors import PlatformError
-from repro.harness.faults import (FailureEvent, FailureInjector,
+from repro.harness.faults import (ControllerKillEvent, ControllerKillInjector,
+                                  FailureEvent, FailureInjector,
                                   PartitionEvent, PartitionInjector,
                                   RepairEvent, WanPartitionInjector)
 from repro.platform import DataPlatform, DatabaseSpec
@@ -596,6 +603,172 @@ def run_partition_soak(
                     for e in trace.events(kind="machine_readmitted")],
         takeover_committed=list(backup.completed_on_takeover),
         takeover_aborted=list(backup.aborted_on_takeover),
+        metrics=metrics,
+        controller=controller,
+    )
+
+
+@dataclass
+class ControllerSoakResult:
+    """Outcome of one controller-churn soak (consensus or process pair)."""
+
+    sim_seconds: float
+    consensus: bool
+    kills: List[ControllerKillEvent]
+    ctl_partitions: List[PartitionEvent]
+    committed: int
+    aborted: int
+    reconnects: int
+    elections: int
+    leader_changes: int
+    takeovers: int
+    orphaned: int
+    recovery_records: List[RecoveryRecord]
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def run_controller_soak(
+    consensus: bool = True,
+    machines: int = 6,
+    n_databases: int = 3,
+    replicas: int = 2,
+    keys_per_db: int = 30,
+    clients_per_db: int = 2,
+    duration_s: float = 40.0,
+    drain_s: float = 20.0,
+    ctl_kill_mtbf_s: float = 8.0,
+    ctl_mean_repair_s: float = 4.0,
+    ctl_partition_mtbf_s: Optional[float] = 15.0,
+    ctl_mean_heal_s: float = 1.5,
+    machine_mtbf_s: Optional[float] = 25.0,
+    machine_repair_mtbf_s: float = 12.0,
+    takeover_wait_s: float = 10.0,
+    recovery_threads: int = 2,
+    granularity: CopyGranularity = CopyGranularity.TABLE,
+    write_policy: WritePolicy = WritePolicy.CONSERVATIVE,
+    seed: int = 3,
+    think_time_s: float = 0.2,
+    copy_bytes_factor: float = 200.0,
+    min_live_machines: int = 3,
+    drop_probability: float = 0.005,
+    latency_s: float = 0.002,
+    jitter_s: float = 0.001,
+) -> ControllerSoakResult:
+    """The control-plane churn soak.
+
+    With ``consensus=True`` the controller runs as a multi-Paxos group:
+    replicas are killed at ``ctl_kill_mtbf_s`` (preferring the current
+    leader, never below the group majority) and repaired after
+    ``ctl_mean_repair_s``; controller↔controller links are cut and
+    healed; machines crash silently and are repaired; and reconnecting
+    clients ride across every election. Failures stop at ``duration_s``,
+    everything is healed/repaired, and the run drains ``drain_s`` so
+    re-replication finishes and a final leader settles. The resulting
+    trace is the input for the single-leader-per-term /
+    log-prefix-agreement / decision-only-under-valid-lease invariants
+    (plus all the older 2PC rules).
+
+    With ``consensus=False`` the exact same cluster, workload, and
+    machine-failure schedule run under the process-pair reference; after
+    the drain the primary is crashed once and the backup's monitor must
+    detect the silence and take over — the pre-consensus behaviour, kept
+    as the comparison (and regression) baseline.
+    """
+    sim = Simulator()
+    config = ClusterConfig(
+        write_policy=write_policy,
+        replication_factor=replicas,
+        recovery_threads=recovery_threads,
+        lock_wait_timeout_s=2.0,
+        trace_capacity=262144,
+        consensus_enabled=consensus,
+        network=NetworkConfig(enabled=True, latency_s=latency_s,
+                              jitter_s=jitter_s,
+                              drop_probability=drop_probability,
+                              seed=seed),
+    )
+    config.consensus.seed = seed
+    config.machine.copy_bytes_factor = copy_bytes_factor
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    workloads = []
+    for i in range(n_databases):
+        workload = KeyValueWorkload(controller, db_name=f"kv{i}",
+                                    keys=keys_per_db, seed=seed + i)
+        workload.install(replicas=replicas)
+        workloads.append(workload)
+    recovery = RecoveryManager(controller, granularity=granularity,
+                               threads=recovery_threads, retry_delay_s=1.0)
+    recovery.start()
+    controller.start_failure_detector()
+    backup = None
+    ctl_injector = None
+    if consensus:
+        ctl_injector = ControllerKillInjector(
+            controller, kill_mtbf_s=ctl_kill_mtbf_s, seed=seed,
+            mean_repair_s=ctl_mean_repair_s,
+            partition_mtbf_s=ctl_partition_mtbf_s,
+            mean_heal_s=ctl_mean_heal_s)
+        ctl_injector.start()
+    else:
+        backup = ProcessPairBackup(controller)
+        backup.start_monitor()
+    crasher = None
+    if machine_mtbf_s is not None:
+        crasher = FailureInjector(controller, mtbf_s=machine_mtbf_s,
+                                  seed=seed, oracle=False,
+                                  repair_mtbf_s=machine_repair_mtbf_s,
+                                  min_live_machines=min_live_machines)
+        crasher.start()
+
+    stats = [KvStats() for _ in range(n_databases * clients_per_db)]
+    idx = 0
+    for workload in workloads:
+        for cid in range(clients_per_db):
+            proc = sim.process(workload.reconnecting_client(
+                cid, until=duration_s, think_time_s=think_time_s,
+                stats=stats[idx]))
+            proc.defused = True
+            idx += 1
+
+    sim.run(until=duration_s)
+    if ctl_injector is not None:
+        ctl_injector.stop()      # repairs outstanding kills, heals cuts
+    if crasher is not None:
+        crasher.stop()
+    controller.fabric.heal_all()
+    sim.run(until=duration_s + drain_s)
+    total = duration_s + drain_s
+    kills: List[ControllerKillEvent] = []
+    if ctl_injector is not None:
+        kills = list(ctl_injector.events)
+    if not consensus:
+        # The staged reference failure: crash the primary, let the
+        # backup's heartbeat monitor detect the silence and take over.
+        kills.append(ControllerKillEvent(sim.now, "primary",
+                                         was_leader=True))
+        controller.crash_primary()
+        sim.run(until=total + takeover_wait_s)
+        total += takeover_wait_s
+
+    trace = controller.trace
+    metrics = controller.metrics
+    return ControllerSoakResult(
+        sim_seconds=total,
+        consensus=consensus,
+        kills=kills,
+        ctl_partitions=(list(ctl_injector.partitions)
+                        if ctl_injector is not None else []),
+        committed=metrics.total_committed(),
+        aborted=sum(s.aborted for s in stats),
+        reconnects=sum(s.reconnects for s in stats),
+        elections=metrics.network.elections,
+        leader_changes=metrics.network.leader_changes,
+        takeovers=(len(trace.events(kind="ctl_takeover")) if consensus
+                   else len(trace.events(kind="takeover"))),
+        orphaned=len(trace.events(kind="txn_orphaned")),
+        recovery_records=recovery.records,
         metrics=metrics,
         controller=controller,
     )

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.cluster.controller import ClusterController, TransactionAborted
-from repro.errors import ControllerFailedError
+from repro.errors import ControllerFailedError, PlatformError
 from repro.sim.rng import SeededRNG
 
 KV_DDL = ["CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"]
@@ -21,6 +21,7 @@ KV_DDL = ["CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"]
 class KvStats:
     committed: int = 0
     aborted: int = 0
+    reconnects: int = 0
 
 
 class KeyValueWorkload:
@@ -74,4 +75,56 @@ class KeyValueWorkload:
             if think_time_s > 0:
                 yield sim.timeout(rng.expovariate(1.0 / think_time_s))
         conn.close()
+        return stats
+
+    def reconnecting_client(self, client_id: int, until: float,
+                            reads_per_txn: int = 2, writes_per_txn: int = 1,
+                            think_time_s: float = 0.0,
+                            reconnect_delay_s: float = 0.2,
+                            stats: Optional[KvStats] = None) -> Generator:
+        """Sim process: like :meth:`client`, but survives the controller.
+
+        A controller crash, leadership change, or lease lapse kills the
+        connection (:class:`ControllerFailedError` /
+        :class:`NotLeaderError`); this client drops it, backs off, and
+        reconnects — the behaviour the paper expects of application
+        clients across a controller take-over. Runs until sim time
+        ``until``.
+        """
+        rng = SeededRNG(self.seed).fork(f"kv-reclient-{client_id}")
+        sim = self.controller.sim
+        stats = stats if stats is not None else KvStats()
+        conn = None
+        while sim.now < until:
+            if conn is None:
+                try:
+                    conn = self.controller.connect(self.db_name)
+                except PlatformError:
+                    yield sim.timeout(max(reconnect_delay_s, 0.05))
+                    continue
+            try:
+                for _ in range(reads_per_txn):
+                    yield conn.execute(
+                        "SELECT v FROM kv WHERE k = ?",
+                        (rng.randint(0, self.keys - 1),))
+                for _ in range(writes_per_txn):
+                    yield conn.execute(
+                        "UPDATE kv SET v = v + 1 WHERE k = ?",
+                        (rng.randint(0, self.keys - 1),))
+                yield conn.commit()
+            except TransactionAborted:
+                stats.aborted += 1
+            except PlatformError:
+                # Connection state died with the (old) controller.
+                stats.aborted += 1
+                stats.reconnects += 1
+                conn = None
+                yield sim.timeout(max(reconnect_delay_s, 0.05))
+                continue
+            else:
+                stats.committed += 1
+            if think_time_s > 0:
+                yield sim.timeout(rng.expovariate(1.0 / think_time_s))
+        if conn is not None:
+            conn.close()
         return stats

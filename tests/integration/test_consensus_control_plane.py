@@ -1,0 +1,238 @@
+"""Integration tests: the consensus control plane driving the cluster.
+
+With ``ClusterConfig.consensus_enabled`` the controller's 2PC commit
+decisions, metadata mutations, and take-over processing all flow through
+the multi-Paxos group; these tests check the binding end to end — and
+that with the flag off (the default) nothing consensus-shaped runs.
+"""
+
+from repro.cluster.consensus import takeover_cleanup
+from repro.cluster.network import NetworkConfig
+from repro.errors import NotLeaderError, PlatformError
+from repro.workloads.microbench import KeyValueWorkload, KvStats
+from tests.conftest import assert_no_violations, make_kv_cluster
+
+
+def make_consensus_cluster(sim, seed=2, **kwargs):
+    return make_kv_cluster(
+        sim, machines=3, replicas=2, consensus_enabled=True,
+        trace_capacity=65536,
+        network=NetworkConfig(enabled=True, latency_s=0.002,
+                              jitter_s=0.001, seed=seed),
+        **kwargs)
+
+
+class TestConsensusCommitPath:
+    def test_commit_decision_replicates_to_every_controller_replica(self, sim):
+        controller = make_consensus_cluster(sim)
+        done = {}
+
+        def client():
+            yield sim.timeout(1.0)  # let the bootstrap election settle
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 7 WHERE k = 7")
+            yield conn.commit()
+            done["committed"] = True
+
+        proc = sim.process(client())
+        sim.run(until=6.0)
+        assert proc.ok and done.get("committed")
+
+        group = controller.consensus.group
+        # The decision and its clear both reached every replica's log.
+        for node in group.nodes.values():
+            kinds = [cmd[0] for cmd in node.chosen.values()]
+            assert "decision" in kinds
+            assert "decision_clear" in kinds
+            assert node.state.decisions == {}
+        applies = controller.trace.events(kind="ctl_applied")
+        decided_on = {e.machine for e in applies
+                      if e.extra["command"] == "decision"}
+        assert decided_on == set(group.names)
+        # The data-plane decision event carries the consensus term.
+        logged = controller.trace.events(kind="decision_logged")
+        assert logged and all(e.extra.get("mirrored") for e in logged)
+        assert all(e.extra["term"] >= 1 for e in logged)
+        assert_no_violations(controller)
+
+    def test_leader_kill_fails_over_and_cleans_up(self, sim):
+        controller = make_consensus_cluster(sim, seed=5)
+        plane = controller.consensus
+        workload = KeyValueWorkload(controller, keys=20, seed=5)
+        stats = KvStats()
+        proc = sim.process(workload.reconnecting_client(
+            0, until=18.0, think_time_s=0.05, stats=stats))
+        proc.defused = True
+
+        def killer():
+            yield sim.timeout(4.0)
+            plane.crash_controller(plane.acting)
+
+        sim.process(killer())
+        sim.run(until=30.0)
+
+        assert plane.kills and plane.kills[0][1] == f"{controller.name}-ctl0"
+        new_leader = plane.group.leader()
+        assert new_leader is not None
+        assert new_leader.name != plane.kills[0][1]
+        assert plane.acting == new_leader.name
+        takeovers = controller.trace.events(kind="ctl_takeover")
+        assert takeovers and takeovers[0].machine == new_leader.name
+        # Clients rode through the failover and kept committing.
+        assert stats.reconnects >= 1
+        committed_after = [e for e in controller.trace.events(kind="committed")
+                          if e.t > plane.kills[0][0]]
+        assert committed_after, "no commits after the leader kill"
+        assert stats.committed > 0
+        assert_no_violations(controller)
+
+    def test_deposed_acting_replica_redirects_clients(self, sim):
+        controller = make_consensus_cluster(sim)
+        sim.run(until=1.0)
+        plane = controller.consensus
+        plane.crash_controller(plane.acting)
+        # Before a new leader is elected the contacted replica must
+        # refuse with a redirect, not silently serve.
+        try:
+            controller.connect("kv")
+        except NotLeaderError as exc:
+            assert exc.leader is not None
+        except PlatformError:
+            pass  # primary-down path is an acceptable refusal too
+        else:
+            raise AssertionError("connect served without a leader")
+
+    def test_partitioned_leader_lease_lapses_and_fences_it(self, sim):
+        controller = make_consensus_cluster(sim, seed=7)
+        sim.run(until=1.0)
+        plane = controller.consensus
+        old = plane.acting
+        old_node = plane.group.nodes[old]
+        others = [n for n in plane.group.names if n != old]
+        assert plane.lease_valid()
+        for name in others:
+            controller.fabric.cut(old, name)
+        # Strictly longer than lease_duration_s: the isolated leader's
+        # own lease view expires on its own clock, no message required.
+        sim.run(until=1.0 + plane.config.lease_duration_s + 0.5)
+        assert sim.now >= old_node.own_lease_until
+        sim.run(until=15.0)
+        # A new leader rose among the connected majority and the acting
+        # role moved with it.
+        assert plane.group.last_leader in others
+        assert plane.acting == plane.group.last_leader
+        assert plane.lease_valid()
+        for name in others:
+            controller.fabric.heal(old, name)
+        sim.run(until=25.0)
+        # The old leader saw the higher ballot, stepped down, caught up.
+        new_node = plane.group.nodes[plane.group.last_leader]
+        assert not old_node.is_leader
+        assert old_node.applied_to == new_node.applied_to
+        assert_no_violations(controller)
+
+
+class TestTakeoverClearsDrainGauge:
+    """An orphaned coordinator must not wedge the delta-handoff drain.
+
+    A controller kill mid-transaction leaves the coordinator generator
+    dead before ``_finish`` runs, so its transaction would stay in the
+    open-writer gauge forever — and any later delta re-replication of
+    that database would drain against it until the end of time (the
+    seed-9 controller soak hit exactly this). The take-over settles
+    every in-flight transaction; it must purge them from the gauge too.
+    """
+
+    def _orphan_writer(self, sim, controller, holder):
+        def orphan():
+            yield sim.timeout(1.0)  # let the bootstrap election settle
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 3 WHERE k = 3")
+            holder["txn"] = conn.txn.txn_id
+            # Die here, like a coordinator whose controller was killed:
+            # no commit, no rollback, no close.
+
+        sim.process(orphan())
+        sim.run(until=3.0)
+        assert controller.open_writers("kv") == 1
+
+    def test_undecided_orphan_is_aborted_and_leaves_the_gauge(self, sim):
+        controller = make_consensus_cluster(sim)
+        holder = {}
+        self._orphan_writer(sim, controller, holder)
+
+        committed, aborted = takeover_cleanup(controller, {}, actor="test")
+
+        assert holder["txn"] in aborted
+        assert controller.open_writers("kv") == 0
+
+    def test_decided_orphan_on_dead_participant_leaves_the_gauge(self, sim):
+        # The seed-9 wedge: the decision is replicated but the only
+        # participant still holding the branch is permanently dead, so
+        # Phase 1 cannot deliver the COMMIT anywhere — the gauge entry
+        # must still be resolved.
+        controller = make_consensus_cluster(sim)
+        holder = {}
+        self._orphan_writer(sim, controller, holder)
+        txn_id = holder["txn"]
+        for machine in controller.machines.values():
+            machine.engine.transactions.pop(txn_id, None)
+
+        decisions = {txn_id: ("commit", ["no-such-machine"])}
+        committed, _aborted = takeover_cleanup(controller, decisions,
+                                               actor="test")
+
+        assert txn_id in committed
+        assert controller.open_writers("kv") == 0
+
+
+class TestConsensusDisabled:
+    def test_default_config_runs_no_consensus(self, sim):
+        controller = make_kv_cluster(sim)
+        assert controller.consensus is None
+        done = {}
+
+        def client():
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+            yield conn.commit()
+            done["ok"] = True
+
+        sim.process(client())
+        sim.run()
+        assert done.get("ok")
+        assert [e for e in controller.trace.events()
+                if e.kind.startswith("ctl_")] == []
+        logged = controller.trace.events(kind="decision_logged")
+        assert logged and "term" not in logged[0].extra
+        assert_no_violations(controller, strict=True)
+
+
+class TestControllerSoakSmoke:
+    def test_consensus_soak_audits_clean(self):
+        from repro.analysis.invariants import check_controller
+        from repro.harness.runner import run_controller_soak
+
+        result = run_controller_soak(consensus=True, duration_s=15.0,
+                                     drain_s=10.0, ctl_kill_mtbf_s=5.0,
+                                     seed=11)
+        assert result.consensus
+        assert result.committed > 0
+        assert result.kills, "soak never killed a controller replica"
+        assert result.elections >= 1
+        violations = check_controller(result.controller,
+                                      expect_recovery_complete=True)
+        assert not violations, "\n".join(str(v) for v in violations)
+
+    def test_pair_soak_stages_one_takeover(self):
+        from repro.analysis.invariants import check_controller
+        from repro.harness.runner import run_controller_soak
+
+        result = run_controller_soak(consensus=False, duration_s=12.0,
+                                     drain_s=8.0, seed=11)
+        assert not result.consensus
+        assert result.committed > 0
+        assert result.takeovers == 1
+        violations = check_controller(result.controller,
+                                      expect_recovery_complete=True)
+        assert not violations, "\n".join(str(v) for v in violations)

@@ -103,6 +103,117 @@ class TestProcessPair:
                           "SELECT v FROM kv WHERE k = 9") == [(9,)]
 
 
+class TestMonitorRestart:
+    def test_monitor_rearms_after_reform_and_handles_second_crash(self, sim):
+        """Satellite 1: ``start_monitor`` must be restartable.
+
+        After a detection-driven take-over the pair re-forms; arming the
+        monitor again must yield a *fresh* detection loop (not the
+        spent handle), and that loop must drive a second take-over when
+        the primary crashes again.
+        """
+        from repro.cluster.network import NetworkConfig
+
+        controller = make_kv_cluster(
+            sim, machines=3,
+            network=NetworkConfig(enabled=True, latency_s=0.01, seed=3))
+        backup = ProcessPairBackup(controller)
+        first = backup.start_monitor(interval_s=0.1, misses=2)
+        # Re-arming while the pair is healthy returns the same loop.
+        assert backup.start_monitor(interval_s=0.1, misses=2) is first
+
+        controller.crash_primary()
+        sim.run(until=2.0)
+        assert backup.took_over
+        assert not first.is_alive
+
+        backup.reform()
+        assert controller.primary_alive
+        assert not backup.took_over
+        second = backup.start_monitor(interval_s=0.1, misses=2)
+        assert second is not first
+        assert second.is_alive
+
+        controller.crash_primary()
+        sim.run(until=4.0)
+        assert backup.took_over, "re-armed monitor missed the second crash"
+
+    def test_start_monitor_replaces_zombie_loop_after_oracle_takeover(self, sim):
+        """An oracle-invoked take-over leaves the old loop a zombie; a
+        subsequent ``start_monitor`` must replace it, not return it."""
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+        first = backup.start_monitor(interval_s=0.1, misses=2)
+        backup.take_over(reason="oracle")
+        # The loop has not woken up yet, so it is alive but spent.
+        replacement = backup.start_monitor(interval_s=0.1, misses=2)
+        assert replacement is not first
+        sim.run(until=1.0)
+        assert not first.is_alive
+
+
+class TestTakeoverSweepsFencedMachines:
+    def test_undecided_txn_on_fenced_participant_is_aborted(self, sim):
+        """Satellite 2: take-over Phase 2 must reach alive-but-fenced
+        machines.
+
+        A participant fenced mid-PREPARE still holds the transaction's
+        write locks in its engine; nothing else will ever release them,
+        so the presumed-abort sweep must cover it.
+        """
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+        replicas = controller.replica_map.replicas("kv")
+
+        txn_id = 555
+        for name in replicas:
+            machine = controller.machines[name]
+            txn = machine.engine.begin(txn_id)
+            machine.engine.execute_sync(
+                txn, "kv", "UPDATE kv SET v = 55 WHERE k = 4")
+            machine.engine.prepare(txn)
+        # The detector fences one participant between its PREPARE and
+        # any decision: alive, engine intact, locks held.
+        fenced = controller.machines[replicas[1]]
+        fenced.fence()
+        assert fenced.alive and fenced.fenced
+
+        committed, aborted = backup.take_over()
+        assert committed == []
+        assert aborted == [txn_id]
+        for name in replicas:
+            engine_txn = controller.machines[name].engine.transactions[txn_id]
+            assert engine_txn.state is TxnState.ABORTED, name
+        # The un-fenced replica shows the rollback; the fenced one holds
+        # no lock that would block its eventual wipe-and-readmit.
+        assert read_table(controller, replicas[0], "kv",
+                          "SELECT v FROM kv WHERE k = 4") == [(0,)]
+
+    def test_decided_commit_skips_fenced_participant_but_lands_elsewhere(
+            self, sim):
+        """Phase 1 must not commit onto a fenced machine (its replica is
+        stale by definition and will be wiped on readmission) while
+        still completing the decision on the healthy participants."""
+        controller = make_kv_cluster(sim)
+        backup = ProcessPairBackup(controller)
+        replicas = controller.replica_map.replicas("kv")
+        txn_id = 556
+        for name in replicas:
+            machine = controller.machines[name]
+            txn = machine.engine.begin(txn_id)
+            machine.engine.execute_sync(
+                txn, "kv", "UPDATE kv SET v = 56 WHERE k = 6")
+            machine.engine.prepare(txn)
+        backup.log_decision(txn_id, "commit", list(replicas))
+        controller.machines[replicas[1]].fence()
+
+        committed, aborted = backup.take_over()
+        assert committed == [txn_id]
+        assert aborted == []
+        assert read_table(controller, replicas[0], "kv",
+                          "SELECT v FROM kv WHERE k = 6") == [(56,)]
+
+
 class TestTakeoverRacesInflightPrepares:
     def test_mid_phase1_txn_presumed_aborted_everywhere(self, sim):
         """The primary dies while PREPAREs are on the wire.

@@ -400,3 +400,164 @@ class TestPartitionRules:
             ("machine_fenced", {"machine": "m0"}),
         ))
         assert violations == []
+
+
+def ctrace(*specs):
+    """Like :func:`trace` but honours an explicit ``t`` field, which the
+    consensus lease rules compare against traced lease deadlines."""
+    events = []
+    for seq, spec in enumerate(specs):
+        kind, fields = spec[0], dict(spec[1] if len(spec) > 1 else {})
+        t = fields.pop("t", float(seq))
+        known = {k: fields.pop(k, None) for k in ("db", "txn", "machine")}
+        events.append(TraceEvent(seq=seq, t=t, kind=kind,
+                                 extra=fields, **known))
+    return events
+
+
+def consensus_commit(txn=1, actor="ctl0", term=1, t=2.0, machines=("m0",)):
+    """A consensus-mode commit: the decision carries actor and term."""
+    steps = [("txn_begin", {"db": "kv", "txn": txn, "t": t})]
+    for m in machines:
+        steps += [("write_issued", {"db": "kv", "txn": txn, "machine": m,
+                                    "t": t}),
+                  ("write_acked", {"db": "kv", "txn": txn, "machine": m,
+                                   "t": t}),
+                  ("prepare", {"db": "kv", "txn": txn, "machine": m,
+                               "t": t})]
+    steps.append(("decision_logged", {"db": "kv", "txn": txn,
+                                      "decision": "commit", "t": t,
+                                      "mirrored": True, "actor": actor,
+                                      "term": term}))
+    for m in machines:
+        steps.append(("commit_sent", {"db": "kv", "txn": txn,
+                                      "machine": m, "t": t}))
+    steps.append(("committed", {"db": "kv", "txn": txn, "t": t}))
+    return steps
+
+
+class TestConsensusRules:
+    """The three control-plane rules the consensus tentpole added."""
+
+    def test_clean_consensus_trace_passes(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 1,
+                                    "lease_until": 3.0, "t": 1.0}),
+            *consensus_commit(txn=1, actor="ctl0", term=1, t=2.0),
+            ("ctl_lease_renewed", {"machine": "ctl0", "term": 1,
+                                   "lease_until": 6.0, "t": 4.0}),
+            *consensus_commit(txn=2, actor="ctl0", term=1, t=5.0),
+            ("ctl_applied", {"machine": "ctl0", "index": 1,
+                             "command": "leader_takeover", "digest": "aa",
+                             "t": 5.5}),
+            ("ctl_applied", {"machine": "ctl1", "index": 1,
+                             "command": "leader_takeover", "digest": "aa",
+                             "t": 5.6}),
+            ("ctl_applied", {"machine": "ctl0", "index": 2,
+                             "command": "decision", "digest": "bb",
+                             "t": 5.7}),
+            ("ctl_applied", {"machine": "ctl1", "index": 2,
+                             "command": "decision", "digest": "bb",
+                             "t": 5.8}),
+        ), write_policy="conservative")
+        assert violations == []
+
+    def test_duplicate_term_is_flagged(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 1,
+                                    "lease_until": 2.0, "t": 1.0}),
+            ("ctl_leader_elected", {"machine": "ctl1", "term": 1,
+                                    "lease_until": 6.0, "t": 5.0}),
+        ))
+        assert rules(violations) == ["single-leader-per-term"]
+
+    def test_non_advancing_term_is_flagged(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 3,
+                                    "lease_until": 2.0, "t": 1.0}),
+            ("ctl_leader_elected", {"machine": "ctl1", "term": 2,
+                                    "lease_until": 6.0, "t": 5.0}),
+        ))
+        assert rules(violations) == ["single-leader-per-term"]
+
+    def test_election_under_standing_lease_is_flagged(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 1,
+                                    "lease_until": 10.0, "t": 1.0}),
+            ("ctl_leader_elected", {"machine": "ctl1", "term": 2,
+                                    "lease_until": 12.0, "t": 5.0}),
+        ))
+        assert rules(violations) == ["single-leader-per-term"]
+
+    def test_stepdown_releases_the_lease(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 1,
+                                    "lease_until": 10.0, "t": 1.0}),
+            ("ctl_stepdown", {"machine": "ctl0", "term": 1,
+                              "reason": "test", "t": 2.0}),
+            ("ctl_leader_elected", {"machine": "ctl1", "term": 2,
+                                    "lease_until": 12.0, "t": 5.0}),
+        ))
+        assert violations == []
+
+    def test_decision_without_any_lease_is_flagged(self):
+        violations = check_trace(ctrace(
+            *consensus_commit(txn=1, actor="ctl0", term=1, t=2.0),
+        ), write_policy="conservative")
+        assert rules(violations) == ["decision-only-under-valid-lease"]
+
+    def test_decision_after_lease_expiry_is_flagged(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 1,
+                                    "lease_until": 3.0, "t": 1.0}),
+            *consensus_commit(txn=1, actor="ctl0", term=1, t=4.0),
+        ), write_policy="conservative")
+        assert rules(violations) == ["decision-only-under-valid-lease"]
+
+    def test_renewal_extends_the_decision_window(self):
+        violations = check_trace(ctrace(
+            ("ctl_leader_elected", {"machine": "ctl0", "term": 1,
+                                    "lease_until": 3.0, "t": 1.0}),
+            ("ctl_lease_renewed", {"machine": "ctl0", "term": 1,
+                                   "lease_until": 5.0, "t": 2.5}),
+            *consensus_commit(txn=1, actor="ctl0", term=1, t=4.0),
+        ), write_policy="conservative")
+        assert violations == []
+
+    def test_non_contiguous_apply_is_flagged(self):
+        violations = check_trace(ctrace(
+            ("ctl_applied", {"machine": "ctl0", "index": 1,
+                             "command": "noop", "digest": "aa"}),
+            ("ctl_applied", {"machine": "ctl0", "index": 3,
+                             "command": "noop", "digest": "cc"}),
+        ))
+        assert rules(violations) == ["log-prefix-agreement"]
+
+    def test_first_apply_must_be_entry_one(self):
+        violations = check_trace(ctrace(
+            ("ctl_applied", {"machine": "ctl0", "index": 4,
+                             "command": "noop", "digest": "dd"}),
+        ))
+        assert rules(violations) == ["log-prefix-agreement"]
+
+    def test_digest_divergence_is_flagged(self):
+        violations = check_trace(ctrace(
+            ("ctl_applied", {"machine": "ctl0", "index": 1,
+                             "command": "decision", "digest": "aa"}),
+            ("ctl_applied", {"machine": "ctl1", "index": 1,
+                             "command": "decision", "digest": "zz"}),
+        ))
+        assert rules(violations) == ["log-prefix-agreement"]
+
+    def test_truncated_trace_weakens_consensus_rules(self):
+        # A ring-buffer overflow may have swallowed elections and early
+        # applies: joins mid-stream must not be flagged.
+        violations = check_trace(ctrace(
+            *consensus_commit(txn=1, actor="ctl0", term=5, t=2.0),
+            ("ctl_applied", {"machine": "ctl0", "index": 40,
+                             "command": "decision", "digest": "aa"}),
+            ("ctl_applied", {"machine": "ctl0", "index": 41,
+                             "command": "noop", "digest": "bb"}),
+        ), write_policy="conservative", dropped=100)
+        assert "decision-only-under-valid-lease" not in rules(violations)
+        assert "log-prefix-agreement" not in rules(violations)
