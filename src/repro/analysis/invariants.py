@@ -54,6 +54,16 @@ correctness properties the paper's controller design promises:
   replication link still attached at the end of the trace has applied
   (or consciously dropped) everything the primary shipped; a torn
   link's unapplied suffix is accounted as RPO instead.
+* **neighbour-sla-holds-under-stampede** — a tenant that stayed within
+  its provisioned admission rate over an SLA-monitor window is never
+  rejected by admission control beyond its ``max_rejected_fraction``
+  in that window: another tenant's overload must drain only its own
+  bucket (one stray rejection is tolerated — a burst can land on a
+  bucket the same tenant drained legitimately a window earlier).
+* **rejections-within-sla-bound** — in steady state (a tenant that
+  never exceeded its provisioned rate in any window of the trace), the
+  tenant's *cumulative* admission-rejected fraction stays within its
+  SLA bound.
 
 Usable three ways: :func:`check_controller` on a live controller (what
 the test suites call), :func:`check_trace` on a list of events, or as a
@@ -157,6 +167,10 @@ class InvariantChecker:
         # db -> outstanding (shipped - applied - dropped) on the live link.
         link_lag: Dict[str, int] = {}
         link_lag_seq: Dict[str, int] = {}   # seq of the last ship, for anchors
+        # Overload / SLA enforcement (sla_window events from the
+        # runtime monitor): per-db cumulative admission accounting.
+        # db -> [finished, rejected, bound, over_rate_windows, last_seq]
+        sla_stats: Dict[str, List] = {}
         # Consensus control plane (ctl_* traces).
         ctl_terms_seen: Set[int] = set()
         last_ctl_term = 0
@@ -322,6 +336,28 @@ class InvariantChecker:
                                 f"entry {index} diverges: {e.machine} "
                                 f"applied {digest}, {seen[1]} applied "
                                 f"{seen[0]}", seq=e.seq))
+            elif e.kind == "sla_window":
+                finished = e.extra.get("finished") or 0
+                rejected = e.extra.get("rejected") or 0
+                bound = e.extra.get("bound")
+                within = bool(e.extra.get("within_rate"))
+                if bound is not None and finished > 0:
+                    stats = sla_stats.setdefault(e.db, [0, 0, bound, 0,
+                                                        None, 0])
+                    stats[0] += finished
+                    stats[1] += rejected
+                    stats[2] = bound
+                    if not within:
+                        stats[3] += 1
+                    stats[4] = e.seq
+                    if within and rejected > bound * finished + 1:
+                        stats[5] += 1
+                        self.violations.append(Violation(
+                            "neighbour-sla-holds-under-stampede",
+                            f"tenant within its provisioned rate had "
+                            f"{rejected}/{finished} transactions rejected "
+                            f"by admission (bound {bound})",
+                            db=e.db, seq=e.seq))
             elif e.kind == "takeover":
                 if takeover_seq is not None:
                     self.violations.append(Violation(
@@ -421,6 +457,21 @@ class InvariantChecker:
                     expected_rseq[e.db] = max(want, rseq) + 1
 
         self._finish(txns, queued, recovered, truncated, suspected_at)
+        for db, (finished, rejected, bound, over_windows, last_seq,
+                 window_violations) in sorted(sla_stats.items()):
+            # Steady state only: a tenant that ever overran its
+            # provisioned rate *earned* its rejections. A tenant whose
+            # windows were already flagged individually is not
+            # re-reported cumulatively.
+            if over_windows == 0 and window_violations == 0 \
+                    and finished > 0 \
+                    and rejected > bound * finished + 1:
+                self.violations.append(Violation(
+                    "rejections-within-sla-bound",
+                    f"steady-state tenant had {rejected}/{finished} "
+                    f"({rejected / finished:.4f}) transactions rejected "
+                    f"by admission, above its bound {bound}",
+                    db=db, seq=last_seq))
         if colo_suspected_at and not truncated:
             for colo, seq in sorted(colo_suspected_at.items()):
                 self.violations.append(Violation(

@@ -22,6 +22,7 @@ class DbCounters:
     committed: int = 0
     deadlocks: int = 0
     rejected: int = 0          # proactive rejections (Algorithm 1 / failures)
+    overload_rejected: int = 0  # subset of rejected: admission control
     rollbacks: int = 0         # voluntary client rollbacks
     other_aborts: int = 0      # platform-initiated failure aborts
     response_time_total: float = 0.0
@@ -40,6 +41,11 @@ class DbCounters:
         """Fraction of proactively rejected transactions (the SLA metric)."""
         total = self.total_finished
         return self.rejected / total if total else 0.0
+
+    def overload_rejected_fraction(self) -> float:
+        """Fraction rejected by admission control specifically."""
+        total = self.total_finished
+        return self.overload_rejected / total if total else 0.0
 
 
 @dataclass
@@ -148,6 +154,10 @@ class MetricsCollector:
         # "commit" = 2PC phase 2, "txn" = begin-to-commit; fan-out
         # branches land under "branch:<label>").
         self.phase_latencies: Dict[str, LatencyHistogram] = {}
+        # Per-database committed-transaction latency distributions, fed
+        # by record_commit's response time — the tail-latency view of
+        # noisy-neighbour isolation (per_db_summary surfaces these).
+        self.db_latencies: Dict[str, LatencyHistogram] = {}
         # Coordinator broadcast widths per label ("prepare", "commit",
         # "commit-ro", "abort").
         self.fanouts: Dict[str, FanoutStats] = {}
@@ -175,6 +185,10 @@ class MetricsCollector:
         counters.committed += 1
         counters.response_time_total += response_time
         self.commits_over_time.add(when)
+        histogram = self.db_latencies.get(db)
+        if histogram is None:
+            histogram = self.db_latencies[db] = LatencyHistogram()
+        histogram.observe(response_time)
 
     def record_deadlock(self, db: str, when: float) -> None:
         self.db(db).deadlocks += 1
@@ -182,6 +196,16 @@ class MetricsCollector:
 
     def record_rejection(self, db: str, when: float) -> None:
         self.db(db).rejected += 1
+        self.rejections_over_time.add(when)
+
+    def record_overload_rejection(self, db: str, when: float) -> None:
+        """An admission-control rejection: a proactive rejection (it
+        counts against the tenant's ``max_rejected_fraction``) that is
+        also tallied separately, so overload throttling is
+        distinguishable from failure- and copy-window rejections."""
+        counters = self.db(db)
+        counters.rejected += 1
+        counters.overload_rejected += 1
         self.rejections_over_time.add(when)
 
     def record_rollback(self, db: str) -> None:
@@ -201,6 +225,33 @@ class MetricsCollector:
         """{phase: {count, mean, p50, p95, p99}} for every observed phase."""
         return {phase: histogram.summary()
                 for phase, histogram in sorted(self.phase_latencies.items())}
+
+    def per_db_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant outcome and latency breakdown, keyed by db name.
+
+        One row per database that finished any transaction: the outcome
+        counters, the SLA's rejected fraction (and the admission-only
+        subset), and the committed-transaction latency percentiles —
+        overload isolation made observable without trace parsing.
+        """
+        summary: Dict[str, Dict[str, object]] = {}
+        for db, counters in sorted(self.per_db.items()):
+            histogram = self.db_latencies.get(db)
+            summary[db] = {
+                "committed": counters.committed,
+                "deadlocks": counters.deadlocks,
+                "rejected": counters.rejected,
+                "overload_rejected": counters.overload_rejected,
+                "rollbacks": counters.rollbacks,
+                "other_aborts": counters.other_aborts,
+                "total_finished": counters.total_finished,
+                "rejected_fraction": counters.rejected_fraction(),
+                "overload_rejected_fraction":
+                    counters.overload_rejected_fraction(),
+                "latency": histogram.summary() if histogram is not None
+                           else None,
+            }
+        return summary
 
     def record_fanout(self, label: str, width: int,
                       branch_latency: Optional[float] = None) -> None:

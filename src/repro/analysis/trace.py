@@ -95,6 +95,18 @@ dr_rto             first successful statement on the promoted primary
 dr_reprotect_start snapshot copy toward a fresh standby began
 dr_reprotect_done  the fresh standby finished catch-up and is in service
 dr_failback        the fresh standby landed on a previously failed colo
+admission_reject   a new transaction was turned away at the door: its
+                   tenant's token bucket was empty (``rate`` is the
+                   provisioned admission rate in tps)
+shed_read          a read spilled off an over-watermark replica to the
+                   least-loaded one (``machine`` serves it, ``load`` its
+                   in-flight count at the choice)
+sla_window         one SLA-monitor observation window for one database
+                   (``offered_tps``, ``finished``, ``rejected`` =
+                   admission rejections, ``bound``, ``within_rate``)
+sla_breach         a window's admission-rejected fraction exceeded the
+                   tenant's ``max_rejected_fraction`` (``fraction``,
+                   ``bound``, ``within_rate``)
 ================== ==========================================================
 
 Adding an event: call ``tracer.emit(kind, db=..., txn=..., machine=...,
@@ -141,6 +153,7 @@ EVENT_KINDS = frozenset({
     "colo_declared", "colo_fenced", "colo_repaired",
     "dr_promote", "dr_rto", "dr_reprotect_start", "dr_reprotect_done",
     "dr_failback",
+    "admission_reject", "shed_read", "sla_window", "sla_breach",
 })
 
 
@@ -215,6 +228,21 @@ class LatencyHistogram:
             self._sorted = sorted(self._samples)
         rank = max(1, int(round(p / 100.0 * len(self._sorted) + 0.5)))
         return self._sorted[min(rank, len(self._sorted)) - 1]
+
+    def window_percentile(self, p: float, start: int = 0,
+                          end: Optional[int] = None) -> float:
+        """Nearest-rank percentile over the samples observed between
+        positions ``start`` and ``end`` (in observation order) — lets a
+        caller snapshot :attr:`count` at a phase boundary and compare a
+        baseline window against a later stress window."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        window = self._samples[start:end]
+        if not window:
+            return 0.0
+        window.sort()
+        rank = max(1, int(round(p / 100.0 * len(window) + 0.5)))
+        return window[min(rank, len(window)) - 1]
 
     @property
     def p50(self) -> float:

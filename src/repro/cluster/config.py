@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.config import EngineConfig
+from repro.cluster.admission import AdmissionConfig
 from repro.cluster.consensus import ConsensusConfig
 from repro.cluster.network import NetworkConfig
 from repro.cluster.routing import ReadOption, WritePolicy
@@ -109,3 +110,11 @@ class ClusterConfig:
     # the default configuration replays identically.
     consensus_enabled: bool = False
     consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
+    # Overload protection (repro.cluster.admission): per-tenant
+    # token-bucket admission at statement entry, provisioned from each
+    # database's SLA, plus in-flight-watermark read shedding. Off by
+    # default — the default configuration replays identically to the
+    # pre-admission behaviour (same precedent as ``network.enabled``
+    # and ``consensus_enabled``).
+    admission_control: bool = False
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)

@@ -34,6 +34,7 @@ from typing import (Any, Callable, Dict, Generator, Iterable, List, Optional,
 from repro.analysis.history import GlobalHistory
 from repro.analysis.metrics import MetricsCollector
 from repro.analysis.trace import Tracer
+from repro.cluster.admission import AdmissionController
 from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Machine
 from repro.cluster.network import CONTROLLER, NetworkFabric
@@ -45,9 +46,9 @@ from repro.engine.sqlparse import nodes as n
 from repro.engine.sqlparse.parser import parse
 from repro.errors import (ControllerFailedError, DeadlockError,
                           LockTimeoutError, MachineFailedError,
-                          NoReplicaError, PlatformError,
-                          ProactiveRejectionError, RPCTimeoutError,
-                          TransactionError)
+                          NoReplicaError, OverloadRejectedError,
+                          PlatformError, ProactiveRejectionError,
+                          RPCTimeoutError, TransactionError)
 from repro.sim import Event, Interrupt, Process, Simulator
 
 
@@ -210,6 +211,17 @@ class ClusterController:
             OrderedDict())
         self.schemas: Dict[str, DatabaseSchema] = {}
         self.ddl: Dict[str, List[str]] = {}
+        # db -> declared SLA (None for databases created without one).
+        # Registered at create_database / set_sla; provisions the
+        # admission layer's token bucket and the runtime SLA monitor.
+        self.slas: Dict[str, Any] = {}
+        # Per-tenant token-bucket admission (repro.cluster.admission).
+        # None when admission_control is off: the statement path then
+        # tests one attribute and takes the pre-admission course.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self.config.admission,
+                                clock=lambda: self.sim.now)
+            if self.config.admission_control else None)
         # The log-structured replication stream: one LSN-addressed
         # retained tail of committed write statements per database, fed
         # at the 2PC decision point. Delta re-replication snapshots at a
@@ -304,13 +316,18 @@ class ClusterController:
 
     def create_database(self, db: str, ddl: Sequence[str],
                         machines: Optional[Sequence[str]] = None,
-                        replicas: Optional[int] = None) -> None:
+                        replicas: Optional[int] = None,
+                        sla=None) -> None:
         """Create a database on ``replicas`` machines and run its DDL.
 
         Setup-phase API: executes instantly (no simulated time), as does
         :meth:`bulk_load`. Placement defaults to the least-loaded live
         machines; the SLA-driven path in :mod:`repro.platform` chooses
-        machines explicitly.
+        machines explicitly. ``sla`` (a :class:`repro.sla.model.Sla`)
+        registers the tenant's contract with the controller: it
+        provisions the admission token bucket and anchors the runtime
+        SLA monitor. Databases without one get the generous default
+        admission rate.
         """
         if machines is None:
             count = replicas or self.config.replication_factor
@@ -349,7 +366,19 @@ class ClusterController:
         self.db_logs[db] = RetainedTail(
             retain=self.config.replication_log_retain)
         self.replica_lsns[db] = {name: 0 for name in machines}
+        self.set_sla(db, sla)
         self._propose_meta("db_create", db=db, machines=list(machines))
+
+    def set_sla(self, db: str, sla) -> None:
+        """Register (or replace) ``db``'s SLA and provision admission.
+
+        Callable after creation too — the platform tier profiles a
+        tenant before settling its SLA, and tests tighten buckets
+        mid-run.
+        """
+        self.slas[db] = sla
+        if self.admission is not None:
+            self.admission.provision(db, sla)
 
     def bulk_load(self, db: str, table: str, rows: Sequence[Sequence[Any]]) -> None:
         """Load identical rows into every replica (setup phase)."""
@@ -378,6 +407,9 @@ class ClusterController:
         self.db_logs.pop(db, None)
         self.replica_lsns.pop(db, None)
         self._open_writers.pop(db, None)
+        self.slas.pop(db, None)
+        if self.admission is not None:
+            self.admission.forget(db)
         self._propose_meta("db_drop", db=db)
 
     def reset_as_blank(self) -> None:
@@ -396,6 +428,10 @@ class ClusterController:
         self.replica_map = ReplicaMap()
         self.schemas.clear()
         self.ddl.clear()
+        self.slas.clear()
+        if self.admission is not None:
+            self.admission.buckets.clear()
+            self.admission.rates.clear()
         self.copy_states.clear()
         self.db_logs.clear()
         self.replica_lsns.clear()
@@ -641,6 +677,8 @@ class ClusterController:
                 continue
             except Exception:
                 return  # dead, fenced, or already resolved machine-side
+            if name in self.fenced or name in self.declared_dead:
+                return  # fenced mid-redelivery: its data is discarded
             self.trace.emit("commit_sent", db=db, txn=txn_id, machine=name,
                             redelivered=True)
             # The mirrored decision is left in place: another participant
@@ -651,6 +689,12 @@ class ClusterController:
     def _record_failure(self, txn: _TxnState, exc: BaseException) -> None:
         if isinstance(exc, (DeadlockError, LockTimeoutError)):
             self.metrics.record_deadlock(txn.db, self.sim.now)
+        elif isinstance(exc, OverloadRejectedError):
+            # Counts as a proactive rejection (below) *and* separately
+            # as an admission rejection, so the SLA monitor can tell a
+            # tenant throttled for overloading from one collaterally
+            # rejected by failures or copy windows.
+            self.metrics.record_overload_rejection(txn.db, self.sim.now)
         elif isinstance(exc, (ProactiveRejectionError, MachineFailedError,
                               NoReplicaError)):
             self.metrics.record_rejection(txn.db, self.sim.now)
@@ -898,7 +942,23 @@ class ClusterController:
                 and not conn.txn.finished
                 and conn.txn.term != self.consensus.term):
             self._orphan_txn(conn)
+        starting = conn.txn is None or conn.txn.finished
         txn = self._ensure_txn(conn)
+        if starting and self.admission is not None \
+                and not self.admission.admit(conn.db):
+            # The tenant's bucket is dry: turn the transaction away at
+            # the door, before any statement can queue work (or hold
+            # locks) on a machine. Statements of an already-admitted
+            # transaction pass free — one token buys the whole
+            # transaction, matching the SLA's per-transaction metric.
+            exc = OverloadRejectedError(
+                f"transaction rejected: {conn.db!r} is over its "
+                "provisioned admission rate", database=conn.db)
+            self.trace.emit("admission_reject", db=conn.db, txn=txn.txn_id,
+                            rate=self.admission.provisioned_rate(conn.db))
+            self._abort_everywhere(conn, txn, reason="OverloadRejectedError")
+            self._record_failure(txn, exc)
+            raise TransactionAborted(str(exc), cause=exc) from exc
         if txn.poisoned is not None:
             exc = txn.poisoned
             self._abort_everywhere(
@@ -935,7 +995,27 @@ class ClusterController:
                     raise NoReplicaError(
                         f"no reachable replica of {conn.db!r}")
                 raise NoReplicaError(f"no live replica of {conn.db!r}")
-            choice = self.router.choose(txn.txn_id, candidates)
+            if (self.admission is not None
+                    and self.config.admission.shed_reads
+                    and self.config.write_policy
+                    is WritePolicy.CONSERVATIVE):
+                # Hot-replica read shedding: spill past-watermark reads
+                # to the least-loaded replica. Gated to the conservative
+                # write policy, under which every read option is
+                # serializable (Theorem 2) — an aggressive controller
+                # relies on option-1's fixed replica for Theorem 1, so
+                # its reads are never spilled.
+                loads = {name: self.machines[name].inflight
+                         for name in candidates}
+                choice, shed = self.router.choose_under_load(
+                    txn.txn_id, candidates, loads,
+                    self.config.admission.shed_inflight_watermark)
+                if shed:
+                    self.trace.emit("shed_read", db=conn.db,
+                                    txn=txn.txn_id, machine=choice,
+                                    load=loads[choice])
+            else:
+                choice = self.router.choose(txn.txn_id, candidates)
             machine = self.machines[choice]
             txn.touched.add(choice)
             try:
@@ -971,7 +1051,8 @@ class ClusterController:
             return replicas
         if state.copying_all or table == state.copying_table:
             raise ProactiveRejectionError(
-                f"write to {db}.{table} rejected: table is being copied")
+                f"write to {db}.{table} rejected: table is being copied",
+                database=db, retryable=True)
         if table in state.copied_tables:
             target_machine = self.machines.get(state.target)
             if target_machine is not None and target_machine.alive:
@@ -1206,6 +1287,14 @@ class ClusterController:
         prepared: List[str] = []
         failure: Optional[BaseException] = None
         for outcome in outcomes:
+            if not self._still_replica(txn.db, outcome.machine):
+                # The failure detector declared the machine dead (and
+                # fenced it) while its PREPARE was in flight: whatever
+                # came back — a vote or a refusal — is moot, exactly as
+                # for a branch on a machine that visibly died. Its
+                # replica is already off the map; survivors carry the
+                # write.
+                continue
             if outcome.ok:
                 prepared.append(outcome.machine)
                 self.trace.emit("prepare", db=txn.db, txn=txn.txn_id,

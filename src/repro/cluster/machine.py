@@ -56,6 +56,28 @@ class Machine:
         # that missed a (dropped) write.
         self._write_counts: Dict[int, int] = {}
 
+    # -- load signals (overload detection) -------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Sim processes currently running or queued on this machine.
+
+        The overload watermark of the admission layer: every submitted
+        statement, 2PC phase, and copy-tool step counts until it
+        settles, so a machine drowning in queued work reads high even
+        while its CPU resource is merely saturated.
+        """
+        return len(self._active)
+
+    @property
+    def queue_depth(self) -> int:
+        """Transactions with an unfinished FIFO op chain on this machine."""
+        return len(self._tails)
+
+    def overloaded(self, watermark: int) -> bool:
+        """Is this machine past the in-flight watermark? (0 = never)."""
+        return watermark > 0 and self.inflight >= watermark
+
     # -- capacity (SLA dimensions) -------------------------------------------
 
     def capacity_vector(self):

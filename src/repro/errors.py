@@ -61,7 +61,35 @@ class ProactiveRejectionError(PlatformError):
     Raised for writes to a table that is currently being copied
     (Algorithm 1, line 11) and for operations lost to machine failures.
     The SLA's availability requirement bounds the fraction of these.
+
+    ``database`` tags the tenant whose SLA the rejection counts against;
+    ``retryable`` tells clients whether backing off and retrying can
+    succeed (a copy window passes; a machine failure may not).
     """
+
+    def __init__(self, message: str, database: str = None,
+                 retryable: bool = False):
+        super().__init__(message)
+        self.database = database
+        self.retryable = retryable
+
+
+class OverloadRejectedError(ProactiveRejectionError):
+    """Admission control turned the transaction away at the door.
+
+    The tenant's token bucket (provisioned from its SLA's minimum
+    throughput plus burst headroom) was empty: the database is offering
+    more load than it bought. Always retryable — tokens refill at the
+    provisioned rate — and always tenant-tagged, so rejections count
+    against the *overloading* tenant's ``max_rejected_fraction``, never
+    a neighbour's. Subclasses :class:`ProactiveRejectionError` so every
+    existing rejection-accounting path treats it as a proactive
+    rejection.
+    """
+
+    def __init__(self, message: str, database: str = None,
+                 retryable: bool = True):
+        super().__init__(message, database=database, retryable=retryable)
 
 
 class MachineFailedError(PlatformError):

@@ -29,7 +29,7 @@ from repro.harness.runner import (run_commit_latency_bench,
                                   run_controller_soak, run_dr_soak,
                                   run_fault_soak, run_partition_soak,
                                   run_recovery_experiment, run_sla_placement,
-                                  run_tpcw_cluster)
+                                  run_stampede_soak, run_tpcw_cluster)
 from repro.sla.model import ResourceVector
 from repro.workloads.tpcw import TpcwScale
 
@@ -177,6 +177,40 @@ def cmd_faults(args) -> int:
              for phase, stats in latencies.items()]))
     return _export_trace(result.controller, args,
                          expect_recovery_complete=True)
+
+
+def cmd_stampede(args) -> int:
+    """Noisy-neighbour stampede: admission control on vs off."""
+    violations = 0
+    for label, admission in (("admission-on", True), ("admission-off", False)):
+        result = run_stampede_soak(
+            admission=admission, duration_s=args.duration * 3,
+            ramp_at_s=args.duration, mtbf_s=args.stampede_mtbf,
+            drain_s=args.duration if args.stampede_mtbf else 0.0,
+            seed=args.seed)
+        print(f"-- {label} --")
+        print(format_table(
+            ["hot goodput (tps)", "provisioned (tps)", "admitted frac",
+             "worst nbr rej frac", "worst nbr p99 ratio", "shed reads",
+             "breaches", "failures"],
+            [[result.hot_goodput_tps,
+              "-" if result.hot_provisioned_tps is None
+              else result.hot_provisioned_tps,
+              result.hot_admitted_fraction,
+              result.neighbour_max_rejected_fraction,
+              result.neighbour_p99_ratio, result.shed_reads,
+              len(result.breaches), len(result.failures)]]))
+        summary = result.metrics.per_db_summary()
+        print(format_table(
+            ["db", "committed", "overload rejected", "rejected frac",
+             "baseline p99 (s)", "stampede p99 (s)"],
+            [[db, row["committed"], row["overload_rejected"],
+              row["overload_rejected_fraction"],
+              result.baseline_p99.get(db, 0.0),
+              result.stampede_p99.get(db, 0.0)]
+             for db, row in summary.items()]))
+        violations += _export_trace(result.controller, args, label=label)
+    return violations
 
 
 def _print_network(metrics) -> None:
@@ -342,6 +376,8 @@ EXPERIMENTS = [
     ("fig8-9", "recovery throughput/rejections by copy granularity"),
     ("delta", "log-structured delta recovery vs the full-copy reference"),
     ("faults", "MTBF failure soak with recovery (trace/invariant demo)"),
+    ("stampede", "noisy-neighbour stampede soak: per-tenant admission "
+                 "control, read shedding, SLA-bound rejections"),
     ("partitions", "unreliable-fabric soak: partitions, heartbeat "
                    "detection, fencing, process-pair takeover"),
     ("controllers", "controller-kill soak: multi-Paxos elections, leader "
@@ -376,6 +412,9 @@ def main(argv=None) -> int:
     parser.add_argument("--mtbf", type=float, default=8.0,
                         help="mean time between failures for the faults "
                              "experiment (simulated seconds)")
+    parser.add_argument("--stampede-mtbf", type=float, default=None,
+                        help="layer random machine failures (mean seconds "
+                             "between) on the stampede soak; off by default")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -408,6 +447,9 @@ def main(argv=None) -> int:
     if chosen in ("faults", "all"):
         print("\n== Fault soak: MTBF failures with recovery ==")
         violations += cmd_faults(args)
+    if chosen in ("stampede", "all"):
+        print("\n== Stampede soak: admission control vs noisy neighbour ==")
+        violations += cmd_stampede(args)
     if chosen in ("partitions", "all"):
         print("\n== Partition soak: unreliable fabric, detection, "
               "takeover ==")

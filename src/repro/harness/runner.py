@@ -1,6 +1,6 @@
 """Reusable experiment drivers behind the figure/table benchmarks.
 
-Seven drivers cover the paper's evaluation section plus the soaks:
+The drivers cover the paper's evaluation section plus the soaks:
 
 * :func:`run_tpcw_cluster` — multi-tenant TPC-W on one cluster under a
   chosen read option / write policy / replication factor (Figures 2-7);
@@ -11,6 +11,11 @@ Seven drivers cover the paper's evaluation section plus the soaks:
   the full-copy reference, across database sizes;
 * :func:`run_fault_soak` — MTBF-driven random machine failures with
   background recovery, the trace/invariant-checker demonstration run;
+* :func:`run_stampede_soak` — the overload soak: one tenant's traffic
+  ramps ~100x mid-run while zipf-skewed neighbours stay inside their
+  SLAs; per-tenant admission control (on or off) must throttle the hot
+  tenant to its provisioned rate and keep every neighbour's rejected
+  fraction inside its bound and its tail latency isolated;
 * :func:`run_partition_soak` — the unreliable-fabric soak: lossy links,
   random partitions, silent machine crashes noticed only by the
   heartbeat failure detector, repairs, and a staged primary crash taken
@@ -54,6 +59,8 @@ from repro.platform import DataPlatform, DatabaseSpec
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG, ZipfGenerator
 from repro.sla.model import ResourceVector, Sla
+from repro.sla.monitor import (ComplianceReport, OverloadMonitor, SlaBreach,
+                               SlaMonitor)
 from repro.sla.placement import DatabaseLoad, MachineBin, first_fit
 from repro.sla.optimal import optimal_machine_count
 from repro.sla.profiler import estimate_requirements
@@ -463,6 +470,230 @@ def run_fault_soak(
         rejections=metrics.total_rejected(),
         throughput_tps=metrics.throughput(duration_s),
         recovery_records=recovery.records,
+        metrics=metrics,
+        controller=controller,
+    )
+
+
+@dataclass
+class StampedeResult:
+    """Outcome of one noisy-neighbour stampede soak."""
+
+    sim_seconds: float
+    admission: bool
+    hot_db: str
+    ramp_at_s: float
+    #: Hot tenant's provisioned admission rate (tps); None with
+    #: admission off.
+    hot_provisioned_tps: Optional[float]
+    #: Hot tenant's committed rate over the post-ramp window.
+    hot_goodput_tps: float
+    #: Fraction of the hot tenant's post-ramp transactions that were
+    #: admitted (finished without an overload rejection).
+    hot_admitted_fraction: float
+    #: Per-database outcome deltas over the post-ramp window.
+    post_ramp: Dict[str, Dict[str, float]]
+    #: Committed-transaction p99 before / after the ramp, per database.
+    baseline_p99: Dict[str, float]
+    stampede_p99: Dict[str, float]
+    #: Worst neighbour post-ramp p99 relative to its own baseline p99
+    #: (1.0 when no neighbour committed in both windows).
+    neighbour_p99_ratio: float
+    #: Worst neighbour post-ramp admission-rejected fraction.
+    neighbour_max_rejected_fraction: float
+    shed_reads: int
+    breaches: List[SlaBreach]
+    monitor_windows: int
+    sla_reports: List[ComplianceReport]
+    failures: List[FailureEvent]
+    recovery_records: List[RecoveryRecord]
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def run_stampede_soak(
+    admission: bool = True,
+    machines: int = 4,
+    n_databases: int = 6,
+    replicas: int = 2,
+    keys_per_db: int = 40,
+    clients_per_db: int = 2,
+    hot_clients: int = 60,
+    duration_s: float = 40.0,
+    ramp_at_s: float = 15.0,
+    drain_s: float = 0.0,
+    think_time_s: float = 0.5,
+    hot_think_time_s: float = 0.02,
+    sla_tps: float = 4.0,
+    max_rejected_fraction: float = 0.05,
+    monitor_window_s: float = 1.0,
+    mtbf_s: Optional[float] = None,
+    recovery_threads: int = 2,
+    min_live_machines: int = 3,
+    copy_bytes_factor: float = 200.0,
+    write_policy: WritePolicy = WritePolicy.CONSERVATIVE,
+    seed: int = 3,
+) -> StampedeResult:
+    """The overload soak: one tenant stampedes, neighbours keep SLAs.
+
+    Every database declares the same :class:`Sla` (throughput floor
+    ``sla_tps``, rejection ceiling ``max_rejected_fraction``).
+    Neighbours offer zipf-skewed steady load below their floors; at
+    ``ramp_at_s`` the hot tenant (``kv0``) adds ``hot_clients``
+    low-think-time clients — roughly a 100x offered-load ramp at the
+    defaults. With ``admission=True`` the per-tenant token buckets must
+    throttle the hot tenant to its provisioned rate while neighbours
+    stay inside their rejection bounds and their tail latency holds;
+    with ``admission=False`` the same schedule records the
+    noisy-neighbour damage as the contrast. An :class:`OverloadMonitor`
+    emits the per-window ``sla_window``/``sla_breach`` events the two
+    overload invariant rules audit. ``mtbf_s`` optionally layers random
+    machine failures (with background recovery) on top; failures stop
+    at ``duration_s`` and the run drains ``drain_s`` more seconds.
+    """
+    sim = Simulator()
+    config = ClusterConfig(write_policy=write_policy,
+                           replication_factor=replicas,
+                           recovery_threads=recovery_threads,
+                           lock_wait_timeout_s=2.0,
+                           trace_capacity=262144,
+                           admission_control=admission)
+    config.machine.copy_bytes_factor = copy_bytes_factor
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    hot_db = "kv0"
+    sla = Sla(min_throughput_tps=sla_tps,
+              max_rejected_fraction=max_rejected_fraction)
+    # Zipf-skewed neighbour think times: every neighbour offers less
+    # than the hot tenant's baseline, some far less.
+    skew_rng = SeededRNG(seed).fork("stampede-skew")
+    skew = ZipfGenerator(64, 1.1, skew_rng)
+    workloads = []
+    think_times = []
+    for i in range(n_databases):
+        db = f"kv{i}"
+        controller.create_database(db, KV_DDL, replicas=replicas, sla=sla)
+        controller.bulk_load(db, "kv", [(k, 0) for k in range(keys_per_db)])
+        workloads.append(KeyValueWorkload(controller, db_name=db,
+                                          keys=keys_per_db, seed=seed + i))
+        think_times.append(think_time_s if i == 0 else
+                           skew.sample_in_range(think_time_s,
+                                                4.0 * think_time_s))
+    recovery = None
+    injector = None
+    if mtbf_s is not None:
+        recovery = RecoveryManager(controller,
+                                   granularity=CopyGranularity.TABLE,
+                                   threads=recovery_threads,
+                                   retry_delay_s=1.0)
+        recovery.start()
+        injector = FailureInjector(controller, mtbf_s=mtbf_s, seed=seed,
+                                   min_live_machines=min_live_machines)
+        injector.start()
+    monitor = OverloadMonitor(controller, window_s=monitor_window_s)
+    monitor.start()
+
+    def staggered(client, delay):
+        # Desynchronise client start times so the t=0 thundering herd
+        # does not pollute the baseline latency window.
+        yield sim.timeout(delay)
+        result = yield from client
+        return result
+
+    stats = [KvStats() for _ in range(n_databases * clients_per_db)]
+    idx = 0
+    for i, workload in enumerate(workloads):
+        for cid in range(clients_per_db):
+            proc = sim.process(staggered(workload.client(
+                cid, transactions=10 ** 9, think_time_s=think_times[i],
+                stats=stats[idx]), skew_rng.uniform(0.0, think_time_s)))
+            proc.defused = True
+            idx += 1
+
+    metrics = controller.metrics
+    baseline_counts: Dict[str, Tuple[int, int, int, int]] = {}
+    latency_marks: Dict[str, int] = {}
+    hot_stats = [KvStats() for _ in range(hot_clients)]
+
+    def stampede():
+        yield sim.timeout(ramp_at_s)
+        for db, counters in metrics.per_db.items():
+            baseline_counts[db] = (counters.committed, counters.rejected,
+                                   counters.overload_rejected,
+                                   counters.total_finished)
+        for db, histogram in metrics.db_latencies.items():
+            latency_marks[db] = histogram.count
+        for cid in range(hot_clients):
+            proc = sim.process(workloads[0].client(
+                100 + cid, transactions=10 ** 9,
+                think_time_s=hot_think_time_s, stats=hot_stats[cid]))
+            proc.defused = True
+
+    ramp = sim.process(stampede(), name="stampede-ramp")
+    ramp.defused = True
+
+    sim.run(until=duration_s)
+    if injector is not None:
+        injector.stop()
+    if drain_s > 0:
+        sim.run(until=duration_s + drain_s)
+    monitor.stop()
+    total = duration_s + drain_s
+
+    post_ramp: Dict[str, Dict[str, float]] = {}
+    for db in sorted(metrics.per_db):
+        counters = metrics.per_db[db]
+        base = baseline_counts.get(db, (0, 0, 0, 0))
+        finished = counters.total_finished - base[3]
+        overload = counters.overload_rejected - base[2]
+        post_ramp[db] = {
+            "committed": counters.committed - base[0],
+            "rejected": counters.rejected - base[1],
+            "overload_rejected": overload,
+            "finished": finished,
+            "overload_rejected_fraction": (overload / finished
+                                           if finished else 0.0),
+        }
+    baseline_p99: Dict[str, float] = {}
+    stampede_p99: Dict[str, float] = {}
+    ratios: List[float] = []
+    for db, histogram in sorted(metrics.db_latencies.items()):
+        mark = latency_marks.get(db, 0)
+        baseline_p99[db] = histogram.window_percentile(99.0, 0, mark)
+        stampede_p99[db] = histogram.window_percentile(99.0, mark)
+        if (db != hot_db and mark > 0 and histogram.count > mark
+                and baseline_p99[db] > 0):
+            ratios.append(stampede_p99[db] / baseline_p99[db])
+
+    hot_window = max(total - ramp_at_s, 1e-9)
+    hot = post_ramp.get(hot_db, {})
+    hot_finished = hot.get("finished", 0)
+    neighbours = [post_ramp[db] for db in post_ramp if db != hot_db]
+    slas = {db: s for db, s in controller.slas.items() if s is not None}
+    return StampedeResult(
+        sim_seconds=total,
+        admission=admission,
+        hot_db=hot_db,
+        ramp_at_s=ramp_at_s,
+        hot_provisioned_tps=(controller.admission.provisioned_rate(hot_db)
+                             if controller.admission is not None else None),
+        hot_goodput_tps=hot.get("committed", 0) / hot_window,
+        hot_admitted_fraction=(1.0 - hot.get("overload_rejected", 0)
+                               / hot_finished if hot_finished else 1.0),
+        post_ramp=post_ramp,
+        baseline_p99=baseline_p99,
+        stampede_p99=stampede_p99,
+        neighbour_p99_ratio=max(ratios) if ratios else 1.0,
+        neighbour_max_rejected_fraction=max(
+            (n["overload_rejected_fraction"] for n in neighbours),
+            default=0.0),
+        shed_reads=len(controller.trace.events(kind="shed_read")),
+        breaches=list(monitor.breaches),
+        monitor_windows=monitor.windows,
+        sla_reports=SlaMonitor(slas).check(metrics, total),
+        failures=list(injector.events) if injector is not None else [],
+        recovery_records=list(recovery.records)
+        if recovery is not None else [],
         metrics=metrics,
         controller=controller,
     )

@@ -193,7 +193,7 @@ class ColoController:
 
     def place_database(self, db: str, ddl: List[str],
                        requirement: ResourceVector,
-                       replicas: int) -> ClusterController:
+                       replicas: int, sla=None) -> ClusterController:
         """Choose machines with First-Fit (Algorithm 2) and create the db.
 
         Tries each cluster in order; extends a cluster from the free pool
@@ -210,7 +210,7 @@ class ColoController:
             except SlaViolationError as exc:
                 last_error = exc
                 continue
-            cluster.create_database(db, ddl, machines=machines)
+            cluster.create_database(db, ddl, machines=machines, sla=sla)
             for machine_name in machines:
                 self._bins[machine_name].place(
                     DatabaseLoad(db, requirement, replicas=1))

@@ -88,12 +88,12 @@ class DataPlatform:
         colos.sort(key=lambda c: -c.free_pool)
         primary = colos[0]
         primary.place_database(spec.name, spec.ddl, requirement,
-                               spec.replicas)
+                               spec.replicas, sla=spec.sla)
         standby_name = None
         if spec.disaster_recovery and len(colos) > 1:
             standby = colos[1]
             standby.place_database(spec.name, spec.ddl, requirement,
-                                   max(1, spec.replicas - 1))
+                                   max(1, spec.replicas - 1), sla=spec.sla)
             standby_name = standby.name
         # The DDL and requirement ride along so the system controller
         # can re-protect the database (fresh standby from snapshot +

@@ -30,6 +30,7 @@ class ClientStats:
     deadlocks: int = 0
     rejections: int = 0
     other_aborts: int = 0
+    backoffs: int = 0          # retryable rejections waited out with jitter
     by_interaction: Dict[str, int] = field(default_factory=dict)
 
 
@@ -38,7 +39,8 @@ class TpcwClient:
 
     def __init__(self, controller: ClusterController, db_name: str,
                  data: TpcwDatabase, mix: Mix, client_id: int,
-                 seed: int = 0, think_time_s: float = 0.05):
+                 seed: int = 0, think_time_s: float = 0.05,
+                 backoff_s: float = 0.5):
         self.controller = controller
         self.db_name = db_name
         self.data = data
@@ -46,6 +48,10 @@ class TpcwClient:
         self.client_id = client_id
         self.rng = SeededRNG(seed).fork(f"client-{db_name}-{client_id}")
         self.think_time_s = think_time_s
+        # Base wait after a retryable rejection (admission control's
+        # "try again later"); jittered to avoid a synchronised retry
+        # stampede. Zero disables the backoff.
+        self.backoff_s = backoff_s
         self.stats = ClientStats()
 
     def run(self, until: Optional[float] = None,
@@ -72,6 +78,14 @@ class TpcwClient:
                 yield from getattr(session, name)()
             except TransactionAborted as exc:
                 self._classify(exc)
+                if (self.backoff_s > 0
+                        and getattr(exc.cause, "retryable", False)):
+                    # The platform said "over provisioned rate, retry
+                    # later": back off with jitter instead of hammering
+                    # the admission gate at full think-time speed.
+                    self.stats.backoffs += 1
+                    yield sim.timeout(self.backoff_s
+                                      * (0.5 + self.rng.random()))
             else:
                 self.stats.completed += 1
                 self.stats.by_interaction[name] = (
