@@ -144,7 +144,17 @@ class TimeSeries:
 class MetricsCollector:
     """Cluster-wide metrics: per-database counters plus time series."""
 
-    def __init__(self, window: float = 10.0):
+    def __init__(self, window: float = 10.0, resident_tenants: int = 0):
+        # Cap on tenants with a fully-resident latency histogram (the
+        # one per-tenant structure that grows with traffic — it keeps
+        # every sample). Past the cap the least-recently-committing
+        # tenant's histogram is summarised (counts + percentile
+        # snapshot) and its samples dropped. 0 = unbounded, the
+        # replay-identical default. Counters stay exact and resident
+        # either way — they are a handful of ints per tenant.
+        self.resident_tenants = resident_tenants
+        self.db_latency_summaries: Dict[str, Dict[str, float]] = {}
+        self.db_latency_evictions = 0
         self.per_db: Dict[str, DbCounters] = {}
         self.commits_over_time = TimeSeries(window)
         self.rejections_over_time = TimeSeries(window)
@@ -188,7 +198,24 @@ class MetricsCollector:
         histogram = self.db_latencies.get(db)
         if histogram is None:
             histogram = self.db_latencies[db] = LatencyHistogram()
+        elif self.resident_tenants > 0:
+            # Refresh recency (dict order doubles as the LRU order).
+            del self.db_latencies[db]
+            self.db_latencies[db] = histogram
         histogram.observe(response_time)
+        if 0 < self.resident_tenants < len(self.db_latencies):
+            self._evict_cold_histogram()
+
+    def _evict_cold_histogram(self) -> None:
+        """Summarise and drop the least-recently-committing tenant's
+        latency histogram. The snapshot (count/mean/percentiles at
+        eviction time) stays addressable through
+        :meth:`per_db_summary`; if the tenant heats up again a fresh
+        histogram starts from its next commit."""
+        cold_db = next(iter(self.db_latencies))
+        histogram = self.db_latencies.pop(cold_db)
+        self.db_latency_summaries[cold_db] = histogram.summary()
+        self.db_latency_evictions += 1
 
     def record_deadlock(self, db: str, when: float) -> None:
         self.db(db).deadlocks += 1
@@ -248,8 +275,10 @@ class MetricsCollector:
                 "rejected_fraction": counters.rejected_fraction(),
                 "overload_rejected_fraction":
                     counters.overload_rejected_fraction(),
-                "latency": histogram.summary() if histogram is not None
-                           else None,
+                "latency": (histogram.summary() if histogram is not None
+                            else self.db_latency_summaries.get(db)),
+                "latency_summarised": (histogram is None
+                                       and db in self.db_latency_summaries),
             }
         return summary
 

@@ -48,6 +48,12 @@ class AdmissionConfig:
     # replica instead (0 disables the watermark check entirely).
     shed_inflight_watermark: int = 8
     shed_reads: bool = True
+    # Cap on resident token buckets. Past it, the least-recently-admitted
+    # tenant whose bucket has refilled to full is paged out (a paged-out
+    # bucket re-materialises full on next touch — exactly the state it
+    # was dropped in, so eviction never changes an admit decision).
+    # 0 = unbounded.
+    max_resident_buckets: int = 0
 
 
 class TokenBucket:
@@ -90,13 +96,31 @@ class TokenBucket:
 
 
 class AdmissionController:
-    """Per-database token buckets, provisioned from each tenant's SLA."""
+    """Per-database token buckets, provisioned from each tenant's SLA.
 
-    def __init__(self, config: AdmissionConfig, clock: Callable[[], float]):
+    Buckets materialise lazily: nothing is allocated for a tenant until
+    its first transaction. Because a fresh bucket starts full and refill
+    caps at capacity, provisioning at first touch admits exactly what
+    provisioning at creation time would have — the lazy path is
+    behaviourally identical, it just skips the allocation for tenants
+    that never show up. ``sla_lookup`` (when given) resolves a tenant's
+    current SLA at materialisation time; :meth:`invalidate` drops a
+    bucket after an SLA change so the next touch re-provisions.
+    """
+
+    def __init__(self, config: AdmissionConfig, clock: Callable[[], float],
+                 sla_lookup: Optional[Callable[[str], Optional["Sla"]]] = None):
         self.config = config
         self.clock = clock
+        self.sla_lookup = sla_lookup
         self.buckets: Dict[str, TokenBucket] = {}
         self.rates: Dict[str, float] = {}
+        self.evicted_buckets = 0  # stat: buckets paged out by the cap
+
+    def _rate_for(self, sla: Optional["Sla"]) -> float:
+        if sla is not None and sla.min_throughput_tps > 0:
+            return sla.min_throughput_tps * self.config.headroom
+        return self.config.default_rate_tps
 
     def provision(self, db: str, sla: Optional["Sla"]) -> None:
         """(Re)create ``db``'s bucket from its SLA.
@@ -106,10 +130,7 @@ class AdmissionController:
         headroom factor and the capacity is ``burst_s`` seconds of it
         (at least one whole token, so tiny floors still admit work).
         """
-        if sla is not None and sla.min_throughput_tps > 0:
-            rate = sla.min_throughput_tps * self.config.headroom
-        else:
-            rate = self.config.default_rate_tps
+        rate = self._rate_for(sla)
         capacity = max(1.0, rate * self.config.burst_s)
         self.rates[db] = rate
         self.buckets[db] = TokenBucket(rate, capacity, now=self.clock())
@@ -118,22 +139,68 @@ class AdmissionController:
         self.buckets.pop(db, None)
         self.rates.pop(db, None)
 
+    def invalidate(self, db: str) -> None:
+        """Drop ``db``'s bucket after an SLA change; the next admit
+        re-provisions from ``sla_lookup``'s current answer."""
+        self.forget(db)
+
     def provisioned_rate(self, db: str) -> float:
-        """The refill rate ``db`` was provisioned with (tps)."""
-        return self.rates.get(db, self.config.default_rate_tps)
+        """The refill rate ``db``'s transactions are admitted at (tps).
+
+        For a tenant whose bucket has not materialised (or was paged
+        out) this is computed from the current SLA without allocating.
+        """
+        rate = self.rates.get(db)
+        if rate is not None:
+            return rate
+        sla = self.sla_lookup(db) if self.sla_lookup is not None else None
+        return self._rate_for(sla)
 
     def admit(self, db: str) -> bool:
         """Spend one token for a new transaction of ``db``.
 
-        A database no one provisioned (created before admission was
-        enabled, or mid-takeover) is provisioned on first sight with
-        the default rate rather than rejected.
+        A database with no resident bucket — never touched, paged out,
+        created before admission was enabled, or mid-takeover — is
+        provisioned on first sight from its current SLA (default rate
+        when there is none) rather than rejected.
         """
         bucket = self.buckets.get(db)
         if bucket is None:
-            self.provision(db, None)
+            rate = self.rates.get(db)
+            if rate is None:
+                sla = (self.sla_lookup(db)
+                       if self.sla_lookup is not None else None)
+                self.provision(db, sla)
+            else:
+                # Paged-out bucket: rebuild full at the remembered rate.
+                capacity = max(1.0, rate * self.config.burst_s)
+                self.buckets[db] = TokenBucket(rate, capacity,
+                                               now=self.clock())
             bucket = self.buckets[db]
-        return bucket.try_acquire(self.clock())
+        elif self.config.max_resident_buckets > 0:
+            # Move to the back of the eviction order (dict order = LRU).
+            del self.buckets[db]
+            self.buckets[db] = bucket
+        decision = bucket.try_acquire(self.clock())
+        if 0 < self.config.max_resident_buckets < len(self.buckets):
+            self._evict_cold()
+        return decision
+
+    def _evict_cold(self) -> None:
+        """Page out the least-recently-admitted *full* bucket.
+
+        Only a bucket that has refilled to capacity may be dropped: it
+        re-materialises in exactly that state on next touch, so the cap
+        can never flip an admit decision. If every resident bucket is
+        below capacity (all genuinely hot), nothing is evicted — the
+        resident set is then bounded by the hot set, not the cap.
+        """
+        now = self.clock()
+        for db, bucket in self.buckets.items():
+            if bucket.tokens_at(now) >= bucket.capacity:
+                del self.buckets[db]  # rate stays: rebuild is exact
+                self.evicted_buckets += 1
+                return
 
 
 def least_loaded(replicas: Sequence[str],

@@ -118,3 +118,28 @@ class ClusterConfig:
     # and ``consensus_enabled``).
     admission_control: bool = False
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    # Tenant-scale fast path (Issue 10). ``lazy_tenant_state`` defers
+    # per-tenant controller state — the retained delta log, the
+    # replica-LSN map, and the admission bucket — to first touch, so a
+    # mostly-cold tenant population costs a replica list and nothing
+    # else. On by default: first-touch materialisation is constructed
+    # to produce bit-identical traces to the eager path (the eager
+    # fallback is kept as the differential reference for the
+    # replay-identity guard).
+    lazy_tenant_state: bool = True
+    # Defer per-replica engine CREATE TABLE work to the first statement
+    # (or bulk load) touching the database. This changes engine txn-id
+    # interleaving relative to the seed, so it is opt-in for
+    # tenant-scale experiments; default off preserves replay identity.
+    lazy_engine_ddl: bool = False
+    # Cap on tenants whose delta logs keep their retained entries
+    # resident. Past the cap, the least-recently-committed tenant's log
+    # is compacted in place (entries dropped, LSN position kept, so
+    # ``covers()`` stays truthful and delta catch-up falls back to a
+    # full copy exactly as if the tail had truncated). 0 = unbounded.
+    max_resident_tenant_logs: int = 0
+    # Cap on tenants with fully-resident latency histograms in the
+    # metrics collector; colder tenants are summarised on eviction
+    # (counts and percentile snapshot kept, raw samples dropped).
+    # 0 = unbounded.
+    metrics_resident_tenants: int = 0

@@ -169,11 +169,16 @@ class Connection:
             self.controller._rollback(self), name=f"conn:{self.db}:rollback")
 
     def close(self) -> None:
-        if (self.txn is not None and not self.txn.finished
-                and self.controller.primary_alive):
-            # With a dead primary there is nobody to send the aborts;
-            # the backup's take-over presumed-aborts undecided branches.
-            self.controller._abort_everywhere(self, self.txn)
+        if self.txn is not None and not self.txn.finished:
+            if self.controller.primary_alive:
+                self.controller._abort_everywhere(self, self.txn)
+            else:
+                # With a dead primary there is nobody to send the
+                # aborts; the backup's take-over presumed-aborts
+                # undecided branches. Coordinator-side bookkeeping
+                # (the read router's per-txn choice, the open-writer
+                # gauge) must still be released here, or it leaks.
+                self.controller._finish(self, self.txn)
         self.closed = True
 
 
@@ -188,7 +193,8 @@ class ClusterController:
         self.machines: Dict[str, Machine] = {}
         self.replica_map = ReplicaMap()
         self.router = ReadRouter(self.config.read_option)
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(
+            resident_tenants=self.config.metrics_resident_tenants)
         self.fabric = NetworkFabric(sim, self.config.network,
                                     metrics=self.metrics)
         self.trace = Tracer(capacity=self.config.trace_capacity,
@@ -220,7 +226,8 @@ class ClusterController:
         # tests one attribute and takes the pre-admission course.
         self.admission: Optional[AdmissionController] = (
             AdmissionController(self.config.admission,
-                                clock=lambda: self.sim.now)
+                                clock=lambda: self.sim.now,
+                                sla_lookup=self.slas.get)
             if self.config.admission_control else None)
         # The log-structured replication stream: one LSN-addressed
         # retained tail of committed write statements per database, fed
@@ -235,6 +242,14 @@ class ClusterController:
         # captured at declaration, so a machine that comes back with its
         # data intact can catch up from its last durable LSN.
         self._stale_holdings: Dict[str, Dict[str, int]] = {}
+        # Databases created with deferred engine DDL (lazy_engine_ddl):
+        # no engine-side state exists until the first statement or bulk
+        # load touches them (see ensure_materialised).
+        self._cold_dbs: Set[str] = set()
+        # Recency order of tenants whose delta logs hold resident
+        # entries, for max_resident_tenant_logs paging (dict order =
+        # LRU; values unused).
+        self._log_lru: "OrderedDict[str, None]" = OrderedDict()
         # db -> ids of open transactions that have written to it; the
         # delta handoff drains until this empties. Tracked as a set (not
         # a count) so a take-over can resolve transactions whose
@@ -333,39 +348,46 @@ class ClusterController:
             count = replicas or self.config.replication_factor
             # Spread primaries (the first replica serves all Option-1
             # reads) as well as total replica counts, so read load is
-            # balanced across the cluster under every read option.
-            primary_counts = {name: 0 for name in self.machines}
-            hosted_counts = {name: 0 for name in self.machines}
-            for db_name in self.replica_map.databases():
-                existing = self.replica_map.replicas(db_name)
-                if existing:
-                    primary_counts[existing[0]] = (
-                        primary_counts.get(existing[0], 0) + 1)
-                for replica in existing:
-                    hosted_counts[replica] = hosted_counts.get(replica, 0) + 1
+            # balanced across the cluster under every read option. The
+            # replica map maintains both counts incrementally, so one
+            # creation costs O(live machines) — not a rescan of every
+            # hosted database (O(N) per create, O(N²) for N creates).
             live = self.live_machines()
             if len(live) < count:
                 raise NoReplicaError(
                     f"need {count} machines, have {len(live)}")
-            primary = min(live, key=lambda m: (primary_counts[m.name],
-                                               hosted_counts[m.name]))
+            rm = self.replica_map
+            primary = min(live, key=lambda m: (rm.primary_count(m.name),
+                                               rm.hosted_count(m.name)))
             rest = sorted((m for m in live if m.name != primary.name),
-                          key=lambda m: (hosted_counts[m.name],
-                                         primary_counts[m.name]))
+                          key=lambda m: (rm.hosted_count(m.name),
+                                         rm.primary_count(m.name)))
             machines = [primary.name] + [m.name for m in rest[:count - 1]]
-        for name in machines:
-            engine = self.machines[name].engine
-            engine.create_database(db)
-            setup_txn = engine.begin()
-            for statement in ddl:
-                engine.execute_sync(setup_txn, db, statement)
-            engine.commit(setup_txn)
+        if self.config.lazy_engine_ddl:
+            # Engine-side creation (catalog + DDL on every replica) is
+            # deferred to the first touch; a cold tenant costs only its
+            # replica-map entry and DDL text.
+            self._cold_dbs.add(db)
+        else:
+            for name in machines:
+                engine = self.machines[name].engine
+                engine.create_database(db)
+                setup_txn = engine.begin()
+                for statement in ddl:
+                    engine.execute_sync(setup_txn, db, statement)
+                engine.commit(setup_txn)
+            self.schemas[db] = (
+                self.machines[machines[0]].engine.database(db).schema)
         self.replica_map.add_database(db, list(machines))
-        self.schemas[db] = self.machines[machines[0]].engine.database(db).schema
         self.ddl[db] = list(ddl)
-        self.db_logs[db] = RetainedTail(
-            retain=self.config.replication_log_retain)
-        self.replica_lsns[db] = {name: 0 for name in machines}
+        if not self.config.lazy_tenant_state:
+            # Eager reference path: per-tenant log and LSN tracking
+            # exist from creation. The lazy default materialises both
+            # on first touch in states constructed to be identical
+            # (see database_log / _replica_lsns_for).
+            self.db_logs[db] = RetainedTail(
+                retain=self.config.replication_log_retain)
+            self.replica_lsns[db] = {name: 0 for name in machines}
         self.set_sla(db, sla)
         self._propose_meta("db_create", db=db, machines=list(machines))
 
@@ -374,15 +396,29 @@ class ClusterController:
 
         Callable after creation too — the platform tier profiles a
         tenant before settling its SLA, and tests tighten buckets
-        mid-run.
+        mid-run. Tenants without an SLA hold no registry entry (every
+        reader treats a missing entry exactly like a stored ``None``,
+        and a 100k-tenant cluster of mostly SLA-less databases should
+        not pay a registry row each).
         """
-        self.slas[db] = sla
+        if sla is None:
+            self.slas.pop(db, None)
+        else:
+            self.slas[db] = sla
         if self.admission is not None:
-            self.admission.provision(db, sla)
+            if self.config.lazy_tenant_state:
+                # Drop any resident bucket; the next transaction
+                # re-provisions from the registry via sla_lookup. A
+                # fresh bucket starts full, which is exactly the state
+                # an eager (re)provision would have left it in.
+                self.admission.invalidate(db)
+            else:
+                self.admission.provision(db, sla)
 
     def bulk_load(self, db: str, table: str, rows: Sequence[Sequence[Any]]) -> None:
         """Load identical rows into every replica (setup phase)."""
-        for name in self.replica_map.replicas(db):
+        self.ensure_materialised(db)
+        for name in self.replica_map.replicas_view(db):
             self.machines[name].engine.load_table_rows(db, table,
                                                        [tuple(r) for r in rows])
 
@@ -393,14 +429,17 @@ class ClusterController:
         schema, and discards in-flight copy state. A no-op for unknown
         databases so teardown paths can call it unconditionally.
         """
-        if db not in self.replica_map.databases():
+        if not self.replica_map.has(db):
             return
-        for name in list(self.replica_map.replicas(db)):
-            machine = self.machines.get(name)
-            if (machine is not None and machine.alive
-                    and not machine.fenced and machine.engine.hosts(db)):
-                machine.engine.drop_database(db)
+        if db not in self._cold_dbs:
+            for name in self.replica_map.replicas(db):
+                machine = self.machines.get(name)
+                if (machine is not None and machine.alive
+                        and not machine.fenced and machine.engine.hosts(db)):
+                    machine.engine.drop_database(db)
         self.replica_map.drop_database(db)
+        self._cold_dbs.discard(db)
+        self._log_lru.pop(db, None)
         self.schemas.pop(db, None)
         self.ddl.pop(db, None)
         self.copy_states.pop(db, None)
@@ -435,6 +474,8 @@ class ClusterController:
         self.copy_states.clear()
         self.db_logs.clear()
         self.replica_lsns.clear()
+        self._cold_dbs.clear()
+        self._log_lru.clear()
         self._stale_holdings.clear()
         self._open_writers.clear()
         self.suspected.clear()
@@ -448,13 +489,79 @@ class ClusterController:
     # -- the per-database replication log ------------------------------------------------
 
     def database_log(self, db: str) -> RetainedTail:
-        """The LSN-addressed commit log of ``db`` (created on demand for
-        databases registered before this controller grew logs)."""
+        """The LSN-addressed commit log of ``db``, materialised on first
+        touch (the lazy default defers it past creation; a fresh tail
+        is exactly the state an eagerly-created one would be in before
+        its first append)."""
         log = self.db_logs.get(db)
         if log is None:
             log = RetainedTail(retain=self.config.replication_log_retain)
             self.db_logs[db] = log
         return log
+
+    def _replica_lsns_for(self, db: str) -> Dict[str, int]:
+        """``db``'s per-replica applied-LSN map, materialised on first
+        touch as every *current* replica at LSN 0 — identical to the
+        eagerly-created map, because LSN entries only ever change at
+        commits (which come through here first) and replica-set changes
+        (which delete or re-add entries on both paths alike)."""
+        lsns = self.replica_lsns.get(db)
+        if lsns is None:
+            lsns = self.replica_lsns[db] = {
+                name: 0 for name in self.replica_map.replicas_view(db)}
+        return lsns
+
+    def ensure_materialised(self, db: str) -> None:
+        """Run ``db``'s deferred engine-side creation (lazy_engine_ddl).
+
+        A cold database exists only in the replica map and the DDL
+        registry; the first statement, bulk load, or copy touching it
+        creates the catalog entry and runs the DDL on every replica.
+        """
+        if db not in self._cold_dbs:
+            return
+        self._cold_dbs.discard(db)
+        ddl = self.ddl.get(db, [])
+        replicas = self.replica_map.replicas_view(db)
+        for name in replicas:
+            machine = self.machines.get(name)
+            if machine is None or not machine.alive or machine.fenced:
+                continue
+            engine = machine.engine
+            if engine.hosts(db):
+                continue
+            engine.create_database(db)
+            setup_txn = engine.begin()
+            for statement in ddl:
+                engine.execute_sync(setup_txn, db, statement)
+            engine.commit(setup_txn)
+        if replicas and db not in self.schemas:
+            first = self.machines.get(replicas[0])
+            if first is not None and first.engine.hosts(db):
+                self.schemas[db] = first.engine.database(db).schema
+        self.trace.emit("db_materialised", db=db)
+
+    def _page_cold_logs(self, db: str) -> None:
+        """LRU bookkeeping for resident tenant logs: ``db`` just
+        appended; past ``max_resident_tenant_logs`` the coldest
+        tenant's log is compacted in place (entries dropped, LSN
+        position kept — ``covers()`` then reports the truth, namely
+        that a delta catch-up must fall back to a full copy, exactly
+        as after ordinary retention truncation)."""
+        lru = self._log_lru
+        if db in lru:
+            lru.move_to_end(db)
+        else:
+            lru[db] = None
+        cap = self.config.max_resident_tenant_logs
+        while len(lru) > cap:
+            cold_db, _ = lru.popitem(last=False)
+            log = self.db_logs.get(cold_db)
+            if log is not None:
+                dropped = log.compact()
+                if dropped:
+                    self.trace.emit("log_paged_out", db=cold_db,
+                                    dropped=dropped)
 
     def open_writers(self, db: str) -> int:
         """Open transactions that have written to ``db`` (drain gauge)."""
@@ -487,8 +594,14 @@ class ClusterController:
         apply finishes) can never contain a commit the log missed."""
         if not txn.write_log:
             return None
+        # First write commit = the tenant's first touch: materialise
+        # its LSN tracking before the log grows, so the map captures
+        # the replica set exactly as an eager creation would have.
+        self._replica_lsns_for(txn.db)
         lsn = self.database_log(txn.db).append(
             (txn.txn_id, list(txn.write_log)))
+        if self.config.max_resident_tenant_logs > 0:
+            self._page_cold_logs(txn.db)
         for hook in self.commit_hooks:
             hook(txn.db, txn.txn_id, list(txn.write_log))
         return lsn
@@ -513,7 +626,7 @@ class ClusterController:
                                lsn: int) -> None:
         """A recovery handoff left ``machine`` consistent through
         ``lsn``; start tracking its contiguous progress from there."""
-        self.replica_lsns.setdefault(db, {})[machine] = lsn
+        self._replica_lsns_for(db)[machine] = lsn
         self._propose_meta("replica_add", db=db, machine=machine)
 
     def delta_replay_and_handoff(self, db: str, target: Machine,
@@ -571,7 +684,7 @@ class ClusterController:
         if self.consensus is not None:
             # A non-leader controller replica redirects the client.
             self.consensus.check_leader()
-        self.replica_map.replicas(db)  # raises if unknown
+        self.replica_map.replicas_view(db)  # raises if unknown; no copy
         return Connection(self, db)
 
     # -- statement classification ----------------------------------------------------
@@ -919,8 +1032,8 @@ class ClusterController:
         """Is ``name`` still in ``db``'s replica set? False once the
         failure detector declared it dead mid-operation (its in-flight
         branch outcomes are moot — survivors carry the transaction)."""
-        return (db in self.replica_map.databases()
-                and name in self.replica_map.replicas(db))
+        return (self.replica_map.has(db)
+                and name in self.replica_map.replicas_view(db))
 
     def _live_targets(self, names: Sequence[str]) -> List[str]:
         """Filter to machines that exist, are alive, and are not fenced."""
@@ -967,6 +1080,10 @@ class ClusterController:
             raise TransactionAborted(
                 f"transaction aborted: deferred write failure ({exc})",
                 cause=exc)
+        if self._cold_dbs:
+            # Deferred engine DDL (lazy_engine_ddl): first admitted
+            # statement pays the tenant's engine-side creation.
+            self.ensure_materialised(conn.db)
         kind, table = self._classify(sql)
         try:
             if kind == "read":
@@ -1657,10 +1774,17 @@ class ClusterController:
         # can catch up from these LSNs instead of being wiped.
         holdings: Dict[str, int] = {}
         for db in self.replica_map.hosted_on(name):
-            lsn = self.replica_lsns.get(db, {}).get(name)
+            lsns = self.replica_lsns.get(db)
+            if lsns is None:
+                # Lazily-deferred LSN map: the database never committed
+                # a write, so every mapped replica stands at LSN 0 —
+                # the state the eager path records at creation.
+                lsn = 0
+            else:
+                lsn = lsns.get(name)
+                lsns.pop(name, None)
             if lsn is not None:
                 holdings[db] = lsn
-            self.replica_lsns.get(db, {}).pop(name, None)
         if holdings:
             self._stale_holdings[name] = holdings
         affected = self.replica_map.remove_machine(name)
@@ -1693,12 +1817,16 @@ class ClusterController:
         eligible: Dict[str, int] = {}
         if self.config.delta_recovery and machine.alive:
             for db, lsn in holdings.items():
-                log = self.db_logs.get(db)
-                if (log is not None and log.covers(lsn)
+                if not self.replica_map.has(db):
+                    continue
+                # database_log (not db_logs.get): a lazily-deferred log
+                # must count as covering its whole (empty) history,
+                # exactly like the fresh tail the eager path created.
+                log = self.database_log(db)
+                if (log.covers(lsn)
                         and machine.engine.hosts(db)
                         and db not in self.copy_states
-                        and db in self.replica_map.databases()
-                        and name not in self.replica_map.replicas(db)
+                        and name not in self.replica_map.replicas_view(db)
                         and (self.replica_map.replica_count(db)
                              < self.config.replication_factor)):
                     eligible[db] = lsn
@@ -1758,8 +1886,9 @@ class ClusterController:
                     applied, reject_s, replayed = (
                         yield from self.delta_replay_and_handoff(
                             db, machine, from_lsn, state, skip_txns=skip))
-                    if (db in self.replica_map.databases()
-                            and name not in self.replica_map.replicas(db)):
+                    if (self.replica_map.has(db)
+                            and name not in
+                            self.replica_map.replicas_view(db)):
                         self.replica_map.add_replica(db, name)
                         self.note_replica_caught_up(db, name, applied)
                     self.trace.emit("machine_catchup_done", db=db,
@@ -1774,7 +1903,7 @@ class ClusterController:
                                 machine=name, error=type(exc).__name__)
                 if machine.alive and not machine.fenced \
                         and machine.engine.hosts(db) \
-                        and name not in self.replica_map.replicas(db):
+                        and name not in self.replica_map.replicas_view(db):
                     machine.engine.drop_database(db)
                 if self.recovery is not None:
                     self.recovery.schedule_databases([db])

@@ -85,10 +85,10 @@ class MigrationManager:
             return None
         loads = sorted(
             machines,
-            key=lambda m: len(self.controller.replica_map.hosted_on(m.name)))
+            key=lambda m: self.controller.replica_map.hosted_count(m.name))
         least, most = loads[0], loads[-1]
-        most_load = len(self.controller.replica_map.hosted_on(most.name))
-        least_load = len(self.controller.replica_map.hosted_on(least.name))
+        most_load = self.controller.replica_map.hosted_count(most.name)
+        least_load = self.controller.replica_map.hosted_count(least.name)
         if most_load - least_load <= 1:
             return None
         for db in self.controller.replica_map.hosted_on(most.name):
@@ -123,6 +123,7 @@ class MigrationManager:
         source = controller.machines[source_name]
         target = controller.machines[target_name]
         started = self.sim.now
+        controller.ensure_materialised(db)
 
         # Phase 1: build the new replica (identical to recovery's copy).
         target.engine.create_database(db)

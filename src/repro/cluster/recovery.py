@@ -137,7 +137,7 @@ class RecoveryManager:
                 # suppressed because this copy was in progress), go
                 # again until the factor is met.
                 want = self.controller.config.replication_factor
-                if (db in self.controller.replica_map.databases()
+                if (self.controller.replica_map.has(db)
                         and self.controller.replica_map.replica_count(db)
                         < want):
                     self.schedule_databases([db])
@@ -165,7 +165,7 @@ class RecoveryManager:
         if not candidates:
             raise NoReplicaError(f"no machine available to host {db!r}")
         candidates.sort(
-            key=lambda m: len(self.controller.replica_map.hosted_on(m.name)))
+            key=lambda m: self.controller.replica_map.hosted_count(m.name))
         return candidates[0].name
 
     # -- the copy pipeline -------------------------------------------------------------
@@ -191,6 +191,9 @@ class RecoveryManager:
                                   reason="already-replicated")
             return
         source_name = replicas[-1]  # spare the Option-1 primary
+        # A cold tenant (deferred engine DDL) must exist engine-side
+        # before it can be dumped from the source.
+        controller.ensure_materialised(db)
         target_name = self._choose_target(db)
         # Replicate the placement decision through the controller log
         # (consensus mode) so every replica knows where the new copy of

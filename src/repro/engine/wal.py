@@ -168,6 +168,29 @@ class RetainedTail:
     def min_pinned_lsn(self) -> Optional[int]:
         return min((p.lsn for p in self._pins), default=None)
 
+    def compact(self) -> int:
+        """Drop every unpinned entry, keeping the LSN position.
+
+        Used to page out a cold tenant's delta log: the tail object
+        survives (so ``last_lsn`` keeps counting from where it was and
+        ``covers()`` stays truthful — a later delta catch-up correctly
+        falls back to a full copy), but its retained payloads are
+        released. Pinned suffixes are kept so an in-flight snapshot
+        copy can still replay forward. Returns the number of entries
+        dropped.
+        """
+        floor = self.last_lsn + 1
+        pinned = self.min_pinned_lsn()
+        if pinned is not None:
+            floor = min(floor, pinned + 1)
+        if floor <= self._start_lsn:
+            return 0
+        drop = floor - self._start_lsn
+        del self._entries[:drop]
+        self._start_lsn = floor
+        self.truncated += drop
+        return drop
+
     def _truncate(self) -> None:
         if self.retain is None:
             return

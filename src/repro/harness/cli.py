@@ -27,7 +27,8 @@ from repro.cluster import CopyGranularity, ReadOption, WritePolicy
 from repro.harness.reporting import format_table
 from repro.harness.runner import (run_commit_latency_bench,
                                   run_controller_soak, run_dr_soak,
-                                  run_fault_soak, run_partition_soak,
+                                  run_fault_soak, run_many_tenants,
+                                  run_partition_soak,
                                   run_recovery_experiment, run_sla_placement,
                                   run_stampede_soak, run_tpcw_cluster)
 from repro.sla.model import ResourceVector
@@ -355,6 +356,33 @@ def cmd_clustertxn(args) -> int:
     return 0
 
 
+def cmd_many_tenants(args) -> int:
+    """Tenant-scale soak: mostly-cold tenants on the lazy fast path."""
+    result = run_many_tenants(n_databases=args.tenants,
+                              duration_s=args.duration * 2,
+                              flash_at_s=args.duration,
+                              seed=args.seed)
+    print(format_table(
+        ["tenants", "hot", "committed", "tps", "churn +/-",
+         "flash 1st commit (s)", "flash committed"],
+        [[result.n_databases, result.hot_tenants, result.committed,
+          result.throughput_tps,
+          f"+{result.churn_creates}/-{result.churn_drops}",
+          "-" if result.flash_first_commit_s is None
+          else result.flash_first_commit_s,
+          result.flash_committed]]))
+    print(format_table(
+        ["resident logs", "log entries", "lsn maps", "admission buckets",
+         "latency histograms", "summarised", "cold engines", "paged out"],
+        [[result.resident_db_logs, result.resident_log_entries,
+          result.resident_replica_lsn_maps,
+          result.resident_admission_buckets,
+          result.resident_latency_histograms,
+          result.summarised_latency_tenants, result.cold_engine_tenants,
+          result.paged_out_logs]]))
+    return _export_trace(result.controller, args)
+
+
 def cmd_table1(args) -> None:
     # Import lazily: the benchmark module carries the implementation.
     sys.path.insert(0, "benchmarks")
@@ -386,6 +414,8 @@ EXPERIMENTS = [
                  "fenced failover, re-protection, RPO/RTO"),
     ("clustertxn", "2PC phase latency: parallel commit fan-out vs the "
                    "sequential reference coordinator"),
+    ("manytenants", "tenant-scale soak: thousands of mostly-cold tenants "
+                    "on the lazy fast path, with churn and a flash crowd"),
     ("all", "every experiment above, quick settings"),
 ]
 
@@ -404,6 +434,8 @@ def main(argv=None) -> int:
                         help="emulated browsers per database")
     parser.add_argument("--databases", type=int, default=20,
                         help="tenant databases for placement experiments")
+    parser.add_argument("--tenants", type=int, default=2000,
+                        help="staged tenants for the manytenants soak")
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--trace", metavar="PATH",
                         help="export each run's event trace as JSONL and "
@@ -463,6 +495,9 @@ def main(argv=None) -> int:
     if chosen in ("clustertxn", "all"):
         print("\n== Cluster commit: parallel fan-out vs sequential ==")
         violations += cmd_clustertxn(args)
+    if chosen in ("manytenants", "all"):
+        print("\n== Many tenants: lazy fast path at tenant scale ==")
+        violations += cmd_many_tenants(args)
     if violations:
         print(f"\n{violations} invariant violation(s) detected")
         return 1

@@ -241,7 +241,7 @@ def run_recovery_experiment(
             proc.defused = True
 
     victim = max(controller.machines,
-                 key=lambda m: len(controller.replica_map.hosted_on(m)))
+                 key=lambda m: controller.replica_map.hosted_count(m))
 
     def failure_injector():
         yield sim.timeout(failure_time_s)
@@ -1326,6 +1326,214 @@ def run_commit_latency_bench(
         sim_seconds=sim.now,
         latencies=metrics.latency_summary(),
         fanouts=metrics.fanout_summary(),
+        metrics=metrics,
+        controller=controller,
+    )
+
+
+@dataclass
+class ManyTenantsResult:
+    """Outcome of one tenant-scale soak (the ``manytenants`` experiment)."""
+
+    sim_seconds: float
+    n_databases: int
+    hot_tenants: int
+    committed: int
+    aborted: int
+    throughput_tps: float
+    #: Tenant churn while traffic ran.
+    churn_creates: int
+    churn_drops: int
+    #: The flash-crowd target (a cold tenant until the crowd arrived).
+    flash_db: str
+    flash_at_s: float
+    #: Sim seconds from the flash crowd's arrival to its first commit —
+    #: the cold-start cost of a fully-lazy tenant.
+    flash_first_commit_s: Optional[float]
+    flash_committed: int
+    #: Resident per-tenant state at the end of the run, against the
+    #: tenant population: the lazy fast path keeps each of these at
+    #: O(touched tenants), not O(all tenants).
+    resident_db_logs: int
+    resident_log_entries: int
+    resident_replica_lsn_maps: int
+    resident_admission_buckets: int
+    resident_latency_histograms: int
+    summarised_latency_tenants: int
+    cold_engine_tenants: int
+    paged_out_logs: int
+    metrics: MetricsCollector
+    controller: ClusterController = field(repr=False, default=None)
+
+
+def run_many_tenants(
+    n_databases: int = 2000,
+    machines: int = 12,
+    replicas: int = 2,
+    hot_fraction: float = 0.01,
+    keys_per_db: int = 8,
+    duration_s: float = 20.0,
+    think_time_s: float = 0.2,
+    zipf_theta: float = 1.1,
+    churn_period_s: float = 0.5,
+    flash_at_s: float = 10.0,
+    flash_clients: int = 8,
+    flash_think_time_s: float = 0.02,
+    sla_tps: float = 4.0,
+    admission: bool = True,
+    max_resident_tenant_logs: int = 64,
+    metrics_resident_tenants: int = 64,
+    max_resident_buckets: int = 256,
+    seed: int = 11,
+) -> ManyTenantsResult:
+    """The tenant-scale soak: many small, mostly-cold applications.
+
+    Stages ``n_databases`` tenants (engine DDL deferred — a cold tenant
+    is a replica-map entry and a DDL string), drives Zipf-skewed
+    traffic over a ``hot_fraction`` subset, churns tenants (one drop +
+    one create every ``churn_period_s``), and at ``flash_at_s`` throws
+    a flash crowd at one tenant that has never been touched. The
+    interesting outputs are the resident-state gauges: with 1% of
+    tenants hot, per-tenant controller state (delta logs, LSN maps,
+    admission buckets, latency histograms) must track the hot set, not
+    the population.
+    """
+    if n_databases < 10:
+        raise ValueError("need at least 10 tenants for a meaningful soak")
+    sim = Simulator()
+    config = ClusterConfig(
+        replication_factor=replicas,
+        lock_wait_timeout_s=2.0,
+        trace_capacity=262144,
+        admission_control=admission,
+        lazy_tenant_state=True,
+        lazy_engine_ddl=True,
+        max_resident_tenant_logs=max_resident_tenant_logs,
+        metrics_resident_tenants=metrics_resident_tenants,
+    )
+    config.admission.max_resident_buckets = max_resident_buckets
+    controller = ClusterController(sim, config)
+    controller.add_machines(machines)
+    sla = Sla(min_throughput_tps=sla_tps, max_rejected_fraction=0.05)
+
+    def db_name(i):
+        return f"t{i:06d}"
+
+    for i in range(n_databases):
+        # Every 4th tenant buys an SLA; the rest ride the default rate.
+        controller.create_database(db_name(i), KV_DDL, replicas=replicas,
+                                   sla=sla if i % 4 == 0 else None)
+
+    # Hot set: the first hot_fraction of tenants, zipf-weighted think
+    # times (tenant 0 hottest). The flash-crowd target sits far outside
+    # the hot set and gets no staged traffic at all.
+    hot_tenants = max(1, int(n_databases * hot_fraction))
+    flash_db = db_name(n_databases // 2)
+    rng = SeededRNG(seed).fork("manytenants")
+    zipf = ZipfGenerator(64, zipf_theta, rng.fork("skew"))
+    stats = []
+    for i in range(hot_tenants):
+        db = db_name(i)
+        controller.bulk_load(db, "kv",
+                             [(k, 0) for k in range(keys_per_db)])
+        workload = KeyValueWorkload(controller, db_name=db,
+                                    keys=keys_per_db, seed=seed + i)
+        think = zipf.sample_in_range(think_time_s, 4.0 * think_time_s)
+        client_stats = KvStats()
+        stats.append(client_stats)
+
+        def staggered(client, delay):
+            yield sim.timeout(delay)
+            result = yield from client
+            return result
+
+        proc = sim.process(staggered(
+            workload.client(0, transactions=10 ** 9, think_time_s=think,
+                            stats=client_stats),
+            rng.uniform(0.0, think_time_s)))
+        proc.defused = True
+
+    # Tenant churn: steadily drop one cold tenant and create a fresh
+    # one — the O(1) create/drop paths under live traffic.
+    churn = {"creates": 0, "drops": 0}
+    churn_rng = rng.fork("churn")
+
+    def churner():
+        next_new = n_databases
+        while True:
+            yield sim.timeout(churn_period_s)
+            # Only ever drop staged cold tenants (hot ones carry
+            # clients whose connections must stay valid).
+            victim = db_name(churn_rng.randint(hot_tenants,
+                                               n_databases - 1))
+            if victim != flash_db and controller.replica_map.has(victim):
+                controller.drop_database(victim)
+                churn["drops"] += 1
+            controller.create_database(db_name(next_new), KV_DDL,
+                                       replicas=replicas)
+            churn["creates"] += 1
+            next_new += 1
+
+    churn_proc = sim.process(churner(), name="tenant-churn")
+    churn_proc.defused = True
+
+    # Flash crowd on a never-touched tenant: materialisation, bucket
+    # provisioning, log creation all happen under the burst.
+    flash_stats = [KvStats() for _ in range(flash_clients)]
+    flash_first_commit = []
+
+    def flash_watch():
+        yield sim.timeout(flash_at_s)
+        mark = controller.metrics.per_db.get(flash_db)
+        before = mark.committed if mark else 0
+        workload = KeyValueWorkload(controller, db_name=flash_db,
+                                    keys=keys_per_db, seed=seed + 7777)
+        for cid in range(flash_clients):
+            proc = sim.process(workload.client(
+                cid, transactions=10 ** 9,
+                think_time_s=flash_think_time_s, stats=flash_stats[cid]))
+            proc.defused = True
+        while True:
+            counters = controller.metrics.per_db.get(flash_db)
+            if counters is not None and counters.committed > before:
+                flash_first_commit.append(sim.now - flash_at_s)
+                return
+            yield sim.timeout(0.001)
+
+    flash_proc = sim.process(flash_watch(), name="flash-crowd")
+    flash_proc.defused = True
+
+    sim.run(until=duration_s)
+
+    metrics = controller.metrics
+    committed = metrics.total_committed()
+    aborted = sum(s.aborted for s in stats) + \
+        sum(s.aborted for s in flash_stats)
+    return ManyTenantsResult(
+        sim_seconds=sim.now,
+        n_databases=controller.replica_map.database_count(),
+        hot_tenants=hot_tenants,
+        committed=committed,
+        aborted=aborted,
+        throughput_tps=committed / duration_s if duration_s else 0.0,
+        churn_creates=churn["creates"],
+        churn_drops=churn["drops"],
+        flash_db=flash_db,
+        flash_at_s=flash_at_s,
+        flash_first_commit_s=(flash_first_commit[0]
+                              if flash_first_commit else None),
+        flash_committed=sum(s.committed for s in flash_stats),
+        resident_db_logs=len(controller.db_logs),
+        resident_log_entries=sum(len(log)
+                                 for log in controller.db_logs.values()),
+        resident_replica_lsn_maps=len(controller.replica_lsns),
+        resident_admission_buckets=(len(controller.admission.buckets)
+                                    if controller.admission is not None
+                                    else 0),
+        resident_latency_histograms=len(metrics.db_latencies),
+        summarised_latency_tenants=len(metrics.db_latency_summaries),
+        cold_engine_tenants=len(controller._cold_dbs),
+        paged_out_logs=len(controller.trace.events(kind="log_paged_out")),
         metrics=metrics,
         controller=controller,
     )

@@ -11,7 +11,8 @@ minimum for comparison (Table 2).
 from repro.sla.model import (AvailabilityInputs, ResourceVector, Sla,
                              availability_ok, rejected_fraction_bound)
 from repro.sla.placement import (DatabaseLoad, MachineBin, Placement,
-                                 best_fit, first_fit, repack, worst_fit)
+                                 PlacementIndex, best_fit, first_fit,
+                                 repack, worst_fit)
 from repro.sla.optimal import optimal_machine_count
 from repro.sla.profiler import estimate_requirements
 
@@ -20,6 +21,7 @@ __all__ = [
     "DatabaseLoad",
     "MachineBin",
     "Placement",
+    "PlacementIndex",
     "ResourceVector",
     "Sla",
     "availability_ok",

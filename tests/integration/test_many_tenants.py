@@ -1,0 +1,187 @@
+"""Integration tests for the tenant-scale fast path.
+
+Three guarantees ride on this file:
+
+* the ``manytenants`` soak really does keep per-tenant resident state
+  proportional to the touched set, with churn and a flash crowd live;
+* **replay identity** — ``lazy_tenant_state=True`` (the default) and
+  the eager reference configuration produce the *same* trace and the
+  same metrics for the same schedule, failures and DDL included (the
+  laziness is purely a representation change);
+* router hygiene — ``ReadRouter._txn_choice`` and the open-writer sets
+  drain to empty after a soak with lock-timeout aborts and
+  dead-primary connection closes (the OPTION_2 leak paths).
+"""
+
+import pytest
+
+from repro.analysis.invariants import check_controller
+from repro.cluster import (ClusterConfig, ClusterController, ReadOption,
+                           RecoveryManager)
+from repro.harness.runner import run_many_tenants
+from repro.sim import Simulator
+from repro.sla import Sla
+from repro.workloads.microbench import KV_DDL, KeyValueWorkload, KvStats
+from tests.conftest import make_kv_cluster
+
+
+class TestManyTenantsSoak:
+    def test_resident_state_tracks_touched_set(self):
+        result = run_many_tenants(n_databases=300, duration_s=6.0,
+                                  flash_at_s=3.0, seed=5)
+        assert result.committed > 0
+        # ~1% hot + the flash target: resident per-tenant state must be
+        # a sliver of the 300-tenant population.
+        touched = result.hot_tenants + 1
+        assert result.resident_db_logs <= touched + 5
+        assert result.resident_replica_lsn_maps <= touched + 5
+        assert result.resident_latency_histograms <= touched + 5
+        assert result.cold_engine_tenants >= 250
+        # Churn and the flash crowd both actually ran.
+        assert result.churn_creates > 0 and result.churn_drops > 0
+        assert result.flash_committed > 0
+        assert result.flash_first_commit_s is not None
+        assert result.flash_first_commit_s < 1.0
+        violations = check_controller(result.controller)
+        assert not violations, "\n".join(str(v) for v in violations)
+
+    def test_lazy_engine_ddl_materialises_on_first_touch(self, sim):
+        config = ClusterConfig(replication_factor=2, lazy_engine_ddl=True)
+        controller = ClusterController(sim, config)
+        controller.add_machines(3)
+        controller.create_database("cold", KV_DDL, replicas=2)
+        # Staging cost: no engine has run the DDL yet.
+        assert all(not m.engine.hosts("cold")
+                   for m in controller.machines.values())
+        assert "cold" in controller._cold_dbs
+
+        workload = KeyValueWorkload(controller, db_name="cold", keys=4,
+                                    seed=1)
+        stats = KvStats()
+        proc = sim.process(workload.client(0, transactions=3, stats=stats))
+        proc.defused = True
+        sim.run()
+        assert stats.committed == 3
+        assert "cold" not in controller._cold_dbs
+        replicas = controller.replica_map.replicas("cold")
+        assert all(controller.machines[name].engine.hosts("cold")
+                   for name in replicas)
+        assert controller.trace.events(kind="db_materialised")
+
+
+def _fingerprint(controller):
+    """Everything externally observable about one finished run."""
+    metrics = controller.metrics
+    return {
+        "trace": [e.to_dict() for e in controller.trace.events()],
+        "committed": {db: c.committed
+                      for db, c in metrics.per_db.items()},
+        "rejected": {db: c.rejected for db, c in metrics.per_db.items()},
+        "latency": {db: h.summary()
+                    for db, h in metrics.db_latencies.items()},
+    }
+
+
+def _replay_scenario(lazy: bool):
+    """One deterministic schedule: traffic, an SLA change, a drop, a
+    machine failure with recovery, and a late tenant create."""
+    sim = Simulator()
+    config = ClusterConfig(replication_factor=2, lock_wait_timeout_s=1.0,
+                           trace_capacity=65536, admission_control=True,
+                           lazy_tenant_state=lazy)
+    controller = ClusterController(sim, config)
+    controller.add_machines(4)
+    recovery = RecoveryManager(controller)
+    recovery.start()
+    sla = Sla(min_throughput_tps=5.0, max_rejected_fraction=0.1)
+    for i in range(4):
+        db = f"db{i}"
+        controller.create_database(db, KV_DDL, replicas=2,
+                                   sla=sla if i % 2 == 0 else None)
+        controller.bulk_load(db, "kv", [(k, 0) for k in range(6)])
+
+    stats = [KvStats() for _ in range(3)]
+    for i in range(3):
+        workload = KeyValueWorkload(controller, db_name=f"db{i}", keys=6,
+                                    seed=40 + i)
+        proc = sim.process(workload.client(
+            i, transactions=40, think_time_s=0.05, stats=stats[i]))
+        proc.defused = True
+    # db3 gets a short burst, then is dropped mid-run.
+    short_stats = KvStats()
+    workload3 = KeyValueWorkload(controller, db_name="db3", keys=6, seed=47)
+    proc = sim.process(workload3.client(0, transactions=5,
+                                        think_time_s=0.05,
+                                        stats=short_stats))
+    proc.defused = True
+
+    victim = controller.replica_map.replicas("db1")[1]
+
+    def chaos():
+        yield sim.timeout(1.0)
+        controller.set_sla("db0", None)          # SLA change mid-run
+        yield sim.timeout(0.5)
+        controller.drop_database("db3")          # drop a warm tenant
+        yield sim.timeout(0.5)
+        controller.fail_machine(victim)          # lose a replica
+        yield sim.timeout(1.0)
+        controller.create_database("late", KV_DDL, replicas=2)
+
+    chaos_proc = sim.process(chaos(), name="chaos")
+    chaos_proc.defused = True
+    sim.run(until=12.0)
+    return _fingerprint(controller)
+
+
+class TestReplayIdentity:
+    def test_lazy_state_is_trace_identical_to_eager(self):
+        """The S6 guard: laziness must never change behaviour, only
+        when per-tenant structures get allocated."""
+        lazy = _replay_scenario(lazy=True)
+        eager = _replay_scenario(lazy=False)
+        assert lazy["committed"] == eager["committed"]
+        assert lazy["rejected"] == eager["rejected"]
+        assert lazy["latency"] == eager["latency"]
+        assert len(lazy["trace"]) == len(eager["trace"])
+        for a, b in zip(lazy["trace"], eager["trace"]):
+            assert a == b
+
+
+class TestRouterHygiene:
+    def test_txn_choice_drains_after_abort_soak(self, sim):
+        """OPTION_2 per-txn replica choices must not outlive their
+        transactions, even when most of them abort on lock timeouts."""
+        controller = make_kv_cluster(
+            sim, machines=3, read_option=ReadOption.OPTION_2,
+            lock_wait_timeout_s=0.1)
+        stats = [KvStats() for _ in range(6)]
+        for i in range(6):
+            # Everyone hammers the same single key: plenty of lock-wait
+            # timeouts and write-write aborts.
+            workload = KeyValueWorkload(controller, db_name="kv", keys=1,
+                                        seed=70 + i)
+            proc = sim.process(workload.client(
+                i, transactions=25, think_time_s=0.0, stats=stats[i]))
+            proc.defused = True
+        sim.run()
+        assert sum(s.aborted for s in stats) > 0  # the soak did abort
+        assert controller.router._txn_choice == {}
+        assert controller._open_writers == {}
+
+    def test_close_with_dead_primary_releases_router_state(self, sim):
+        """The dead-primary close path must still run ``_finish``."""
+        controller = make_kv_cluster(sim, machines=3,
+                                     read_option=ReadOption.OPTION_2)
+        primary = controller.replica_map.replicas("kv")[0]
+
+        def client():
+            conn = controller.connect("kv")
+            yield conn.execute("UPDATE kv SET v = 9 WHERE k = 0")
+            controller.fail_machine(primary)
+            conn.close()
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.ok
+        assert controller.router._txn_choice == {}
+        assert controller._open_writers == {}

@@ -1,0 +1,255 @@
+"""Unit tests for the tenant-scale fast path's building blocks.
+
+Covers the O(1) structures behind routing and placement (incremental
+replica-map counts, the machine-bin hosted-count dict) and the lazy
+per-tenant state that pages out when cold (retained-tail compaction,
+latency-histogram summarise-on-evict, admission-bucket eviction)."""
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.cluster.admission import AdmissionConfig, AdmissionController
+from repro.cluster.replica_map import ReplicaMap
+from repro.engine.wal import RetainedTail
+from repro.errors import NoReplicaError
+from repro.sla import DatabaseLoad, MachineBin, ResourceVector, Sla
+
+
+# -- ReplicaMap incremental counts -------------------------------------------
+
+
+def test_replica_map_counts_track_membership():
+    rm = ReplicaMap()
+    rm.add_database("a", ["m1", "m2"])
+    rm.add_database("b", ["m2", "m3"])
+    assert rm.hosted_count("m1") == 1
+    assert rm.hosted_count("m2") == 2
+    assert rm.primary_count("m1") == 1
+    assert rm.primary_count("m2") == 1
+    assert rm.primary_count("m3") == 0
+    assert rm.has("a") and "b" in rm and not rm.has("c")
+
+    rm.drop_database("a")
+    assert rm.hosted_count("m1") == 0
+    assert rm.hosted_count("m2") == 1
+    assert rm.primary_count("m1") == 0
+
+    rm.add_replica("b", "m4")
+    assert rm.hosted_count("m4") == 1
+    assert rm.primary_count("m4") == 0  # joined a non-empty list
+
+
+def test_replica_map_counts_match_linear_scan():
+    """The O(1) counters always equal the O(N) definitions."""
+    rm = ReplicaMap()
+    rm.add_database("a", ["m1", "m2"])
+    rm.add_database("b", ["m2", "m1"])
+    rm.add_database("c", ["m3"])
+    rm.add_replica("c", "m1")
+    rm.remove_machine("m2")
+    rm.drop_database("a")
+    for machine in ("m1", "m2", "m3"):
+        assert rm.hosted_count(machine) == len(rm.hosted_on(machine))
+        assert rm.primary_count(machine) == sum(
+            1 for db in rm.databases() if rm.replicas(db)[0] == machine)
+
+
+def test_replica_map_remove_machine_hands_off_primary():
+    rm = ReplicaMap()
+    rm.add_database("a", ["m1", "m2", "m3"])
+    assert rm.remove_machine("m1") == ["a"]
+    # m2 is the new designated primary and the counts moved with it.
+    assert rm.replicas("a") == ["m2", "m3"]
+    assert rm.primary_count("m1") == 0
+    assert rm.primary_count("m2") == 1
+    # A machine hosting nothing short-circuits without scanning.
+    assert rm.remove_machine("m1") == []
+
+
+def test_replica_map_rejects_duplicates_and_unknowns():
+    rm = ReplicaMap()
+    rm.add_database("a", ["m1"])
+    with pytest.raises(ValueError):
+        rm.add_database("a", ["m2"])
+    with pytest.raises(ValueError):
+        rm.add_database("b", ["m1", "m1"])
+    with pytest.raises(NoReplicaError):
+        rm.replicas_view("ghost")
+    with pytest.raises(NoReplicaError):
+        rm.add_replica("ghost", "m1")
+
+
+# -- MachineBin hosted counts (S1) -------------------------------------------
+
+
+CAP = ResourceVector(cpu=4.0, memory_mb=1000.0, disk_io_mbps=100.0,
+                     disk_mb=10000.0)
+REQ = ResourceVector(cpu=0.5, memory_mb=100.0, disk_io_mbps=5.0,
+                     disk_mb=500.0)
+
+
+def test_machine_bin_hosted_preserves_first_placement_order():
+    machine_bin = MachineBin("m", CAP)
+    for name in ("a", "b", "c"):
+        machine_bin.place(DatabaseLoad(name, REQ, replicas=1))
+    assert machine_bin.hosted == ["a", "b", "c"]
+    assert machine_bin.hosts("b")
+
+    machine_bin.release("b", REQ)
+    assert machine_bin.hosted == ["a", "c"]
+    assert not machine_bin.hosts("b")
+    # Re-placing a released database appends at the end, like a list.
+    machine_bin.place(DatabaseLoad("b", REQ, replicas=1))
+    assert machine_bin.hosted == ["a", "c", "b"]
+
+
+def test_machine_bin_release_is_counted():
+    """Placing the same name twice needs two releases, like the old
+    list's duplicate entries did."""
+    machine_bin = MachineBin("m", CAP)
+    machine_bin.place(DatabaseLoad("a", REQ, replicas=1))
+    machine_bin.place(DatabaseLoad("a", REQ, replicas=1))
+    assert machine_bin.hosted == ["a"]
+    assert machine_bin.hosted_counts["a"] == 2
+    machine_bin.release("a", REQ)
+    assert machine_bin.hosts("a")
+    machine_bin.release("a", REQ)
+    assert not machine_bin.hosts("a")
+    assert machine_bin.used.cpu == pytest.approx(0.0)
+
+
+# -- RetainedTail.compact ----------------------------------------------------
+
+
+def test_compact_drops_entries_but_keeps_lsn_position():
+    tail = RetainedTail()
+    for i in range(5):
+        tail.append(f"e{i}")
+    assert tail.last_lsn == 5
+    dropped = tail.compact()
+    assert dropped == 5
+    assert len(tail) == 0
+    assert tail.last_lsn == 5  # position survives the drop
+    assert tail.start_lsn == 6
+    assert tail.covers(5)      # nothing after 5 was lost
+    assert not tail.covers(4)  # entry 5 itself is gone
+    # Appends continue from the same LSN sequence.
+    assert tail.append("e5") == 6
+
+
+def test_compact_respects_pins():
+    tail = RetainedTail()
+    for i in range(6):
+        tail.append(f"e{i}")
+    pin = tail.pin(3)
+    assert tail.compact() == 3  # entries 1-3 dropped, 4-6 pinned
+    assert tail.start_lsn == 4
+    assert tail.covers(3)
+    tail.release(pin)
+    assert tail.compact() == 3
+    assert len(tail) == 0
+
+
+def test_compact_empty_is_noop():
+    tail = RetainedTail()
+    assert tail.compact() == 0
+    tail.append("x")
+    tail.compact()
+    assert tail.compact() == 0
+
+
+# -- MetricsCollector histogram paging ---------------------------------------
+
+
+def test_histogram_eviction_summarises_cold_tenants():
+    metrics = MetricsCollector(resident_tenants=2)
+    for i, db in enumerate(("a", "b", "c")):
+        metrics.record_commit(db, when=float(i), response_time=0.01 * (i + 1))
+    # "a" was least recently committing: summarised and dropped.
+    assert set(metrics.db_latencies) == {"b", "c"}
+    assert metrics.db_latency_evictions == 1
+    assert metrics.db_latency_summaries["a"]["count"] == 1
+    # Counters stay exact for evicted tenants.
+    assert metrics.per_db["a"].committed == 1
+
+    summary = metrics.per_db_summary()
+    assert summary["a"]["latency_summarised"] is True
+    assert summary["a"]["latency"]["count"] == 1
+    assert summary["b"]["latency_summarised"] is False
+
+
+def test_histogram_lru_refreshes_on_commit():
+    metrics = MetricsCollector(resident_tenants=2)
+    metrics.record_commit("a", when=0.0, response_time=0.01)
+    metrics.record_commit("b", when=1.0, response_time=0.01)
+    metrics.record_commit("a", when=2.0, response_time=0.01)  # refresh a
+    metrics.record_commit("c", when=3.0, response_time=0.01)
+    assert set(metrics.db_latencies) == {"a", "c"}  # b was coldest
+
+
+def test_histogram_unbounded_by_default():
+    metrics = MetricsCollector()
+    for i in range(100):
+        metrics.record_commit(f"db{i}", when=float(i), response_time=0.01)
+    assert len(metrics.db_latencies) == 100
+    assert metrics.db_latency_evictions == 0
+
+
+# -- AdmissionController lazy buckets ----------------------------------------
+
+
+def _clock_at(holder):
+    return lambda: holder[0]
+
+
+def test_admission_provisions_lazily_from_sla_lookup():
+    now = [0.0]
+    slas = {"gold": Sla(min_throughput_tps=10.0,
+                        max_rejected_fraction=0.05)}
+    controller = AdmissionController(AdmissionConfig(), _clock_at(now),
+                                     sla_lookup=slas.get)
+    assert not controller.buckets  # nothing until first touch
+    assert controller.admit("gold")
+    assert controller.rates["gold"] == pytest.approx(
+        10.0 * controller.config.headroom)
+    # No SLA: the default rate, also provisioned at first sight.
+    assert controller.admit("free")
+    assert controller.rates["free"] == controller.config.default_rate_tps
+    # provisioned_rate answers for never-touched tenants without
+    # allocating a bucket.
+    assert "never" not in controller.buckets
+    assert controller.provisioned_rate("never") == \
+        controller.config.default_rate_tps
+    assert "never" not in controller.buckets
+
+
+def test_admission_eviction_never_flips_a_decision():
+    now = [0.0]
+    config = AdmissionConfig(max_resident_buckets=2)
+    slas = {}
+    controller = AdmissionController(config, _clock_at(now),
+                                     sla_lookup=slas.get)
+    for db in ("a", "b", "c", "d"):
+        assert controller.admit(db)
+        now[0] += 1000.0  # everyone refills to capacity between touches
+    assert len(controller.buckets) <= 2
+    assert controller.evicted_buckets >= 2
+    # Rates are remembered for evicted tenants; a rebuilt bucket starts
+    # full, exactly as it would have been after the long idle.
+    assert set(controller.rates) == {"a", "b", "c", "d"}
+    assert controller.admit("a")
+
+
+def test_admission_eviction_skips_hot_buckets():
+    """A bucket below capacity is in-use state and must stay resident."""
+    now = [0.0]
+    config = AdmissionConfig(max_resident_buckets=1)
+    controller = AdmissionController(config, _clock_at(now))
+    # Drain "a" well below capacity, then touch others: "a" is over the
+    # cap but never evictable until it refills.
+    for _ in range(3):
+        controller.admit("a")
+    controller.admit("b")
+    assert "a" in controller.buckets or \
+        controller.buckets["b"].tokens_at(now[0]) < \
+        controller.buckets["b"].capacity
